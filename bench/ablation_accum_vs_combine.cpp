@@ -1,0 +1,90 @@
+// Ablation (paper §3, closing paragraph): "The accumulate function often
+// has a substantially faster implementation than the combine function ...
+// Alternative functions that translate the input values into state values
+// rather than accumulate the input values into state values would result
+// in worse performance."
+//
+// Measures, with google-benchmark, the cost of folding n values into a
+// MinK state three ways:
+//   accum                the paper's formulation — one guarded comparison
+//                        per value in the common (rejected) case;
+//   translate+combine    the rejected alternative — wrap each value in a
+//                        singleton state and combine states;
+//   std::partial_sort    a non-streaming oracle, for scale.
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <random>
+#include <vector>
+
+#include "rs/ops/mink.hpp"
+
+namespace {
+
+using rsmpi::rs::ops::MinK;
+
+std::vector<int> make_data(std::size_t n) {
+  std::mt19937 rng(99);
+  std::uniform_int_distribution<int> dist(0, 1 << 30);
+  std::vector<int> v(n);
+  for (auto& x : v) x = dist(rng);
+  return v;
+}
+
+void BM_MinK_Accumulate(benchmark::State& state) {
+  const auto data = make_data(static_cast<std::size_t>(state.range(0)));
+  const std::size_t k = static_cast<std::size_t>(state.range(1));
+  for (auto _ : state) {
+    MinK<int> op(k);
+    for (const int x : data) op.accum(x);
+    benchmark::DoNotOptimize(op);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(data.size()) *
+                          state.iterations());
+}
+
+void BM_MinK_TranslateThenCombine(benchmark::State& state) {
+  const auto data = make_data(static_cast<std::size_t>(state.range(0)));
+  const std::size_t k = static_cast<std::size_t>(state.range(1));
+  for (auto _ : state) {
+    MinK<int> op(k);
+    for (const int x : data) {
+      MinK<int> single(k);  // translate the input value into a state...
+      single.accum(x);
+      op.combine(single);  // ...and combine states
+    }
+    benchmark::DoNotOptimize(op);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(data.size()) *
+                          state.iterations());
+}
+
+void BM_MinK_PartialSortOracle(benchmark::State& state) {
+  const auto data = make_data(static_cast<std::size_t>(state.range(0)));
+  const std::size_t k = static_cast<std::size_t>(state.range(1));
+  for (auto _ : state) {
+    std::vector<int> copy = data;
+    std::partial_sort(copy.begin(),
+                      copy.begin() + static_cast<std::ptrdiff_t>(k),
+                      copy.end());
+    benchmark::DoNotOptimize(copy.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(data.size()) *
+                          state.iterations());
+}
+
+void Args(benchmark::internal::Benchmark* b) {
+  for (const std::int64_t n : {1 << 12, 1 << 16}) {
+    for (const std::int64_t k : {10, 100}) {
+      b->Args({n, k});
+    }
+  }
+}
+
+BENCHMARK(BM_MinK_Accumulate)->Apply(Args);
+BENCHMARK(BM_MinK_TranslateThenCombine)->Apply(Args);
+BENCHMARK(BM_MinK_PartialSortOracle)->Apply(Args);
+
+}  // namespace
+
+BENCHMARK_MAIN();

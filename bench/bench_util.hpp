@@ -1,0 +1,76 @@
+// Shared plumbing for the figure-reproduction benchmarks: timed-phase
+// measurement on the virtual clock, and paper-style series printing.
+#pragma once
+
+#include <cstdio>
+#include <functional>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "coll/barrier.hpp"
+#include "mprt/comm.hpp"
+#include "mprt/runtime.hpp"
+
+namespace rsmpi::bench {
+
+/// The processor counts the figures sweep.  The paper's cluster had 92
+/// nodes x 8 CPUs; its figures plot 1..~128 processors.
+inline const std::vector<int> kProcessorCounts = {1, 2, 4, 8, 16, 32, 64};
+
+/// Runs `setup` then `phase` on p ranks and returns the modelled
+/// critical-path time of the phase alone: ranks barrier after setup, reset
+/// their clocks, and the final makespan is the phase's virtual duration.
+/// The phase is repeated `reps` times and the minimum taken, suppressing
+/// host-side CPU-time measurement jitter.
+inline double time_phase(
+    int p, const mprt::CostModel& model,
+    const std::function<void(mprt::Comm&)>& setup,
+    const std::function<void(mprt::Comm&)>& phase, int reps = 3) {
+  double best = std::numeric_limits<double>::infinity();
+  for (int r = 0; r < reps; ++r) {
+    const auto result = mprt::run(
+        p,
+        [&](mprt::Comm& comm) {
+          setup(comm);
+          coll::barrier(comm);
+          comm.clock().reset();
+          phase(comm);
+        },
+        model);
+    if (result.makespan_s < best) best = result.makespan_s;
+  }
+  return best;
+}
+
+/// One series of a figure: a (p -> time) map for one implementation.
+struct Series {
+  std::string name;
+  std::vector<double> times_s;  // parallel to kProcessorCounts
+};
+
+/// Prints a figure's series the way the paper reports them: per processor
+/// count, the time of each implementation, its speedup T(1)/T(p), and its
+/// efficiency speedup/p.
+inline void print_figure(const std::string& title,
+                         const std::vector<int>& procs,
+                         const std::vector<Series>& series) {
+  std::printf("\n== %s ==\n", title.c_str());
+  std::printf("%6s", "p");
+  for (const auto& s : series) {
+    std::printf("  %12s(ms) %8s %6s", s.name.c_str(), "spdup", "eff");
+  }
+  std::printf("\n");
+  for (std::size_t i = 0; i < procs.size(); ++i) {
+    std::printf("%6d", procs[i]);
+    for (const auto& s : series) {
+      const double t = s.times_s[i];
+      const double speedup = s.times_s[0] / t;
+      const double eff = speedup / procs[i];
+      std::printf("  %16.3f %8.2f %6.2f", t * 1e3, speedup, eff);
+    }
+    std::printf("\n");
+  }
+}
+
+}  // namespace rsmpi::bench

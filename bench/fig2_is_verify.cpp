@@ -1,0 +1,77 @@
+// Figure 2 reproduction: efficiency of the NAS IS verification phase,
+// classes A/B/C, comparing three implementations across processor counts:
+//
+//   nas-mpi   the NPB C+MPI structure (boundary exchange + two array
+//             references per element + sum reduction),
+//   opt-mpi   the same with the paper's scalar optimization (one array
+//             reference per element), which the paper reports closes the
+//             gap with RSMPI entirely,
+//   rsmpi     the global-view `sorted` reduction (Listing 7).
+//
+// Times are modelled critical-path (virtual-clock) durations of the
+// verification phase only; key generation and the bucket sort are setup.
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "nas/is.hpp"
+
+namespace {
+
+using namespace rsmpi;
+using nas::Key;
+
+using Verifier = bool (*)(mprt::Comm&, const std::vector<Key>&);
+
+double time_verifier(int p, nas::IsParams params, Verifier verify) {
+  // Per-rank key storage, filled during setup and read during the phase.
+  std::vector<std::vector<Key>> per_rank(static_cast<std::size_t>(p));
+  return bench::time_phase(
+      p, mprt::CostModel{},
+      [&](mprt::Comm& comm) {
+        auto& slot = per_rank[static_cast<std::size_t>(comm.rank())];
+        if (slot.empty()) {
+          auto keys = nas::is_generate_keys(comm, params);
+          slot = nas::is_bucket_sort(comm, std::move(keys), params);
+        }
+      },
+      [&](mprt::Comm& comm) {
+        const auto& keys = per_rank[static_cast<std::size_t>(comm.rank())];
+        if (!verify(comm, keys)) std::abort();
+      });
+}
+
+void run_class(nas::ProblemClass cls) {
+  const auto params = nas::is_params(cls);
+
+  bench::Series nas_mpi{"nas-mpi", {}};
+  bench::Series opt_mpi{"opt-mpi", {}};
+  bench::Series rsmpi_series{"rsmpi", {}};
+
+  for (const int p : bench::kProcessorCounts) {
+    nas_mpi.times_s.push_back(time_verifier(p, params, nas::is_verify_nas_mpi));
+    opt_mpi.times_s.push_back(time_verifier(p, params, nas::is_verify_opt_mpi));
+    rsmpi_series.times_s.push_back(
+        time_verifier(p, params, nas::is_verify_rsmpi));
+  }
+
+  bench::print_figure(
+      std::string("Figure 2: NAS IS verification, class ") +
+          std::string(nas::to_string(cls)) + "  (" +
+          std::to_string(params.total_keys) + " keys)",
+      bench::kProcessorCounts, {nas_mpi, opt_mpi, rsmpi_series});
+}
+
+}  // namespace
+
+int main() {
+  std::printf("NAS IS verification phase: C+MPI vs C+RSMPI (paper Fig. 2)\n");
+  std::printf("Times are LogGP virtual-clock critical paths; see DESIGN.md.\n");
+  for (const auto cls :
+       {nas::ProblemClass::A, nas::ProblemClass::B, nas::ProblemClass::C}) {
+    run_class(cls);
+  }
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Figure 3 reproduction: efficiency of the NAS MG ZRAN3 routine, classes
+// A/B/C, comparing the F+MPI structure (forty built-in reductions to
+// locate the ten largest and ten smallest grid values one at a time)
+// against the F+RSMPI structure (one user-defined TopBottomK reduction).
+//
+// ZRAN3 as timed includes the random fill, the extrema search, and the
+// charge application — matching the paper, whose gap shrinks for larger
+// classes precisely because fill/traversal time grows while the forty
+// reductions' latency stays constant.
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "nas/mg.hpp"
+
+namespace {
+
+using namespace rsmpi;
+
+using Zran3 = nas::MgCharges (*)(mprt::Comm&, const nas::MgGrid&,
+                                 std::size_t);
+
+double time_zran3(int p, nas::MgParams params, Zran3 find) {
+  return bench::time_phase(
+      p, mprt::CostModel{}, [](mprt::Comm&) {},
+      [&](mprt::Comm& comm) {
+        auto grid = nas::mg_fill_grid(comm, params);
+        const auto charges = find(comm, grid, 10);
+        (void)nas::mg_apply_charges(grid, charges);
+      },
+      /*reps=*/3);
+}
+
+void run_class(nas::ProblemClass cls) {
+  const auto params = nas::mg_params(cls);
+
+  bench::Series f_mpi{"f-mpi-40red", {}};
+  bench::Series rsmpi_series{"rsmpi-1red", {}};
+
+  for (const int p : bench::kProcessorCounts) {
+    f_mpi.times_s.push_back(time_zran3(p, params, nas::mg_zran3_baseline));
+    rsmpi_series.times_s.push_back(
+        time_zran3(p, params, nas::mg_zran3_rsmpi));
+  }
+
+  bench::print_figure(
+      std::string("Figure 3: NAS MG ZRAN3, class ") +
+          std::string(nas::to_string(cls)) + "  (" +
+          std::to_string(params.nx) + "^3 grid)",
+      bench::kProcessorCounts, {f_mpi, rsmpi_series});
+}
+
+}  // namespace
+
+int main() {
+  std::printf("NAS MG ZRAN3: F+MPI (40 reductions) vs F+RSMPI (1 reduction)"
+              " (paper Fig. 3)\n");
+  std::printf("Times are LogGP virtual-clock critical paths; see DESIGN.md.\n");
+  for (const auto cls :
+       {nas::ProblemClass::A, nas::ProblemClass::B, nas::ProblemClass::C}) {
+    run_class(cls);
+  }
+  return 0;
+}

@@ -1,0 +1,157 @@
+// Microbenchmarks of the local-view collective algorithms (paper §1/§2):
+// linear chain vs order-preserving binomial tree vs combine-as-available
+// k-ary tree for reductions, and linear vs recursive-doubling for scans —
+// reported as modelled critical-path time so the latency structure
+// (O(p) vs O(log p) rounds) is visible regardless of host scheduling.
+#include <benchmark/benchmark.h>
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "coll/local_reduce.hpp"
+#include "coll/local_scan.hpp"
+#include "mprt/runtime.hpp"
+
+namespace {
+
+using namespace rsmpi;
+
+/// Runs one collective on p ranks and reports the modelled makespan as the
+/// benchmark's manual time (in seconds).
+template <typename Body>
+void report_vtime(benchmark::State& state, int p, Body body) {
+  mprt::CostModel model;
+  model.compute_scale = 0.0;  // isolate the communication structure
+  for (auto _ : state) {
+    const auto result = mprt::run(p, body, model);
+    state.SetIterationTime(result.makespan_s);
+  }
+}
+
+void BM_Reduce_Linear(benchmark::State& state) {
+  const int p = static_cast<int>(state.range(0));
+  report_vtime(state, p, [](mprt::Comm& comm) {
+    long v = comm.rank();
+    coll::ElementwiseOp<long, coll::Sum<long>> op;
+    coll::local_reduce(comm, 0, std::span<long>(&v, 1), op,
+                       coll::ReduceAlgo::kLinear);
+  });
+}
+
+void BM_Reduce_Binomial(benchmark::State& state) {
+  const int p = static_cast<int>(state.range(0));
+  report_vtime(state, p, [](mprt::Comm& comm) {
+    long v = comm.rank();
+    coll::ElementwiseOp<long, coll::Sum<long>> op;
+    coll::local_reduce(comm, 0, std::span<long>(&v, 1), op,
+                       coll::ReduceAlgo::kBinomial);
+  });
+}
+
+void BM_Reduce_UnorderedTree(benchmark::State& state) {
+  const int p = static_cast<int>(state.range(0));
+  report_vtime(state, p, [](mprt::Comm& comm) {
+    long v = comm.rank();
+    coll::ElementwiseOp<long, coll::Sum<long>> op;
+    coll::local_reduce(comm, 0, std::span<long>(&v, 1), op,
+                       coll::ReduceAlgo::kUnorderedTree);
+  });
+}
+
+void BM_Allreduce_Binomial(benchmark::State& state) {
+  const int p = static_cast<int>(state.range(0));
+  report_vtime(state, p, [](mprt::Comm& comm) {
+    long v = comm.rank();
+    coll::ElementwiseOp<long, coll::Sum<long>> op;
+    coll::local_allreduce(comm, std::span<long>(&v, 1), op,
+                          coll::ReduceAlgo::kBinomial);
+  });
+}
+
+void BM_Scan_Linear(benchmark::State& state) {
+  const int p = static_cast<int>(state.range(0));
+  report_vtime(state, p, [](mprt::Comm& comm) {
+    long v = comm.rank();
+    coll::ElementwiseOp<long, coll::Sum<long>> op;
+    coll::local_xscan(comm, std::span<long>(&v, 1), op,
+                      coll::ScanAlgo::kLinear);
+  });
+}
+
+void BM_Scan_HillisSteele(benchmark::State& state) {
+  const int p = static_cast<int>(state.range(0));
+  report_vtime(state, p, [](mprt::Comm& comm) {
+    long v = comm.rank();
+    coll::ElementwiseOp<long, coll::Sum<long>> op;
+    coll::local_xscan(comm, std::span<long>(&v, 1), op,
+                      coll::ScanAlgo::kHillisSteele);
+  });
+}
+
+void BM_Scan_Blelloch(benchmark::State& state) {
+  const int p = static_cast<int>(state.range(0));
+  report_vtime(state, p, [](mprt::Comm& comm) {
+    long v = comm.rank();
+    coll::ElementwiseOp<long, coll::Sum<long>> op;
+    coll::local_xscan(comm, std::span<long>(&v, 1), op,
+                      coll::ScanAlgo::kBlelloch);
+  });
+}
+
+void BM_Reduce_Binomial_PayloadSweep(benchmark::State& state) {
+  // Fixed p, growing aggregated payload: the bandwidth term of LogGP.
+  const int p = 16;
+  const auto width = static_cast<std::size_t>(state.range(0));
+  report_vtime(state, p, [width](mprt::Comm& comm) {
+    std::vector<long> v(width, comm.rank());
+    coll::ElementwiseOp<long, coll::Sum<long>> op;
+    coll::local_reduce(comm, 0, std::span<long>(v), op,
+                       coll::ReduceAlgo::kBinomial);
+  });
+  state.SetBytesProcessed(
+      static_cast<std::int64_t>(width * sizeof(long)) * state.iterations());
+}
+
+const std::vector<std::int64_t> kP = {2, 4, 8, 16, 32, 64};
+
+void RankArgs(benchmark::internal::Benchmark* b) {
+  for (const auto p : kP) b->Arg(p);
+  b->UseManualTime();
+}
+
+BENCHMARK(BM_Reduce_Linear)->Apply(RankArgs);
+BENCHMARK(BM_Reduce_Binomial)->Apply(RankArgs);
+BENCHMARK(BM_Reduce_UnorderedTree)->Apply(RankArgs);
+BENCHMARK(BM_Allreduce_Binomial)->Apply(RankArgs);
+BENCHMARK(BM_Scan_Linear)->Apply(RankArgs);
+BENCHMARK(BM_Scan_HillisSteele)->Apply(RankArgs);
+BENCHMARK(BM_Scan_Blelloch)->Apply(RankArgs);
+BENCHMARK(BM_Reduce_Binomial_PayloadSweep)
+    ->RangeMultiplier(8)
+    ->Range(1, 1 << 15)
+    ->UseManualTime();
+
+}  // namespace
+
+// Custom main: each iteration spins up a whole virtual machine, so the
+// library default of 0.5 s of *manual* (virtual) time per benchmark would
+// cost minutes of wall clock.  A short default keeps the full bench sweep
+// runnable; pass --benchmark_min_time explicitly to override.
+int main(int argc, char** argv) {
+  std::vector<char*> args(argv, argv + argc);
+  std::string min_time = "--benchmark_min_time=0.02";
+  bool has_min_time = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]).rfind("--benchmark_min_time", 0) == 0) {
+      has_min_time = true;
+    }
+  }
+  if (!has_min_time) args.push_back(min_time.data());
+  int my_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&my_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(my_argc, args.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

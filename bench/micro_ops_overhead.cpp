@@ -1,0 +1,162 @@
+// Abstraction-overhead microbenchmarks (paper §3/§4: "it is always
+// possible to write MPI that is as fast as RSMPI" — the operator-class
+// protocol should cost nothing over the hand-written loop).
+//
+// For each example operator, the accumulate loop through the operator
+// interface is measured against the equivalent raw loop a programmer
+// would write inline.
+#include <benchmark/benchmark.h>
+
+#include <limits>
+#include <random>
+#include <vector>
+
+#include "rs/ops/ops.hpp"
+#include "rs/serial.hpp"
+
+namespace {
+
+namespace ops = rsmpi::rs::ops;
+
+std::vector<int> ints(std::size_t n, int lo, int hi, unsigned seed) {
+  std::mt19937 rng(seed);
+  std::uniform_int_distribution<int> dist(lo, hi);
+  std::vector<int> v(n);
+  for (auto& x : v) x = dist(rng);
+  return v;
+}
+
+// -- sum ----------------------------------------------------------------------
+
+void BM_Sum_Operator(benchmark::State& state) {
+  const auto data = ints(1 << 16, -100, 100, 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        rsmpi::rs::serial::reduce(data, ops::Sum<long>{}));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(data.size()) *
+                          state.iterations());
+}
+
+void BM_Sum_RawLoop(benchmark::State& state) {
+  const auto data = ints(1 << 16, -100, 100, 1);
+  for (auto _ : state) {
+    long acc = 0;
+    for (const int x : data) acc += x;
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(data.size()) *
+                          state.iterations());
+}
+
+// -- sorted ---------------------------------------------------------------------
+
+void BM_Sorted_Operator(benchmark::State& state) {
+  auto data = ints(1 << 16, 0, 1 << 20, 2);
+  std::sort(data.begin(), data.end());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        rsmpi::rs::serial::reduce(data, ops::Sorted<int>{}));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(data.size()) *
+                          state.iterations());
+}
+
+void BM_Sorted_RawScalarLoop(benchmark::State& state) {
+  // The paper's optimized one-array-reference loop.
+  auto data = ints(1 << 16, 0, 1 << 20, 2);
+  std::sort(data.begin(), data.end());
+  for (auto _ : state) {
+    bool ok = true;
+    int last = std::numeric_limits<int>::min();
+    for (const int x : data) {
+      if (last > x) ok = false;
+      last = x;
+    }
+    benchmark::DoNotOptimize(ok);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(data.size()) *
+                          state.iterations());
+}
+
+void BM_Sorted_RawTwoRefLoop(benchmark::State& state) {
+  // The NPB-style two-array-reference loop (paper §4.1 baseline).
+  auto data = ints(1 << 16, 0, 1 << 20, 2);
+  std::sort(data.begin(), data.end());
+  for (auto _ : state) {
+    bool ok = true;
+    for (std::size_t i = 1; i < data.size(); ++i) {
+      if (data[i - 1] > data[i]) ok = false;
+    }
+    benchmark::DoNotOptimize(ok);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(data.size()) *
+                          state.iterations());
+}
+
+// -- counts ----------------------------------------------------------------------
+
+void BM_Counts_Operator(benchmark::State& state) {
+  const auto data = ints(1 << 16, 0, 7, 3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rsmpi::rs::serial::reduce(data, ops::Counts(8)));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(data.size()) *
+                          state.iterations());
+}
+
+void BM_Counts_RawLoop(benchmark::State& state) {
+  const auto data = ints(1 << 16, 0, 7, 3);
+  for (auto _ : state) {
+    std::vector<long> counts(8, 0);
+    for (const int x : data) counts[static_cast<std::size_t>(x)] += 1;
+    benchmark::DoNotOptimize(counts.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(data.size()) *
+                          state.iterations());
+}
+
+// -- mink -------------------------------------------------------------------------
+
+void BM_MinK_Operator(benchmark::State& state) {
+  const auto data = ints(1 << 16, 0, 1 << 30, 4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        rsmpi::rs::serial::reduce(data, ops::MinK<int>(10)));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(data.size()) *
+                          state.iterations());
+}
+
+void BM_MinK_RawLoop(benchmark::State& state) {
+  // Hand-written equivalent: threshold check + bubble insertion.
+  const auto data = ints(1 << 16, 0, 1 << 30, 4);
+  for (auto _ : state) {
+    std::vector<int> v(10, std::numeric_limits<int>::max());
+    for (const int x : data) {
+      if (x < v[0]) {
+        v[0] = x;
+        for (std::size_t i = 1; i < v.size() && v[i - 1] < v[i]; ++i) {
+          std::swap(v[i - 1], v[i]);
+        }
+      }
+    }
+    benchmark::DoNotOptimize(v.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(data.size()) *
+                          state.iterations());
+}
+
+BENCHMARK(BM_Sum_Operator);
+BENCHMARK(BM_Sum_RawLoop);
+BENCHMARK(BM_Sorted_Operator);
+BENCHMARK(BM_Sorted_RawScalarLoop);
+BENCHMARK(BM_Sorted_RawTwoRefLoop);
+BENCHMARK(BM_Counts_Operator);
+BENCHMARK(BM_Counts_RawLoop);
+BENCHMARK(BM_MinK_Operator);
+BENCHMARK(BM_MinK_RawLoop);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,105 @@
+// Microbenchmarks of the scan-built algorithms (compact, radix sort, RLE):
+// modelled critical-path time against rank count, showing that the
+// algorithm layer inherits the collectives' logarithmic structure.
+#include <benchmark/benchmark.h>
+
+#include <random>
+#include <string>
+#include <vector>
+
+#include "mprt/runtime.hpp"
+#include "rs/algos/compact.hpp"
+#include "rs/algos/radix_sort.hpp"
+#include "rs/algos/rle.hpp"
+
+namespace {
+
+using namespace rsmpi;
+
+constexpr std::size_t kPerRank = 1 << 12;
+
+std::vector<std::uint32_t> rank_data(int rank) {
+  std::mt19937 rng(1000u + static_cast<unsigned>(rank));
+  std::vector<std::uint32_t> v(kPerRank);
+  for (auto& x : v) x = static_cast<std::uint32_t>(rng());
+  return v;
+}
+
+template <typename Body>
+void report_vtime(benchmark::State& state, int p, Body body) {
+  mprt::CostModel model;  // default LogGP, no compute charging: structure
+  model.compute_scale = 0.0;
+  for (auto _ : state) {
+    const auto result = mprt::run(p, body, model);
+    state.SetIterationTime(result.makespan_s);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(kPerRank) * p *
+                          state.iterations());
+}
+
+void BM_Compact(benchmark::State& state) {
+  const int p = static_cast<int>(state.range(0));
+  report_vtime(state, p, [](mprt::Comm& comm) {
+    const auto data = rank_data(comm.rank());
+    benchmark::DoNotOptimize(rs::algos::compact<std::uint32_t>(
+        comm, data, [](std::uint32_t x) { return (x & 3) == 0; }));
+  });
+}
+
+void BM_RadixSort(benchmark::State& state) {
+  const int p = static_cast<int>(state.range(0));
+  report_vtime(state, p, [](mprt::Comm& comm) {
+    benchmark::DoNotOptimize(
+        rs::algos::radix_sort(comm, rank_data(comm.rank())));
+  });
+}
+
+void BM_RunLengthEncode(benchmark::State& state) {
+  const int p = static_cast<int>(state.range(0));
+  report_vtime(state, p, [](mprt::Comm& comm) {
+    // Bursty data so runs are nontrivial.
+    std::vector<std::uint32_t> data;
+    data.reserve(kPerRank);
+    std::mt19937 rng(7u + static_cast<unsigned>(comm.rank()));
+    while (data.size() < kPerRank) {
+      const auto v = static_cast<std::uint32_t>(rng() % 16);
+      const std::size_t len = 1 + rng() % 8;
+      for (std::size_t i = 0; i < len && data.size() < kPerRank; ++i) {
+        data.push_back(v);
+      }
+    }
+    benchmark::DoNotOptimize(
+        rs::algos::run_length_encode<std::uint32_t>(comm, data));
+  });
+}
+
+void RankArgs(benchmark::internal::Benchmark* b) {
+  for (const int p : {2, 4, 8, 16, 32}) b->Arg(p);
+  b->UseManualTime();
+}
+
+BENCHMARK(BM_Compact)->Apply(RankArgs);
+BENCHMARK(BM_RadixSort)->Apply(RankArgs);
+BENCHMARK(BM_RunLengthEncode)->Apply(RankArgs);
+
+}  // namespace
+
+// Short default min_time, as in micro_collectives: every iteration boots
+// a virtual machine.
+int main(int argc, char** argv) {
+  std::vector<char*> args(argv, argv + argc);
+  std::string min_time = "--benchmark_min_time=0.02";
+  bool has_min_time = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]).rfind("--benchmark_min_time", 0) == 0) {
+      has_min_time = true;
+    }
+  }
+  if (!has_min_time) args.push_back(min_time.data());
+  int my_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&my_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(my_argc, args.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

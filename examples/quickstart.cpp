@@ -1,0 +1,109 @@
+// Quickstart: the global-view abstraction in a dozen lines.
+//
+// Launches a small virtual machine, distributes an array across its ranks,
+// and runs three reductions over the *conceptual whole array*: a built-in
+// sum, the paper's mink operator, and a user-defined operator written
+// inline below — note how little the custom operator needs beyond its
+// accumulate/combine/generate trio.
+//
+//   $ ./quickstart [num_ranks]
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "rs/rsmpi.hpp"
+
+namespace {
+
+// A user-defined operator: the longest run of equal consecutive values.
+// Non-commutative (runs can span rank boundaries), with pre_accum/post
+// hooks unnecessary — boundary runs are handled by tracking each block's
+// edge runs in the state.
+class LongestRun {
+ public:
+  static constexpr bool commutative = false;
+
+  void accum(const int& x) {
+    if (!any_) {
+      any_ = true;
+      first_val_ = last_val_ = x;
+      head_ = tail_ = best_ = 1;
+      interior_ = false;
+      return;
+    }
+    if (x == last_val_) {
+      ++tail_;
+    } else {
+      interior_ = true;
+      tail_ = 1;
+      last_val_ = x;
+    }
+    if (!interior_) head_ = tail_;
+    if (tail_ > best_) best_ = tail_;
+  }
+
+  void combine(const LongestRun& o) {
+    if (!o.any_) return;
+    if (!any_) {
+      *this = o;
+      return;
+    }
+    if (last_val_ == o.first_val_) {
+      const long bridged = tail_ + o.head_;
+      if (bridged > best_) best_ = bridged;
+      if (!o.interior_) {
+        // The right block is one single run: it extends our tail.
+        tail_ = bridged;
+        if (!interior_) head_ = bridged;
+      } else {
+        tail_ = o.tail_;
+      }
+    } else {
+      tail_ = o.tail_;
+      interior_ = true;
+    }
+    if (o.best_ > best_) best_ = o.best_;
+    if (o.interior_) interior_ = true;
+    last_val_ = o.last_val_;
+  }
+
+  [[nodiscard]] long gen() const { return best_; }
+
+ private:
+  bool any_ = false;
+  bool interior_ = false;  // true once more than one distinct run exists
+  int first_val_ = 0;
+  int last_val_ = 0;
+  long head_ = 0;  // length of the run touching the block's left edge
+  long tail_ = 0;  // length of the run touching the block's right edge
+  long best_ = 0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int ranks = argc > 1 ? std::atoi(argv[1]) : 4;
+  const int per_rank = 1000;
+
+  rsmpi::mprt::run(ranks, [&](rsmpi::mprt::Comm& comm) {
+    // Each rank owns one contiguous slice of the conceptual global array.
+    std::vector<int> mine(per_rank);
+    for (int i = 0; i < per_rank; ++i) {
+      const long g = static_cast<long>(comm.rank()) * per_rank + i;
+      mine[static_cast<std::size_t>(i)] = static_cast<int>((g * g) % 97);
+    }
+
+    const long total = rsmpi::rs::reduce(comm, mine, rsmpi::rs::ops::Sum<long>{});
+    const auto mins = rsmpi::rs::reduce(comm, mine, rsmpi::rs::ops::MinK<int>(5));
+    const long run = rsmpi::rs::reduce(comm, mine, LongestRun{});
+
+    if (comm.rank() == 0) {
+      std::printf("ranks            : %d\n", comm.size());
+      std::printf("global sum       : %ld\n", total);
+      std::printf("5 smallest       : %d %d %d %d %d\n", mins[0], mins[1],
+                  mins[2], mins[3], mins[4]);
+      std::printf("longest equal run: %ld\n", run);
+    }
+  });
+  return 0;
+}

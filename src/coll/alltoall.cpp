@@ -1,0 +1,31 @@
+#include "coll/alltoall.hpp"
+
+#include "util/error.hpp"
+
+namespace rsmpi::coll::detail {
+
+void alltoallv_bytes(mprt::Comm& comm,
+                     const std::vector<std::vector<std::byte>>& send,
+                     std::vector<std::vector<std::byte>>& recv) {
+  const int p = comm.size();
+  const int rank = comm.rank();
+  if (static_cast<int>(send.size()) != p) {
+    throw ArgumentError("alltoallv: need exactly one send block per rank");
+  }
+  const int tag = comm.next_collective_tag();
+  recv.assign(static_cast<std::size_t>(p), {});
+  recv[static_cast<std::size_t>(rank)] = send[static_cast<std::size_t>(rank)];
+
+  // Shifted pairwise exchange: in round k, send to rank+k and receive from
+  // rank-k.  Sends are buffered, so each round is deadlock-free without
+  // pairing constraints, and the schedule spreads load across partners.
+  for (int k = 1; k < p; ++k) {
+    const int to = (rank + k) % p;
+    const int from = (rank - k + p) % p;
+    comm.send_bytes(to, tag, send[static_cast<std::size_t>(to)]);
+    recv[static_cast<std::size_t>(from)] =
+        comm.recv_message(from, tag).payload;
+  }
+}
+
+}  // namespace rsmpi::coll::detail

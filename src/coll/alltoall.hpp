@@ -1,0 +1,66 @@
+// Personalized all-to-all exchange (MPI_Alltoallv), used by the NAS IS
+// bucket sort to route keys to their destination ranks.
+#pragma once
+
+#include <cstring>
+#include <span>
+#include <vector>
+
+#include "mprt/comm.hpp"
+
+namespace rsmpi::coll {
+
+/// Exchange plan and result for one alltoallv call.
+struct AlltoallvCounts {
+  /// recv_counts[r] = number of elements this rank received from rank r.
+  std::vector<std::size_t> recv_counts;
+};
+
+namespace detail {
+/// Pairwise-exchange schedule shared by all alltoallv instantiations:
+/// in round k (k = 0..p-1) every rank exchanges with `rank xor k` when that
+/// partner exists, otherwise with (rank + k) mod p / (rank - k) mod p.
+/// Returns the send-partner for the round (receive partner is symmetric
+/// for the xor schedule and the mirrored shift otherwise).
+void alltoallv_bytes(mprt::Comm& comm,
+                     const std::vector<std::vector<std::byte>>& send,
+                     std::vector<std::vector<std::byte>>& recv);
+}  // namespace detail
+
+/// Sends `send_blocks[r]` to rank r and returns the blocks received from
+/// every rank, concatenated in source-rank order.  Per-source counts are
+/// reported through `counts` when non-null.
+template <typename T>
+  requires std::is_trivially_copyable_v<T>
+std::vector<T> alltoallv(mprt::Comm& comm,
+                         const std::vector<std::vector<T>>& send_blocks,
+                         AlltoallvCounts* counts = nullptr) {
+  const int p = comm.size();
+  std::vector<std::vector<std::byte>> send(static_cast<std::size_t>(p));
+  for (int r = 0; r < p; ++r) {
+    const auto& block = send_blocks[static_cast<std::size_t>(r)];
+    send[static_cast<std::size_t>(r)].resize(block.size() * sizeof(T));
+    if (!block.empty()) {
+      std::memcpy(send[static_cast<std::size_t>(r)].data(), block.data(),
+                  block.size() * sizeof(T));
+    }
+  }
+  std::vector<std::vector<std::byte>> recv;
+  detail::alltoallv_bytes(comm, send, recv);
+
+  std::vector<T> out;
+  if (counts != nullptr) {
+    counts->recv_counts.assign(static_cast<std::size_t>(p), 0);
+  }
+  for (int r = 0; r < p; ++r) {
+    const auto& block = recv[static_cast<std::size_t>(r)];
+    const std::size_t n = block.size() / sizeof(T);
+    const std::size_t old = out.size();
+    out.resize(old + n);
+    if (n > 0) std::memcpy(out.data() + old, block.data(), block.size());
+    if (counts != nullptr) counts->recv_counts[static_cast<std::size_t>(r)] = n;
+  }
+  return out;
+}
+
+}  // namespace rsmpi::coll

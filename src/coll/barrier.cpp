@@ -1,0 +1,18 @@
+#include "coll/barrier.hpp"
+
+namespace rsmpi::coll {
+
+void barrier(mprt::Comm& comm) {
+  const int p = comm.size();
+  if (p == 1) return;
+  const int tag = comm.next_collective_tag();
+  const int rank = comm.rank();
+  for (int d = 1; d < p; d <<= 1) {
+    const int to = (rank + d) % p;
+    const int from = (rank - d + p) % p;
+    comm.send(to, tag, std::uint8_t{1});
+    (void)comm.recv<std::uint8_t>(from, tag);
+  }
+}
+
+}  // namespace rsmpi::coll

@@ -1,0 +1,14 @@
+// Dissemination barrier.
+#pragma once
+
+#include "mprt/comm.hpp"
+
+namespace rsmpi::coll {
+
+/// Synchronizes all ranks.  Implemented as a dissemination barrier
+/// (ceil(log2 p) rounds of pairwise token exchange) rather than shared
+/// state, so each rank's virtual clock correctly advances to the barrier's
+/// causal completion time.
+void barrier(mprt::Comm& comm);
+
+}  // namespace rsmpi::coll

@@ -1,0 +1,63 @@
+// Binomial-tree broadcast.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "mprt/comm.hpp"
+#include "mprt/topology.hpp"
+#include "util/error.hpp"
+
+namespace rsmpi::coll {
+
+/// Broadcasts a byte buffer from `root` to all ranks in ceil(log2 p)
+/// rounds along a binomial tree.  On non-root ranks the returned vector is
+/// the received payload; on the root it is a copy of `payload`.
+inline std::vector<std::byte> bcast_bytes(mprt::Comm& comm, int root,
+                                          std::span<const std::byte> payload) {
+  const int p = comm.size();
+  if (root < 0 || root >= p) {
+    throw ArgumentError("bcast: root rank out of range");
+  }
+  const int tag = comm.next_collective_tag();
+  // Rotate so the tree is always rooted at virtual rank 0.
+  const int vrank = (comm.rank() - root + p) % p;
+
+  std::vector<std::byte> data(payload.begin(), payload.end());
+  for (const auto& step :
+       mprt::topology::binomial_bcast_schedule(vrank, p)) {
+    const int partner = (step.partner + root) % p;
+    if (step.role == mprt::topology::BinomialStep::Role::kRecv) {
+      data = comm.recv_message(partner, tag).payload;
+    } else {
+      comm.send_bytes(partner, tag, data);
+    }
+  }
+  return data;
+}
+
+/// Broadcasts one trivially-copyable value from `root`.
+template <typename T>
+  requires std::is_trivially_copyable_v<T>
+T bcast(mprt::Comm& comm, int root, const T& value) {
+  const auto out = bcast_bytes(comm, root, bytes::to_bytes(value));
+  return bytes::from_bytes<T>(out);
+}
+
+/// Broadcasts a buffer of trivially-copyable values in place; the buffer
+/// must have the same extent on every rank.
+template <typename T>
+  requires std::is_trivially_copyable_v<T>
+void bcast_span(mprt::Comm& comm, int root, std::span<T> values) {
+  const auto out = bcast_bytes(
+      comm, root,
+      std::span<const std::byte>(
+          reinterpret_cast<const std::byte*>(values.data()),
+          values.size_bytes()));
+  if (out.size() != values.size_bytes()) {
+    throw ProtocolError("bcast_span: buffer extent differs across ranks");
+  }
+  std::memcpy(values.data(), out.data(), out.size());
+}
+
+}  // namespace rsmpi::coll

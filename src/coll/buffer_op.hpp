@@ -1,0 +1,111 @@
+// The local-view user-defined operator interface (paper §2).
+//
+// A local-view operator is defined by two functions over fixed-size value
+// buffers:
+//   * ident(buf)        — fill the buffer with the operator's identity, and
+//   * combine(inout, in) — inout := inout (+) in, where `inout` is the
+//     operand that precedes `in` in rank order (operand order matters for
+//     non-commutative operators).
+//
+// This is exactly the shape of Listing 1's mink operator: a per-processor
+// k-vector of partial results plus a merge.  MPI's MPI_Op_create is the
+// same idea with inverted argument order and per-element aggregation
+// (§2.1/§2.2); the ElementwiseOp adapter below provides the aggregated
+// form of any scalar binary operator.
+#pragma once
+
+#include <algorithm>
+#include <concepts>
+#include <limits>
+#include <span>
+#include <vector>
+
+#include "coll/ops.hpp"
+
+namespace rsmpi::coll {
+
+/// A user-defined local-view operator over buffers of T.
+template <typename Op, typename T>
+concept LocalViewOp = requires(const Op op, std::span<T> inout,
+                               std::span<const T> in) {
+  op.ident(inout);
+  op.combine(inout, in);
+};
+
+/// Lifts a scalar binary operator to the buffer interface by applying it
+/// element-wise — the "aggregation" extension of §2.1, which computes many
+/// independent reductions in one message.
+template <typename T, BinaryOperator<T> BinOp>
+struct ElementwiseOp {
+  static constexpr bool commutative = is_commutative<BinOp>();
+
+  BinOp op{};
+
+  void ident(std::span<T> buf) const {
+    for (T& v : buf) v = BinOp::identity();
+  }
+
+  void combine(std::span<T> inout, std::span<const T> in) const {
+    for (std::size_t i = 0; i < inout.size(); ++i) {
+      inout[i] = op(inout[i], in[i]);
+    }
+  }
+};
+
+/// The mink operator of Listing 1, restated against the buffer interface:
+/// each buffer holds k values sorted ascending; combine merges two such
+/// buffers keeping the k smallest.  (The paper's C code keeps descending
+/// order and bubble-inserts; we keep ascending order, which makes the
+/// merge a textbook two-pointer pass — the abstract operator is the same.)
+template <typename T>
+struct LocalMinK {
+  static constexpr bool commutative = true;
+
+  void ident(std::span<T> buf) const {
+    for (T& v : buf) v = std::numeric_limits<T>::max();
+  }
+
+  void combine(std::span<T> inout, std::span<const T> in) const {
+    // Merge the two ascending k-vectors, keeping the smallest k in inout.
+    std::vector<T> merged;
+    merged.reserve(inout.size());
+    std::size_t i = 0, j = 0;
+    while (merged.size() < inout.size()) {
+      if (j >= in.size() || (i < inout.size() && inout[i] <= in[j])) {
+        merged.push_back(inout[i++]);
+      } else {
+        merged.push_back(in[j++]);
+      }
+    }
+    std::copy(merged.begin(), merged.end(), inout.begin());
+  }
+};
+
+/// Aggregates a fixed-block-size buffer operator: treats a buffer of
+/// m*block elements as m independent instances of `Inner`, each spanning
+/// one block.  This is §2.1's closing observation — "the mink reduction
+/// can itself be aggregated to compute the element-wise k minimums of the
+/// values in arrays of vectors" — as a reusable adapter:
+///
+///   BlockwiseOp<int, LocalMinK<int>> op{10};   // m k-vectors per buffer
+template <typename T, typename Inner>
+struct BlockwiseOp {
+  static constexpr bool commutative = is_commutative<Inner>();
+
+  std::size_t block;
+  Inner inner{};
+
+  void ident(std::span<T> buf) const {
+    for (std::size_t off = 0; off < buf.size(); off += block) {
+      inner.ident(buf.subspan(off, block));
+    }
+  }
+
+  void combine(std::span<T> inout, std::span<const T> in) const {
+    for (std::size_t off = 0; off < inout.size(); off += block) {
+      inner.combine(inout.subspan(off, block), in.subspan(off, block));
+    }
+  }
+};
+
+}  // namespace rsmpi::coll

@@ -1,0 +1,62 @@
+// Gather and allgather of variable-length typed buffers.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "coll/bcast.hpp"
+#include "mprt/comm.hpp"
+
+namespace rsmpi::coll {
+
+/// Gathers each rank's buffer to `root`, concatenated in rank order.  On
+/// non-root ranks the result is empty.  Buffers may have different lengths
+/// per rank (gatherv semantics).
+template <typename T>
+  requires std::is_trivially_copyable_v<T>
+std::vector<T> gather(mprt::Comm& comm, int root,
+                      std::span<const T> local) {
+  const int p = comm.size();
+  const int tag = comm.next_collective_tag();
+  if (comm.rank() != root) {
+    comm.send_span(root, tag, local);
+    return {};
+  }
+  std::vector<T> out;
+  for (int r = 0; r < p; ++r) {
+    if (r == root) {
+      out.insert(out.end(), local.begin(), local.end());
+    } else {
+      const auto part = comm.recv_vector<T>(r, tag);
+      out.insert(out.end(), part.begin(), part.end());
+    }
+  }
+  return out;
+}
+
+/// Allgather: gather to rank 0, then broadcast the concatenation.  Returns
+/// the rank-ordered concatenation of all local buffers on every rank.
+template <typename T>
+  requires std::is_trivially_copyable_v<T>
+std::vector<T> allgather(mprt::Comm& comm, std::span<const T> local) {
+  std::vector<T> all = gather(comm, 0, local);
+  std::vector<std::byte> raw;
+  if (comm.rank() == 0) {
+    raw.assign(reinterpret_cast<const std::byte*>(all.data()),
+               reinterpret_cast<const std::byte*>(all.data()) + all.size() *
+                                                                    sizeof(T));
+  }
+  raw = bcast_bytes(comm, 0, raw);
+  std::vector<T> out(raw.size() / sizeof(T));
+  if (!out.empty()) std::memcpy(out.data(), raw.data(), raw.size());
+  return out;
+}
+
+/// Allgather of one scalar per rank; result[r] is rank r's value.
+template <typename T>
+  requires std::is_trivially_copyable_v<T>
+std::vector<T> allgather_value(mprt::Comm& comm, const T& value) {
+  return allgather<T>(comm, std::span<const T>(&value, 1));
+}
+
+}  // namespace rsmpi::coll

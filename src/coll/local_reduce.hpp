@@ -1,0 +1,237 @@
+// LOCAL_REDUCE / LOCAL_ALLREDUCE: the paper's local-view reduction
+// abstraction (§2).  Each rank contributes one already-accumulated value
+// buffer; these routines run the combine phase of Figure 1 across ranks.
+//
+// Algorithm selection follows §1's discussion of operator properties:
+//   * non-commutative (but associative) operators use an order-preserving
+//     binomial tree, in which every partial result covers a contiguous
+//     rank interval and combines always append on the right;
+//   * commutative operators may also use a k-ary combine-as-available tree
+//     (wildcard receives), which exploits a branching factor greater than
+//     two by folding in whichever child's contribution lands first;
+//   * a linear chain is provided as the baseline the log-tree variants are
+//     measured against.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "coll/bcast.hpp"
+#include "coll/buffer_op.hpp"
+#include "mprt/comm.hpp"
+#include "mprt/topology.hpp"
+#include "util/error.hpp"
+
+namespace rsmpi::coll {
+
+enum class ReduceAlgo {
+  kAuto,           ///< binomial if non-commutative, k-ary unordered otherwise
+  kLinear,         ///< rank 0 folds contributions in rank order
+  kBinomial,       ///< order-preserving log tree (safe for non-commutative)
+  kUnorderedTree,  ///< k-ary combine-as-available (requires commutative)
+};
+
+namespace detail {
+
+inline constexpr int kUnorderedArity = 4;
+
+template <typename T, LocalViewOp<T> Op>
+void combine_received(const Op& op, std::span<T> inout, bool inout_is_left,
+                      std::span<const T> received) {
+  if (received.size() != inout.size()) {
+    throw ProtocolError("local_reduce: buffer extent differs across ranks");
+  }
+  if (inout_is_left) {
+    op.combine(inout, received);
+  } else {
+    // result = received (+) inout; evaluate into a temp, then copy back.
+    std::vector<T> tmp(received.begin(), received.end());
+    op.combine(std::span<T>(tmp),
+               std::span<const T>(inout.data(), inout.size()));
+    std::copy(tmp.begin(), tmp.end(), inout.begin());
+  }
+}
+
+/// Order-preserving binomial tree to virtual rank 0 (= real rank `root`
+/// after rotation).  Only valid for non-commutative ops when root == 0,
+/// because rotation breaks rank-order contiguity; callers enforce this.
+template <typename T, LocalViewOp<T> Op>
+void reduce_binomial(mprt::Comm& comm, int root, std::span<T> values,
+                     const Op& op) {
+  const int p = comm.size();
+  const int tag = comm.next_collective_tag();
+  const int vrank = (comm.rank() - root + p) % p;
+  for (const auto& step : mprt::topology::binomial_reduce_schedule(vrank, p)) {
+    const int partner = (step.partner + root) % p;
+    if (step.role == mprt::topology::BinomialStep::Role::kSend) {
+      comm.send_span(partner, tag, std::span<const T>(values));
+    } else {
+      std::vector<T> received(values.size());
+      comm.recv_span<T>(partner, tag, received);
+      // Receiver is the lower virtual rank: its block is on the left.
+      combine_received(op, values, /*inout_is_left=*/true,
+                       std::span<const T>(received));
+    }
+  }
+}
+
+/// Linear chain: every rank sends to root, which folds in rank order.
+template <typename T, LocalViewOp<T> Op>
+void reduce_linear(mprt::Comm& comm, int root, std::span<T> values,
+                   const Op& op) {
+  const int p = comm.size();
+  const int tag = comm.next_collective_tag();
+  if (comm.rank() != root) {
+    comm.send_span(root, tag, std::span<const T>(values));
+    return;
+  }
+  // Fold left-to-right over rank order; the root's own block sits at
+  // position `root`, so contributions below it arrive on the left.
+  std::vector<T> acc;
+  bool have_acc = false;
+  std::vector<T> received(values.size());
+  for (int r = 0; r < p; ++r) {
+    std::span<const T> block;
+    if (r == root) {
+      block = std::span<const T>(values.data(), values.size());
+    } else {
+      comm.recv_span<T>(r, tag, received);
+      block = std::span<const T>(received);
+    }
+    if (!have_acc) {
+      acc.assign(block.begin(), block.end());
+      have_acc = true;
+    } else {
+      op.combine(std::span<T>(acc), block);
+    }
+  }
+  std::copy(acc.begin(), acc.end(), values.begin());
+}
+
+/// k-ary combine-as-available tree rooted at `root` (after rotation).
+/// Children of virtual node i are k*i+1 .. k*i+k; a parent folds child
+/// contributions in *arrival* order, which is only correct for commutative
+/// operators — exactly the optimization §1 describes for branching factors
+/// greater than two.
+template <typename T, LocalViewOp<T> Op>
+void reduce_unordered(mprt::Comm& comm, int root, std::span<T> values,
+                      const Op& op, int arity) {
+  const int p = comm.size();
+  const int tag = comm.next_collective_tag();
+  const int vrank = (comm.rank() - root + p) % p;
+
+  int num_children = 0;
+  for (int c = arity * vrank + 1; c <= arity * vrank + arity && c < p; ++c) {
+    ++num_children;
+  }
+  std::vector<T> received(values.size());
+  for (int i = 0; i < num_children; ++i) {
+    comm.recv_span<T>(mprt::kAnySource, tag, received);
+    op.combine(values, std::span<const T>(received));
+  }
+  if (vrank != 0) {
+    const int vparent = (vrank - 1) / arity;
+    comm.send_span((vparent + root) % p, tag, std::span<const T>(values));
+  }
+}
+
+}  // namespace detail
+
+/// LOCAL_REDUCE: combines each rank's buffer across ranks; the result is
+/// valid in `values` on `root` only (other ranks' buffers are clobbered
+/// with partial results).  Non-commutative operators are handled with an
+/// order-preserving schedule regardless of the requested algorithm.
+/// `unordered_arity` is the branching factor of the combine-as-available
+/// tree (§1: factors greater than two let commutative reductions fold
+/// whichever partial results arrive first).
+template <typename T, LocalViewOp<T> Op>
+void local_reduce(mprt::Comm& comm, int root, std::span<T> values,
+                  const Op& op, ReduceAlgo algo = ReduceAlgo::kAuto,
+                  int unordered_arity = detail::kUnorderedArity) {
+  const int p = comm.size();
+  if (root < 0 || root >= p) {
+    throw ArgumentError("local_reduce: root rank out of range");
+  }
+  if (p == 1) return;
+
+  const bool commutative = is_commutative<Op>();
+  if (!commutative && algo == ReduceAlgo::kUnorderedTree) {
+    throw ArgumentError(
+        "local_reduce: combine-as-available schedule requires a commutative "
+        "operator");
+  }
+
+  // For non-commutative operators with a nonzero root, rotating the tree
+  // would destroy rank-order contiguity; instead reduce to rank 0 in order
+  // and forward the finished result to the requested root.
+  const bool forward_from_zero =
+      !commutative && root != 0 &&
+      (algo == ReduceAlgo::kBinomial || algo == ReduceAlgo::kAuto);
+  const int tree_root = forward_from_zero ? 0 : root;
+
+  if (unordered_arity < 2) {
+    throw ArgumentError("local_reduce: unordered arity must be >= 2");
+  }
+  switch (algo) {
+    case ReduceAlgo::kLinear:
+      detail::reduce_linear(comm, tree_root, values, op);
+      break;
+    case ReduceAlgo::kBinomial:
+      detail::reduce_binomial(comm, tree_root, values, op);
+      break;
+    case ReduceAlgo::kUnorderedTree:
+      detail::reduce_unordered(comm, tree_root, values, op, unordered_arity);
+      break;
+    case ReduceAlgo::kAuto:
+      if (commutative) {
+        detail::reduce_unordered(comm, tree_root, values, op,
+                                 unordered_arity);
+      } else {
+        detail::reduce_binomial(comm, tree_root, values, op);
+      }
+      break;
+  }
+
+  if (forward_from_zero) {
+    const int tag = comm.next_collective_tag();
+    if (comm.rank() == 0) {
+      comm.send_span(root, tag, std::span<const T>(values));
+    } else if (comm.rank() == root) {
+      comm.recv_span<T>(0, tag, values);
+    }
+  }
+}
+
+/// LOCAL_ALLREDUCE: as local_reduce but the result is valid on every rank.
+/// Implemented as reduce-to-root plus binomial broadcast, which preserves
+/// operand order for non-commutative operators.
+template <typename T, LocalViewOp<T> Op>
+void local_allreduce(mprt::Comm& comm, std::span<T> values, const Op& op,
+                     ReduceAlgo algo = ReduceAlgo::kAuto,
+                     int unordered_arity = detail::kUnorderedArity) {
+  local_reduce(comm, 0, values, op, algo, unordered_arity);
+  bcast_span(comm, 0, values);
+}
+
+// -- Scalar convenience wrappers over binary operators ----------------------
+
+/// Reduces one value per rank with a scalar binary operator; result valid
+/// on root (other ranks receive their partial result).
+template <typename T, BinaryOperator<T> BinOp>
+T local_reduce_value(mprt::Comm& comm, int root, T value, BinOp,
+                     ReduceAlgo algo = ReduceAlgo::kAuto) {
+  ElementwiseOp<T, BinOp> op;
+  local_reduce(comm, root, std::span<T>(&value, 1), op, algo);
+  return value;
+}
+
+/// Allreduce of one value per rank with a scalar binary operator.
+template <typename T, BinaryOperator<T> BinOp>
+T local_allreduce_value(mprt::Comm& comm, T value, BinOp,
+                        ReduceAlgo algo = ReduceAlgo::kAuto) {
+  ElementwiseOp<T, BinOp> op;
+  local_allreduce(comm, std::span<T>(&value, 1), op, algo);
+  return value;
+}
+
+}  // namespace rsmpi::coll

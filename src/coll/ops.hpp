@@ -1,0 +1,151 @@
+// The twelve built-in reduction operators MPI provides (paper §2.2):
+// maximum, minimum, sum, product, logical and/or/xor, bit-wise and/or/xor,
+// and maximum/minimum value-with-location.
+//
+// Each operator is a stateless function object with
+//   * `static constexpr bool commutative` — drives algorithm selection, and
+//   * `static T identity()` — MPI itself does not require an identity (the
+//     first element of its exclusive scan is undefined); we follow the
+//     paper's local-view abstraction, which does require one so exclusive
+//     scans are fully defined (§2).
+#pragma once
+
+#include <concepts>
+#include <functional>
+#include <limits>
+#include <type_traits>
+
+namespace rsmpi::coll {
+
+/// A binary operator usable by the local-view collectives: callable on two
+/// values of T plus an identity element.
+template <typename Op, typename T>
+concept BinaryOperator = requires(const Op op, const T a, const T b) {
+  { op(a, b) } -> std::convertible_to<T>;
+  { Op::identity() } -> std::convertible_to<T>;
+};
+
+/// Reads Op::commutative if present; the paper's default when the trait is
+/// left unspecified is `true` (§3.1.4).
+template <typename Op>
+[[nodiscard]] constexpr bool is_commutative() {
+  if constexpr (requires { Op::commutative; }) {
+    return Op::commutative;
+  } else {
+    return true;
+  }
+}
+
+template <typename T>
+struct Max {
+  static constexpr bool commutative = true;
+  static constexpr T identity() { return std::numeric_limits<T>::lowest(); }
+  constexpr T operator()(const T& a, const T& b) const { return a > b ? a : b; }
+};
+
+template <typename T>
+struct Min {
+  static constexpr bool commutative = true;
+  static constexpr T identity() { return std::numeric_limits<T>::max(); }
+  constexpr T operator()(const T& a, const T& b) const { return a < b ? a : b; }
+};
+
+template <typename T>
+struct Sum {
+  static constexpr bool commutative = true;
+  static constexpr T identity() { return T{}; }
+  constexpr T operator()(const T& a, const T& b) const { return a + b; }
+};
+
+template <typename T>
+struct Prod {
+  static constexpr bool commutative = true;
+  static constexpr T identity() { return T{1}; }
+  constexpr T operator()(const T& a, const T& b) const { return a * b; }
+};
+
+template <typename T = bool>
+struct LogicalAnd {
+  static constexpr bool commutative = true;
+  static constexpr T identity() { return T(true); }
+  constexpr T operator()(const T& a, const T& b) const { return a && b; }
+};
+
+template <typename T = bool>
+struct LogicalOr {
+  static constexpr bool commutative = true;
+  static constexpr T identity() { return T(false); }
+  constexpr T operator()(const T& a, const T& b) const { return a || b; }
+};
+
+template <typename T = bool>
+struct LogicalXor {
+  static constexpr bool commutative = true;
+  static constexpr T identity() { return T(false); }
+  constexpr T operator()(const T& a, const T& b) const {
+    return static_cast<T>(static_cast<bool>(a) != static_cast<bool>(b));
+  }
+};
+
+template <std::integral T>
+struct BitAnd {
+  static constexpr bool commutative = true;
+  static constexpr T identity() { return static_cast<T>(~T{0}); }
+  constexpr T operator()(const T& a, const T& b) const { return a & b; }
+};
+
+template <std::integral T>
+struct BitOr {
+  static constexpr bool commutative = true;
+  static constexpr T identity() { return T{0}; }
+  constexpr T operator()(const T& a, const T& b) const { return a | b; }
+};
+
+template <std::integral T>
+struct BitXor {
+  static constexpr bool commutative = true;
+  static constexpr T identity() { return T{0}; }
+  constexpr T operator()(const T& a, const T& b) const { return a ^ b; }
+};
+
+/// A value paired with its location, the element type of MaxLoc/MinLoc.
+template <typename T, typename Index = long>
+struct ValueLoc {
+  T value;
+  Index index;
+
+  friend constexpr bool operator==(const ValueLoc&, const ValueLoc&) = default;
+};
+
+/// MPI_MAXLOC: maximum value; ties resolved to the smallest index.
+template <typename T, typename Index = long>
+struct MaxLoc {
+  static constexpr bool commutative = true;
+  static constexpr ValueLoc<T, Index> identity() {
+    return {std::numeric_limits<T>::lowest(),
+            std::numeric_limits<Index>::max()};
+  }
+  constexpr ValueLoc<T, Index> operator()(const ValueLoc<T, Index>& a,
+                                          const ValueLoc<T, Index>& b) const {
+    if (a.value > b.value) return a;
+    if (b.value > a.value) return b;
+    return a.index <= b.index ? a : b;
+  }
+};
+
+/// MPI_MINLOC: minimum value; ties resolved to the smallest index.
+template <typename T, typename Index = long>
+struct MinLoc {
+  static constexpr bool commutative = true;
+  static constexpr ValueLoc<T, Index> identity() {
+    return {std::numeric_limits<T>::max(), std::numeric_limits<Index>::max()};
+  }
+  constexpr ValueLoc<T, Index> operator()(const ValueLoc<T, Index>& a,
+                                          const ValueLoc<T, Index>& b) const {
+    if (a.value < b.value) return a;
+    if (b.value < a.value) return b;
+    return a.index <= b.index ? a : b;
+  }
+};
+
+}  // namespace rsmpi::coll

@@ -1,0 +1,136 @@
+// Rabenseifner's allreduce: recursive-halving reduce-scatter followed by
+// recursive-doubling allgather.
+//
+// The reduce-to-root + broadcast allreduce moves the *whole* buffer along
+// every tree edge: about 2·log2(p)·n bytes on the critical path.
+// Rabenseifner's algorithm exchanges halves, quarters, ... during the
+// reduce-scatter and reassembles them during the allgather, moving only
+// about 2·(1 − 1/p)·n bytes — the bandwidth-optimal schedule for large
+// aggregated payloads (§2.1 aggregation makes payloads large; §1 notes
+// commutative operators can "take better advantage of the network", and
+// this schedule is the canonical example, since it combines chunks in
+// pair order rather than rank order).
+//
+// Requires a commutative operator.  Non-power-of-two rank counts fold the
+// remainder ranks into neighbours first and hand them the result last,
+// MPICH-style.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "coll/buffer_op.hpp"
+#include "mprt/comm.hpp"
+#include "mprt/topology.hpp"
+#include "util/error.hpp"
+
+namespace rsmpi::coll {
+
+namespace detail {
+
+/// Element index where chunk `c` of `chunks` begins in a buffer of n
+/// elements (monotone, exactly covering [0, n)).
+inline std::size_t chunk_start(std::size_t n, int chunks, int c) {
+  return n * static_cast<std::size_t>(c) / static_cast<std::size_t>(chunks);
+}
+
+}  // namespace detail
+
+/// In-place allreduce of `values` with a commutative buffer operator via
+/// reduce-scatter + allgather.  The buffer must have the same extent on
+/// every rank.
+template <typename T, LocalViewOp<T> Op>
+void local_allreduce_rabenseifner(mprt::Comm& comm, std::span<T> values,
+                                  const Op& op) {
+  if (!is_commutative<Op>()) {
+    throw ArgumentError(
+        "rabenseifner allreduce requires a commutative operator");
+  }
+  const int p = comm.size();
+  if (p == 1) return;
+  const int tag = comm.next_collective_tag();
+  const std::size_t n = values.size();
+
+  const int pof2 = 1 << mprt::topology::floor_log2(p);
+  const int rem = p - pof2;
+  const int rank = comm.rank();
+
+  // Fold the remainder: the first 2·rem ranks pair up; odds send their
+  // buffer to the even neighbour and sit out until the end.
+  int vrank;  // rank within the power-of-two core, or -1 if sitting out
+  if (rank < 2 * rem) {
+    if (rank % 2 == 1) {
+      comm.send_span(rank - 1, tag, std::span<const T>(values));
+      // Wait for the final result at the very end.
+      comm.recv_span<T>(rank - 1, tag, values);
+      return;
+    }
+    std::vector<T> other(n);
+    comm.recv_span<T>(rank + 1, tag, other);
+    op.combine(values, std::span<const T>(other));
+    vrank = rank / 2;
+  } else {
+    vrank = rank - rem;
+  }
+  const auto real_rank = [&](int vr) {
+    return vr < rem ? 2 * vr : vr + rem;
+  };
+
+  // Phase 1: recursive halving reduce-scatter.  Invariant: this rank
+  // holds the partial reduction of chunk range [lo, hi), which always
+  // contains its own chunk `vrank`.
+  int lo = 0, hi = pof2;
+  for (int dist = pof2 / 2; dist >= 1; dist /= 2) {
+    const int partner = vrank ^ dist;
+    const int mid = (lo + hi) / 2;
+    // The half we keep is the one containing our chunk.
+    const bool keep_low = vrank < mid;
+    const int send_lo = keep_low ? mid : lo;
+    const int send_hi = keep_low ? hi : mid;
+    const int keep_lo = keep_low ? lo : mid;
+    const int keep_hi = keep_low ? mid : hi;
+
+    const std::size_t s0 = detail::chunk_start(n, pof2, send_lo);
+    const std::size_t s1 = detail::chunk_start(n, pof2, send_hi);
+    comm.send_span(real_rank(partner), tag,
+                   std::span<const T>(values.data() + s0, s1 - s0));
+
+    const std::size_t k0 = detail::chunk_start(n, pof2, keep_lo);
+    const std::size_t k1 = detail::chunk_start(n, pof2, keep_hi);
+    std::vector<T> other(k1 - k0);
+    comm.recv_span<T>(real_rank(partner), tag, other);
+    op.combine(values.subspan(k0, k1 - k0), std::span<const T>(other));
+
+    lo = keep_lo;
+    hi = keep_hi;
+  }
+
+  // Phase 2: recursive doubling allgather.  Invariant: this rank holds
+  // the *final* values of the aligned chunk range [lo, hi) of width dist.
+  for (int dist = 1; dist < pof2; dist *= 2) {
+    const int partner = vrank ^ dist;
+    const std::size_t h0 = detail::chunk_start(n, pof2, lo);
+    const std::size_t h1 = detail::chunk_start(n, pof2, hi);
+    comm.send_span(real_rank(partner), tag,
+                   std::span<const T>(values.data() + h0, h1 - h0));
+
+    // The partner's aligned block is the sibling of ours at this level.
+    const int block = 2 * dist;
+    const int base = (vrank / block) * block;
+    const int plo = (lo == base) ? base + dist : base;
+    const int phi = plo + dist;
+    const std::size_t q0 = detail::chunk_start(n, pof2, plo);
+    const std::size_t q1 = detail::chunk_start(n, pof2, phi);
+    comm.recv_span<T>(real_rank(partner), tag,
+                      std::span<T>(values.data() + q0, q1 - q0));
+    lo = base;
+    hi = base + block;
+  }
+
+  // Hand the folded-away odd neighbour its result.
+  if (rank < 2 * rem) {
+    comm.send_span(rank + 1, tag, std::span<const T>(values));
+  }
+}
+
+}  // namespace rsmpi::coll

@@ -1,0 +1,229 @@
+// A global-view distributed array: the data substrate the paper's Chapel
+// call sites assume.
+//
+// Chapel writes
+//
+//     var minimums: [1..10] integer;
+//     minimums = mink(integer, 10) reduce A;
+//
+// where A is a block-distributed array the programmer manipulates as one
+// conceptual whole.  BlockArray is that object for this library: every
+// rank holds one contiguous block (first n % p ranks one element
+// heavier), construction/fill is by *global index* so contents are
+// independent of the rank count, and the reduce/scan entry points apply
+// an operator to the conceptual whole array:
+//
+//     auto A = dist::BlockArray<int>::from_index(comm, n, [](auto i) {...});
+//     auto minimums = A.reduce(rs::ops::MinK<int>(10));
+//     auto ranking  = A.scan(rs::ops::Counts(8));
+//     auto loc      = A.indexed().reduce-style via A.reduce_indexed(...)
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <ranges>
+#include <span>
+#include <vector>
+
+#include "coll/gather.hpp"
+#include "mprt/comm.hpp"
+#include "rs/ops/mini.hpp"
+#include "rs/reduce.hpp"
+#include "rs/scan.hpp"
+#include "util/block_dist.hpp"
+#include "util/error.hpp"
+
+namespace rsmpi::dist {
+
+template <typename T>
+class BlockArray {
+ public:
+  /// An array of n default-constructed elements, block-distributed over
+  /// the communicator's ranks.
+  BlockArray(mprt::Comm& comm, std::int64_t n)
+      : comm_(&comm), dist_{n, comm.size()} {
+    if (n < 0) throw ArgumentError("BlockArray: negative size");
+    local_.resize(static_cast<std::size_t>(dist_.size_of(comm.rank())));
+  }
+
+  /// Builds the array from a pure function of the global index, so the
+  /// contents are identical for every rank count.
+  template <typename Fn>
+    requires std::invocable<Fn, std::int64_t>
+  static BlockArray from_index(mprt::Comm& comm, std::int64_t n, Fn fn) {
+    BlockArray a(comm, n);
+    const std::int64_t start = a.local_start();
+    for (std::size_t i = 0; i < a.local_.size(); ++i) {
+      a.local_[i] = fn(start + static_cast<std::int64_t>(i));
+    }
+    return a;
+  }
+
+  /// Adopts an existing local block (must already be this rank's share).
+  static BlockArray from_local(mprt::Comm& comm, std::int64_t n,
+                               std::vector<T> local) {
+    BlockArray a(comm, n);
+    if (local.size() != a.local_.size()) {
+      throw ArgumentError("BlockArray::from_local: block has " +
+                          std::to_string(local.size()) + " elements, rank " +
+                          std::to_string(comm.rank()) + " owns " +
+                          std::to_string(a.local_.size()));
+    }
+    a.local_ = std::move(local);
+    return a;
+  }
+
+  // -- Global-view geometry -------------------------------------------------
+
+  [[nodiscard]] std::int64_t size() const { return dist_.n; }
+  [[nodiscard]] std::int64_t local_size() const {
+    return static_cast<std::int64_t>(local_.size());
+  }
+  [[nodiscard]] std::int64_t local_start() const {
+    return dist_.start_of(comm_->rank());
+  }
+  [[nodiscard]] int owner_of(std::int64_t global_index) const {
+    return dist_.owner_of(global_index);
+  }
+  [[nodiscard]] bool owns(std::int64_t global_index) const {
+    return owner_of(global_index) == comm_->rank();
+  }
+  [[nodiscard]] mprt::Comm& comm() const { return *comm_; }
+
+  // -- Local access ----------------------------------------------------------
+
+  [[nodiscard]] std::span<T> local() { return local_; }
+  [[nodiscard]] std::span<const T> local() const { return local_; }
+
+  /// Element at a global index this rank owns.
+  [[nodiscard]] T& at(std::int64_t global_index) {
+    return local_[local_offset(global_index)];
+  }
+  [[nodiscard]] const T& at(std::int64_t global_index) const {
+    return local_[local_offset(global_index)];
+  }
+
+  /// Applies fn(element, global_index) to every owned element.
+  template <typename Fn>
+    requires std::invocable<Fn, T&, std::int64_t>
+  void for_each(Fn fn) {
+    const std::int64_t start = local_start();
+    for (std::size_t i = 0; i < local_.size(); ++i) {
+      fn(local_[i], start + static_cast<std::int64_t>(i));
+    }
+  }
+
+  // -- Global-view reductions and scans ---------------------------------------
+
+  /// `op reduce A` — the whole-array reduction, result on every rank.
+  template <typename Op>
+    requires rs::ReductionOp<Op, T>
+  [[nodiscard]] rs::reduce_result_t<Op> reduce(Op op) const {
+    return rs::reduce(*comm_, local_, std::move(op));
+  }
+
+  /// Reduction over (value, global index) pairs — the paper's mini call
+  /// site `mini(integer) reduce [i in 1..n] (A(i), i)` without
+  /// materializing the tuple array.
+  template <typename Op>
+  [[nodiscard]] auto reduce_indexed(Op op) const {
+    const std::int64_t start = local_start();
+    auto view = std::views::iota(std::size_t{0}, local_.size()) |
+                std::views::transform([this, start](std::size_t i) {
+                  return rs::ops::Located<T, std::int64_t>{
+                      local_[i], start + static_cast<std::int64_t>(i)};
+                });
+    return rs::reduce(*comm_, view, std::move(op));
+  }
+
+  /// `op scan A` — the whole-array scan; the result is a BlockArray of
+  /// the operator's scan outputs with the same distribution.
+  template <typename Op>
+    requires rs::ScanOp<Op, T>
+  [[nodiscard]] BlockArray<rs::scan_result_t<Op, T>> scan(
+      Op op, rs::ScanKind kind = rs::ScanKind::kInclusive) const {
+    auto out = rs::scan(*comm_, local_, std::move(op), kind);
+    return BlockArray<rs::scan_result_t<Op, T>>::from_local(
+        *comm_, dist_.n, std::move(out));
+  }
+
+  /// Exclusive-scan shorthand.
+  template <typename Op>
+    requires rs::ScanOp<Op, T>
+  [[nodiscard]] auto xscan(Op op) const {
+    return scan(std::move(op), rs::ScanKind::kExclusive);
+  }
+
+  /// Elementwise transform into a new array with the same distribution:
+  /// B = map(A, fn), fn taking (value, global index).
+  template <typename Fn>
+    requires std::invocable<Fn, const T&, std::int64_t>
+  [[nodiscard]] auto map(Fn fn) const {
+    using Out = std::invoke_result_t<Fn, const T&, std::int64_t>;
+    std::vector<Out> out;
+    out.reserve(local_.size());
+    const std::int64_t start = local_start();
+    for (std::size_t i = 0; i < local_.size(); ++i) {
+      out.push_back(fn(local_[i], start + static_cast<std::int64_t>(i)));
+    }
+    return BlockArray<Out>::from_local(*comm_, dist_.n, std::move(out));
+  }
+
+  // -- Assembly (testing / output) --------------------------------------------
+
+  /// The full array on `root` (empty elsewhere).  O(n) data movement;
+  /// meant for verification and small outputs, not inner loops.
+  [[nodiscard]] std::vector<T> gather_to(int root) const
+    requires std::is_trivially_copyable_v<T>
+  {
+    return coll::gather<T>(*comm_, root, local_);
+  }
+
+  /// Collective read of one global element: the owner broadcasts it, so
+  /// every rank returns the value.  All ranks must call with the same
+  /// index.
+  [[nodiscard]] T fetch(std::int64_t global_index) const
+    requires std::is_trivially_copyable_v<T>
+  {
+    if (global_index < 0 || global_index >= dist_.n) {
+      throw ArgumentError("BlockArray::fetch: index out of range");
+    }
+    const int owner = owner_of(global_index);
+    const T value = owns(global_index) ? at(global_index) : T{};
+    return coll::bcast(*comm_, owner, value);
+  }
+
+ private:
+  [[nodiscard]] std::size_t local_offset(std::int64_t global_index) const {
+    if (!owns(global_index)) {
+      throw ArgumentError("BlockArray: rank " + std::to_string(comm_->rank()) +
+                          " does not own global index " +
+                          std::to_string(global_index));
+    }
+    return static_cast<std::size_t>(global_index - local_start());
+  }
+
+  mprt::Comm* comm_;
+  BlockDist dist_;
+  std::vector<T> local_;
+};
+
+/// Reduction over pairs of identically-distributed arrays — the
+/// global-view analogue of zipping two Chapel arrays into a tuple
+/// expression and reducing it.  `op` must accumulate std::pair<A, B>.
+template <typename A, typename B, typename Op>
+[[nodiscard]] auto zip_reduce(const BlockArray<A>& a, const BlockArray<B>& b,
+                              Op op) {
+  if (a.size() != b.size()) {
+    throw ArgumentError("zip_reduce: arrays differ in global size");
+  }
+  auto view = std::views::iota(std::int64_t{0}, a.local_size()) |
+              std::views::transform([&](std::int64_t i) {
+                return std::pair<A, B>(
+                    a.local()[static_cast<std::size_t>(i)],
+                    b.local()[static_cast<std::size_t>(i)]);
+              });
+  return rs::reduce(a.comm(), view, std::move(op));
+}
+
+}  // namespace rsmpi::dist

@@ -1,0 +1,251 @@
+// A global-view distributed matrix, block-distributed by rows, with
+// row-wise and column-wise scans.
+//
+// The paper motivates exclusive scans partly by "the elegant recursive
+// definitions of multidimensional scans" (§1): a multidimensional prefix
+// operation is a composition of one-dimensional scans along each axis.
+// With a row-block distribution, the row-axis scan is pure local compute,
+// and the column-axis scan is one *aggregated* exclusive scan across
+// ranks (all columns in one message, §2.1) followed by local prefixing —
+// the composition yields, e.g., the summed-area table.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "coll/gather.hpp"
+#include "coll/local_scan.hpp"
+#include "mprt/comm.hpp"
+#include "util/block_dist.hpp"
+#include "util/error.hpp"
+
+namespace rsmpi::dist {
+
+template <typename T>
+class BlockMatrix {
+ public:
+  /// rows x cols zeros, row blocks distributed over the ranks.
+  BlockMatrix(mprt::Comm& comm, std::int64_t rows, std::int64_t cols)
+      : comm_(&comm), rows_(rows), cols_(cols), dist_{rows, comm.size()} {
+    if (rows < 0 || cols < 0) {
+      throw ArgumentError("BlockMatrix: negative extent");
+    }
+    local_.resize(static_cast<std::size_t>(dist_.size_of(comm.rank())) *
+                  static_cast<std::size_t>(cols));
+  }
+
+  /// Builds from a pure function of (row, col), rank-count independent.
+  template <typename Fn>
+    requires std::invocable<Fn, std::int64_t, std::int64_t>
+  static BlockMatrix from_index(mprt::Comm& comm, std::int64_t rows,
+                                std::int64_t cols, Fn fn) {
+    BlockMatrix m(comm, rows, cols);
+    const std::int64_t r0 = m.local_row_start();
+    for (std::int64_t r = 0; r < m.local_rows(); ++r) {
+      for (std::int64_t c = 0; c < cols; ++c) {
+        m.at_local(r, c) = fn(r0 + r, c);
+      }
+    }
+    return m;
+  }
+
+  [[nodiscard]] std::int64_t rows() const { return rows_; }
+  [[nodiscard]] std::int64_t cols() const { return cols_; }
+  [[nodiscard]] std::int64_t local_rows() const {
+    return dist_.size_of(comm_->rank());
+  }
+  [[nodiscard]] std::int64_t local_row_start() const {
+    return dist_.start_of(comm_->rank());
+  }
+  [[nodiscard]] mprt::Comm& comm() const { return *comm_; }
+
+  /// Element by (local row, column).
+  [[nodiscard]] T& at_local(std::int64_t local_row, std::int64_t col) {
+    return local_[static_cast<std::size_t>(local_row * cols_ + col)];
+  }
+  [[nodiscard]] const T& at_local(std::int64_t local_row,
+                                  std::int64_t col) const {
+    return local_[static_cast<std::size_t>(local_row * cols_ + col)];
+  }
+
+  [[nodiscard]] std::span<T> local() { return local_; }
+  [[nodiscard]] std::span<const T> local() const { return local_; }
+
+  // -- Axis scans -------------------------------------------------------------
+
+  /// In-place inclusive scan along each row (the x axis).  Rows are never
+  /// split across ranks, so this is pure local compute.
+  template <coll::BinaryOperator<T> BinOp>
+  void row_scan_inplace(BinOp op) {
+    auto timer = comm_->compute_section();
+    for (std::int64_t r = 0; r < local_rows(); ++r) {
+      T acc = BinOp::identity();
+      for (std::int64_t c = 0; c < cols_; ++c) {
+        acc = op(acc, at_local(r, c));
+        at_local(r, c) = acc;
+      }
+    }
+  }
+
+  /// In-place inclusive scan along each column (the y axis): per-column
+  /// local totals, one aggregated exclusive scan across ranks, then local
+  /// prefixing seeded by the received offsets.
+  template <coll::BinaryOperator<T> BinOp>
+  void column_scan_inplace(BinOp op) {
+    std::vector<T> carry(static_cast<std::size_t>(cols_));
+    {
+      auto timer = comm_->compute_section();
+      for (std::size_t c = 0; c < carry.size(); ++c) {
+        carry[c] = BinOp::identity();
+      }
+      for (std::int64_t r = 0; r < local_rows(); ++r) {
+        for (std::int64_t c = 0; c < cols_; ++c) {
+          carry[static_cast<std::size_t>(c)] =
+              op(carry[static_cast<std::size_t>(c)], at_local(r, c));
+        }
+      }
+    }
+    coll::ElementwiseOp<T, BinOp> agg;
+    coll::local_xscan(*comm_, std::span<T>(carry), agg);
+    {
+      auto timer = comm_->compute_section();
+      for (std::int64_t r = 0; r < local_rows(); ++r) {
+        for (std::int64_t c = 0; c < cols_; ++c) {
+          carry[static_cast<std::size_t>(c)] =
+              op(carry[static_cast<std::size_t>(c)], at_local(r, c));
+          at_local(r, c) = carry[static_cast<std::size_t>(c)];
+        }
+      }
+    }
+  }
+
+  /// The 2-D prefix: scan along rows, then along columns — the recursive
+  /// multidimensional-scan construction.  With Sum this is the
+  /// summed-area table.
+  template <coll::BinaryOperator<T> BinOp>
+  void prefix2d_inplace(BinOp op) {
+    row_scan_inplace(op);
+    column_scan_inplace(op);
+  }
+
+  /// The full matrix, row-major, on `root` (empty elsewhere).
+  [[nodiscard]] std::vector<T> gather_to(int root) const
+    requires std::is_trivially_copyable_v<T>
+  {
+    return coll::gather<T>(*comm_, root, local_);
+  }
+
+  // -- Halo exchange ------------------------------------------------------------
+
+  /// Ghost rows for stencil codes: the last row of the previous non-empty
+  /// rank and the first row of the next non-empty rank.  `has_*` is false
+  /// at the matrix edges (and everywhere when this rank owns no rows).
+  struct Halos {
+    bool has_above = false;
+    bool has_below = false;
+    std::vector<T> above;  // global row local_row_start() - 1
+    std::vector<T> below;  // global row local_row_start() + local_rows()
+  };
+
+  /// Collectively exchanges boundary rows with the neighbouring owners.
+  /// Empty ranks forward through, so any distribution works.  One round
+  /// of neighbour messages (two sends per interior rank).
+  [[nodiscard]] Halos exchange_halos() const
+    requires std::is_trivially_copyable_v<T>
+  {
+    Halos h;
+    const int p = comm_->size();
+    const int rank = comm_->rank();
+    const int tag_up = comm_->next_collective_tag();    // toward rank 0
+    const int tag_down = comm_->next_collective_tag();  // toward rank p-1
+    const bool nonempty = local_rows() > 0;
+
+    // Downward stream: each rank passes its last row (or the one it
+    // received, when empty) toward higher ranks.
+    if (rank > 0) {
+      std::vector<T> recv(static_cast<std::size_t>(cols_));
+      // The stream carries a presence flag ahead of the payload: rank 0's
+      // side may be entirely empty.
+      const auto flag = comm_->recv<std::uint8_t>(rank - 1, tag_down);
+      if (flag != 0) {
+        comm_->recv_span<T>(rank - 1, tag_down, recv);
+        h.has_above = true;
+        h.above = std::move(recv);
+      }
+    }
+    if (rank + 1 < p) {
+      if (nonempty) {
+        comm_->send(rank + 1, tag_down, std::uint8_t{1});
+        comm_->send_span(rank + 1, tag_down,
+                         std::span<const T>(row_span(local_rows() - 1)));
+      } else if (h.has_above) {
+        comm_->send(rank + 1, tag_down, std::uint8_t{1});
+        comm_->send_span(rank + 1, tag_down, std::span<const T>(h.above));
+      } else {
+        comm_->send(rank + 1, tag_down, std::uint8_t{0});
+      }
+    }
+
+    // Upward stream: first rows toward lower ranks, mirrored.
+    if (rank + 1 < p) {
+      std::vector<T> recv(static_cast<std::size_t>(cols_));
+      const auto flag = comm_->recv<std::uint8_t>(rank + 1, tag_up);
+      if (flag != 0) {
+        comm_->recv_span<T>(rank + 1, tag_up, recv);
+        h.has_below = true;
+        h.below = std::move(recv);
+      }
+    }
+    if (rank > 0) {
+      if (nonempty) {
+        comm_->send(rank - 1, tag_up, std::uint8_t{1});
+        comm_->send_span(rank - 1, tag_up,
+                         std::span<const T>(row_span(0)));
+      } else if (h.has_below) {
+        comm_->send(rank - 1, tag_up, std::uint8_t{1});
+        comm_->send_span(rank - 1, tag_up, std::span<const T>(h.below));
+      } else {
+        comm_->send(rank - 1, tag_up, std::uint8_t{0});
+      }
+    }
+
+    if (!nonempty) {
+      // An empty rank is a pure relay: it owns no boundary of its own.
+      h.has_above = h.has_below = false;
+      h.above.clear();
+      h.below.clear();
+    }
+    return h;
+  }
+
+  /// Collective read of one global element (owner broadcasts).
+  [[nodiscard]] T fetch(std::int64_t row, std::int64_t col) const
+    requires std::is_trivially_copyable_v<T>
+  {
+    if (row < 0 || row >= rows_ || col < 0 || col >= cols_) {
+      throw ArgumentError("BlockMatrix::fetch: index out of range");
+    }
+    const int owner = dist_.owner_of(row);
+    T value{};
+    if (owner == comm_->rank()) {
+      value = at_local(row - local_row_start(), col);
+    }
+    return coll::bcast(*comm_, owner, value);
+  }
+
+ private:
+  [[nodiscard]] std::span<const T> row_span(std::int64_t local_row) const {
+    return std::span<const T>(
+        local_.data() + static_cast<std::size_t>(local_row * cols_),
+        static_cast<std::size_t>(cols_));
+  }
+
+  mprt::Comm* comm_;
+  std::int64_t rows_;
+  std::int64_t cols_;
+  BlockDist dist_;
+  std::vector<T> local_;
+};
+
+}  // namespace rsmpi::dist

@@ -1,0 +1,161 @@
+#include "mprt/comm.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "mprt/runtime.hpp"
+
+namespace rsmpi::mprt {
+
+namespace {
+
+/// splitmix64 finalizer: mixes (parent context, split sequence, color) into
+/// a fresh context id.  All members of a split compute the same inputs, so
+/// they agree on the id without communication; distinct (parent, seq,
+/// color) triples collide with negligible probability in 63 bits.
+std::int64_t derive_context(std::int64_t parent, int split_seq, int color) {
+  std::uint64_t z = static_cast<std::uint64_t>(parent) * 0x9E3779B97F4A7C15ULL;
+  z ^= static_cast<std::uint64_t>(split_seq) + 0xBF58476D1CE4E5B9ULL +
+       (z << 6) + (z >> 2);
+  z *= 0x94D049BB133111EBULL;
+  z ^= static_cast<std::uint64_t>(color) + 0x2545F4914F6CDD1DULL + (z << 16);
+  z ^= z >> 31;
+  z *= 0xD6E8FEB86659FD93ULL;
+  z ^= z >> 27;
+  // Keep it positive and never 0 (the world context).
+  const auto ctx = static_cast<std::int64_t>(z >> 1);
+  return ctx == 0 ? 1 : ctx;
+}
+
+}  // namespace
+
+Comm::Comm(Runtime& runtime, int global_rank)
+    : runtime_(runtime),
+      state_(&runtime.rank_state(global_rank)),
+      global_rank_(global_rank),
+      context_(0),
+      group_(static_cast<std::size_t>(runtime.size())),
+      group_rank_(global_rank) {
+  std::iota(group_.begin(), group_.end(), 0);
+}
+
+Comm::Comm(Runtime& runtime, int global_rank, std::int64_t context,
+           std::vector<int> group, int group_rank)
+    : runtime_(runtime),
+      state_(&runtime.rank_state(global_rank)),
+      global_rank_(global_rank),
+      context_(context),
+      group_(std::move(group)),
+      group_rank_(group_rank) {}
+
+const CostModel& Comm::cost_model() const { return runtime_.cost_model(); }
+
+void Comm::send_bytes(int dest, int tag, std::span<const std::byte> payload) {
+  if (dest < 0 || dest >= size()) {
+    throw ArgumentError("send_bytes: destination rank " +
+                        std::to_string(dest) + " out of range [0, " +
+                        std::to_string(size()) + ")");
+  }
+  if (dest == group_rank_) {
+    throw ArgumentError("send_bytes: self-sends are not supported; "
+                        "collectives special-case the local contribution");
+  }
+  const CostModel& m = cost_model();
+  state_->clock.advance(m.send_overhead_s);
+
+  Message msg;
+  msg.context = context_;
+  msg.source = group_rank_;
+  msg.tag = tag;
+  msg.arrival_vtime_s = state_->clock.now() + m.wire_time(payload.size());
+  msg.payload.assign(payload.begin(), payload.end());
+
+  state_->sent_count += 1;
+  state_->sent_bytes += payload.size();
+  runtime_.mailbox(group_[static_cast<std::size_t>(dest)]).put(std::move(msg));
+}
+
+Message Comm::recv_message(int source, int tag) {
+  if (source != kAnySource && (source < 0 || source >= size())) {
+    throw ArgumentError("recv_message: source rank " + std::to_string(source) +
+                        " out of range [0, " + std::to_string(size()) + ")");
+  }
+  Message msg = runtime_.mailbox(global_rank_).take(context_, source, tag);
+  state_->clock.merge(msg.arrival_vtime_s);
+  state_->clock.advance(cost_model().recv_overhead_s);
+  return msg;
+}
+
+bool Comm::probe(int source, int tag) {
+  return runtime_.mailbox(global_rank_).probe(context_, source, tag);
+}
+
+std::optional<Message> Comm::try_recv_message(int source, int tag) {
+  if (source != kAnySource && (source < 0 || source >= size())) {
+    throw ArgumentError("try_recv_message: source rank " +
+                        std::to_string(source) + " out of range [0, " +
+                        std::to_string(size()) + ")");
+  }
+  auto msg = runtime_.mailbox(global_rank_).try_take(context_, source, tag);
+  if (msg.has_value()) {
+    state_->clock.merge(msg->arrival_vtime_s);
+    state_->clock.advance(cost_model().recv_overhead_s);
+  }
+  return msg;
+}
+
+Comm Comm::split(int color, int key) {
+  if (color < 0) {
+    throw ArgumentError("split: color must be non-negative");
+  }
+  const int p = size();
+  const int tag = next_collective_tag();
+
+  // Full exchange of (color, key) within this communicator.  O(p^2)
+  // messages, but split is a rare setup operation and the simple schedule
+  // keeps it correct on any group shape.
+  struct Entry {
+    int color;
+    int key;
+  };
+  const Entry mine{color, key};
+  for (int r = 0; r < p; ++r) {
+    if (r != group_rank_) send(r, tag, mine);
+  }
+  // members: (key, parent rank, global rank) of everyone sharing my color.
+  struct Member {
+    int key;
+    int parent_rank;
+    int global;
+  };
+  std::vector<Member> members;
+  members.push_back({key, group_rank_, global_rank_});
+  for (int r = 0; r < p; ++r) {
+    if (r == group_rank_) continue;
+    const Entry e = recv<Entry>(r, tag);
+    if (e.color == color) {
+      members.push_back({e.key, r, group_[static_cast<std::size_t>(r)]});
+    }
+  }
+  std::sort(members.begin(), members.end(),
+            [](const Member& a, const Member& b) {
+              if (a.key != b.key) return a.key < b.key;
+              return a.parent_rank < b.parent_rank;
+            });
+
+  std::vector<int> new_group;
+  new_group.reserve(members.size());
+  int my_new_rank = -1;
+  for (std::size_t i = 0; i < members.size(); ++i) {
+    new_group.push_back(members[i].global);
+    if (members[i].global == global_rank_) {
+      my_new_rank = static_cast<int>(i);
+    }
+  }
+
+  const std::int64_t ctx = derive_context(context_, split_seq_, color);
+  ++split_seq_;
+  return Comm(runtime_, global_rank_, ctx, std::move(new_group), my_new_rank);
+}
+
+}  // namespace rsmpi::mprt

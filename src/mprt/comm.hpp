@@ -1,0 +1,234 @@
+// Communicator handle given to each rank's body function.
+//
+// A Comm is a rank's view of one *communication context*: its identity
+// within the group (rank/size), typed point-to-point messaging to group
+// members, and the rank's virtual clock (shared by all of the rank's
+// communicators).  The runtime constructs the world communicator spanning
+// all ranks; Comm::split derives subcommunicators whose traffic is fully
+// isolated from the parent's, MPI-style.  Collective operations are built
+// on top of this interface in src/coll and work unchanged on
+// subcommunicators.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "mprt/cost_model.hpp"
+#include "mprt/mailbox.hpp"
+#include "mprt/message.hpp"
+#include "util/bytes.hpp"
+#include "util/error.hpp"
+
+namespace rsmpi::mprt {
+
+class Runtime;
+
+/// Per-rank mutable state shared by every communicator of that rank: the
+/// virtual clock and the send counters.  Owned by the runtime.
+struct RankState {
+  VirtualClock clock;
+  std::uint64_t sent_count = 0;
+  std::uint64_t sent_bytes = 0;
+};
+
+/// Identity/status returned by receives that used wildcards.  `source` is
+/// a rank within the receiving communicator.
+struct RecvStatus {
+  int source = 0;
+  int tag = 0;
+};
+
+/// One rank's endpoint into one communicator.  World communicators are
+/// created by the runtime, one per rank; subcommunicators by split().
+/// A Comm must only be used from its rank's thread.  All messaging is
+/// two-sided and buffered: send never blocks.
+class Comm {
+ public:
+  /// World communicator over all ranks; called by the runtime.
+  Comm(Runtime& runtime, int global_rank);
+
+  Comm(const Comm&) = delete;
+  Comm& operator=(const Comm&) = delete;
+  Comm(Comm&&) = default;
+
+  /// This rank's position within this communicator's group.
+  [[nodiscard]] int rank() const { return group_rank_; }
+  /// Number of ranks in this communicator's group.
+  [[nodiscard]] int size() const { return static_cast<int>(group_.size()); }
+  /// This rank's position in the world communicator.
+  [[nodiscard]] int global_rank() const { return global_rank_; }
+
+  /// The communication cost model shared by all ranks.
+  [[nodiscard]] const CostModel& cost_model() const;
+
+  /// This rank's virtual clock — shared across all of the rank's
+  /// communicators, because a rank has one timeline.
+  [[nodiscard]] VirtualClock& clock() { return state_->clock; }
+  [[nodiscard]] const VirtualClock& clock() const { return state_->clock; }
+
+  /// Convenience RAII compute timer bound to this rank's clock and model.
+  [[nodiscard]] ComputeTimer compute_section() {
+    return ComputeTimer(state_->clock, cost_model());
+  }
+
+  // -- Subcommunicators ----------------------------------------------------
+
+  /// Collectively partitions this communicator: ranks passing the same
+  /// `color` (>= 0) form a new group, ordered by (key, parent rank).  Every
+  /// member of this communicator must call split the same number of times
+  /// in the same order.  The new communicator's traffic is isolated from
+  /// the parent's by a fresh context id.
+  Comm split(int color, int key);
+
+  // -- Byte-level point-to-point ------------------------------------------
+
+  /// Sends a payload to group rank `dest` with `tag`.  Buffered and
+  /// non-blocking: returns as soon as the payload is enqueued at the
+  /// destination mailbox.  Charges send overhead to this clock and stamps
+  /// the message with its modelled arrival time.
+  void send_bytes(int dest, int tag, std::span<const std::byte> payload);
+
+  /// Blocks until a message matching (source, tag) on this communicator
+  /// arrives; merges the message's arrival time into this clock and
+  /// charges receive overhead.  Wildcards kAnySource/kAnyTag are allowed.
+  Message recv_message(int source, int tag);
+
+  /// True when a matching message is already queued (non-blocking probe).
+  [[nodiscard]] bool probe(int source, int tag);
+
+  /// Non-blocking receive: takes a matching message if one is queued,
+  /// std::nullopt otherwise.  Clock accounting matches recv_message.
+  std::optional<Message> try_recv_message(int source, int tag);
+
+  // -- Typed point-to-point -----------------------------------------------
+
+  /// Sends one trivially-copyable value.
+  template <typename T>
+    requires std::is_trivially_copyable_v<T>
+  void send(int dest, int tag, const T& value) {
+    send_bytes(dest, tag, bytes::to_bytes(value));
+  }
+
+  /// Receives one trivially-copyable value.
+  template <typename T>
+    requires std::is_trivially_copyable_v<T>
+  T recv(int source, int tag, RecvStatus* status = nullptr) {
+    Message msg = recv_message(source, tag);
+    if (status != nullptr) *status = RecvStatus{msg.source, msg.tag};
+    return bytes::from_bytes<T>(msg.payload);
+  }
+
+  /// Sends a contiguous sequence of trivially-copyable values.
+  template <typename T>
+    requires std::is_trivially_copyable_v<T>
+  void send_span(int dest, int tag, std::span<const T> values) {
+    send_bytes(dest, tag,
+               std::span<const std::byte>(
+                   reinterpret_cast<const std::byte*>(values.data()),
+                   values.size_bytes()));
+  }
+
+  /// Receives a sequence whose length the receiver does not know a priori.
+  template <typename T>
+    requires std::is_trivially_copyable_v<T>
+  std::vector<T> recv_vector(int source, int tag,
+                             RecvStatus* status = nullptr) {
+    Message msg = recv_message(source, tag);
+    if (status != nullptr) *status = RecvStatus{msg.source, msg.tag};
+    if (msg.payload.size() % sizeof(T) != 0) {
+      throw ProtocolError("recv_vector: payload size " +
+                          std::to_string(msg.payload.size()) +
+                          " is not a multiple of element size " +
+                          std::to_string(sizeof(T)));
+    }
+    std::vector<T> out(msg.payload.size() / sizeof(T));
+    if (!out.empty()) {
+      std::memcpy(out.data(), msg.payload.data(), msg.payload.size());
+    }
+    return out;
+  }
+
+  /// Receives a sequence of exactly `out.size()` values into `out`.
+  template <typename T>
+    requires std::is_trivially_copyable_v<T>
+  void recv_span(int source, int tag, std::span<T> out) {
+    Message msg = recv_message(source, tag);
+    if (msg.payload.size() != out.size_bytes()) {
+      throw ProtocolError("recv_span: expected " +
+                          std::to_string(out.size_bytes()) + " bytes, got " +
+                          std::to_string(msg.payload.size()));
+    }
+    if (!out.empty()) {
+      std::memcpy(out.data(), msg.payload.data(), msg.payload.size());
+    }
+  }
+
+  /// Non-blocking typed receive.
+  template <typename T>
+    requires std::is_trivially_copyable_v<T>
+  std::optional<T> try_recv(int source, int tag,
+                            RecvStatus* status = nullptr) {
+    auto msg = try_recv_message(source, tag);
+    if (!msg.has_value()) return std::nullopt;
+    if (status != nullptr) *status = RecvStatus{msg->source, msg->tag};
+    return bytes::from_bytes<T>(msg->payload);
+  }
+
+  /// Combined send+receive with distinct partners, deadlock-free because
+  /// sends are buffered.  The common idiom of pairwise exchanges.
+  template <typename T>
+    requires std::is_trivially_copyable_v<T>
+  T sendrecv(int dest, int send_tag, const T& value, int source,
+             int recv_tag) {
+    send(dest, send_tag, value);
+    return recv<T>(source, recv_tag);
+  }
+
+  // -- Collective tag management ------------------------------------------
+
+  /// Tags at or above this value are reserved for collective operations;
+  /// user point-to-point traffic should stay below it.
+  static constexpr int kCollectiveTagBase = 1 << 20;
+
+  /// Returns a fresh tag for one collective invocation.  Because ranks
+  /// execute a communicator's collectives SPMD-style in the same order,
+  /// the n-th collective on every member receives the same tag, isolating
+  /// concurrent wildcard receives of adjacent collectives from each other.
+  int next_collective_tag() {
+    const int tag = kCollectiveTagBase + (collective_seq_ & 0xFFFF);
+    ++collective_seq_;
+    return tag;
+  }
+
+  // -- Counters (observability; used by tests and benchmarks) -------------
+
+  [[nodiscard]] std::uint64_t messages_sent() const {
+    return state_->sent_count;
+  }
+  [[nodiscard]] std::uint64_t bytes_sent() const { return state_->sent_bytes; }
+  void reset_counters() {
+    state_->sent_count = 0;
+    state_->sent_bytes = 0;
+  }
+
+ private:
+  /// Subcommunicator constructor; used by split().
+  Comm(Runtime& runtime, int global_rank, std::int64_t context,
+       std::vector<int> group, int group_rank);
+
+  Runtime& runtime_;
+  RankState* state_;
+  int global_rank_;
+  std::int64_t context_ = 0;
+  std::vector<int> group_;  // group rank -> global rank
+  int group_rank_ = 0;
+  int collective_seq_ = 0;
+  int split_seq_ = 0;
+};
+
+}  // namespace rsmpi::mprt

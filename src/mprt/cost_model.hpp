@@ -1,0 +1,162 @@
+// LogGP-style communication cost model and per-rank virtual clock.
+//
+// The paper's figures plot efficiency against processor count on a 92-node
+// IBM P655 cluster.  This repository runs every rank as a thread of one
+// process on a (possibly single-core) laptop, so wall-clock speedup across
+// ranks is meaningless.  Instead each rank carries a *virtual clock*:
+//
+//   * local computation advances the clock by measured per-thread CPU time
+//     (immune to timesharing, because each thread is only charged while it
+//     is actually running), and
+//   * every message carries its sender's virtual send-completion time; the
+//     receiver's clock becomes max(own, sender + L + bytes*G) + o_r.
+//
+// The maximum clock over all ranks at the end of a phase is the modelled
+// critical-path execution time — the quantity the paper's figures plot.
+// Defaults approximate an early-2000s cluster interconnect (10 us latency,
+// ~1 GB/s bandwidth), but every experiment can supply its own model.
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <ctime>
+
+namespace rsmpi::mprt {
+
+/// LogGP-flavoured communication parameters, all in seconds.
+struct CostModel {
+  /// CPU overhead charged on the sender per message (o_s).
+  double send_overhead_s = 1.0e-6;
+  /// CPU overhead charged on the receiver per message (o_r).
+  double recv_overhead_s = 1.0e-6;
+  /// Wire latency per message (L).
+  double latency_s = 10.0e-6;
+  /// Transfer time per payload byte (G); default 1 ns/byte = 1 GB/s.
+  double per_byte_s = 1.0e-9;
+  /// Scale factor applied to measured local compute time.  1.0 charges the
+  /// host's real per-thread CPU time; values != 1 let experiments model a
+  /// faster or slower processor than the host.
+  double compute_scale = 1.0;
+
+  /// Time from send initiation to availability at the receiver.
+  [[nodiscard]] double wire_time(std::size_t payload_bytes) const {
+    return latency_s + static_cast<double>(payload_bytes) * per_byte_s;
+  }
+
+  /// A model in which communication is free; virtual time then measures
+  /// pure computation.  Used by unit tests that check clock plumbing.
+  static CostModel free() {
+    CostModel m;
+    m.send_overhead_s = m.recv_overhead_s = m.latency_s = m.per_byte_s = 0.0;
+    return m;
+  }
+
+  // -- Interconnect presets (rough early/mid-2000s cluster fabrics) ---------
+  // Used by the sensitivity benchmarks to show which reproduced results
+  // depend on the interconnect and which are structural.
+
+  /// Commodity gigabit ethernet: high latency, ~100 MB/s.
+  static CostModel gigabit_ethernet() {
+    CostModel m;
+    m.send_overhead_s = m.recv_overhead_s = 5.0e-6;
+    m.latency_s = 50.0e-6;
+    m.per_byte_s = 10.0e-9;
+    return m;
+  }
+
+  /// Myrinet-class fabric: ~7 us latency, ~250 MB/s.
+  static CostModel myrinet() {
+    CostModel m;
+    m.send_overhead_s = m.recv_overhead_s = 1.0e-6;
+    m.latency_s = 7.0e-6;
+    m.per_byte_s = 4.0e-9;
+    return m;
+  }
+
+  /// Infiniband-class fabric: ~2 us latency, ~1 GB/s.
+  static CostModel infiniband() {
+    CostModel m;
+    m.send_overhead_s = m.recv_overhead_s = 0.5e-6;
+    m.latency_s = 2.0e-6;
+    m.per_byte_s = 1.0e-9;
+    return m;
+  }
+
+  /// Shared-memory transport: sub-microsecond latency, ~10 GB/s.
+  static CostModel shared_memory() {
+    CostModel m;
+    m.send_overhead_s = m.recv_overhead_s = 0.2e-6;
+    m.latency_s = 0.5e-6;
+    m.per_byte_s = 0.1e-9;
+    return m;
+  }
+};
+
+/// Monotone virtual clock owned by one rank.  Not thread-safe; each rank
+/// touches only its own clock, and message timestamps transfer time between
+/// ranks without shared mutable state.
+class VirtualClock {
+ public:
+  [[nodiscard]] double now() const { return now_s_; }
+
+  /// Advances by a modelled duration (never negative).
+  void advance(double seconds) {
+    if (seconds > 0.0) now_s_ += seconds;
+  }
+
+  /// Joins a causal dependency: the clock may only move forward.
+  void merge(double other_time_s) {
+    if (other_time_s > now_s_) now_s_ = other_time_s;
+  }
+
+  void reset() { now_s_ = 0.0; }
+
+ private:
+  double now_s_ = 0.0;
+};
+
+/// Reads the calling thread's CPU time.  Thread CPU time (as opposed to
+/// wall time) makes measured compute segments independent of how many
+/// sibling ranks are timesharing the host's cores.
+inline double thread_cpu_seconds() {
+  ::timespec ts{};
+  ::clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts);
+  return static_cast<double>(ts.tv_sec) +
+         static_cast<double>(ts.tv_nsec) * 1.0e-9;
+}
+
+/// RAII guard that measures a local compute section with the per-thread CPU
+/// clock and charges it (scaled by CostModel::compute_scale) to a rank's
+/// virtual clock.
+///
+///   {
+///     ComputeTimer t(comm.clock(), comm.cost_model());
+///     ... pure local work, no messaging ...
+///   }  // clock advanced here
+class ComputeTimer {
+ public:
+  ComputeTimer(VirtualClock& clock, const CostModel& model)
+      : clock_(clock), scale_(model.compute_scale),
+        start_(thread_cpu_seconds()) {}
+
+  ComputeTimer(const ComputeTimer&) = delete;
+  ComputeTimer& operator=(const ComputeTimer&) = delete;
+
+  ~ComputeTimer() { stop(); }
+
+  /// Stops early; subsequent destruction is a no-op.
+  void stop() {
+    if (!stopped_) {
+      stopped_ = true;
+      clock_.advance((thread_cpu_seconds() - start_) * scale_);
+    }
+  }
+
+ private:
+  VirtualClock& clock_;
+  double scale_;
+  double start_;
+  bool stopped_ = false;
+};
+
+}  // namespace rsmpi::mprt

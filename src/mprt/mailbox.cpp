@@ -1,0 +1,76 @@
+#include "mprt/mailbox.hpp"
+
+#include "util/error.hpp"
+
+namespace rsmpi::mprt {
+
+void Mailbox::put(Message msg) {
+  {
+    std::lock_guard lock(mutex_);
+    queue_.push_back(std::move(msg));
+  }
+  // notify_all rather than notify_one: only the owner blocks in take(), but
+  // it may be woken spuriously by non-matching messages and must re-check.
+  cv_.notify_all();
+}
+
+std::size_t Mailbox::find_match(std::int64_t context, int source,
+                                int tag) const {
+  for (std::size_t i = 0; i < queue_.size(); ++i) {
+    const Message& m = queue_[i];
+    const bool ctx_ok = m.context == context;
+    const bool src_ok = (source == kAnySource) || (m.source == source);
+    const bool tag_ok = (tag == kAnyTag) || (m.tag == tag);
+    if (ctx_ok && src_ok && tag_ok) return i;
+  }
+  return npos;
+}
+
+Message Mailbox::take(std::int64_t context, int source, int tag) {
+  std::unique_lock lock(mutex_);
+  std::size_t idx;
+  cv_.wait(lock, [&] {
+    if (aborted_) return true;
+    idx = find_match(context, source, tag);
+    return idx != npos;
+  });
+  if (aborted_) {
+    throw AbortError("mailbox: runtime aborted while waiting for message");
+  }
+  Message msg = std::move(queue_[idx]);
+  queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(idx));
+  return msg;
+}
+
+std::optional<Message> Mailbox::try_take(std::int64_t context, int source,
+                                         int tag) {
+  std::lock_guard lock(mutex_);
+  if (aborted_) {
+    throw AbortError("mailbox: runtime aborted");
+  }
+  const std::size_t idx = find_match(context, source, tag);
+  if (idx == npos) return std::nullopt;
+  Message msg = std::move(queue_[idx]);
+  queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(idx));
+  return msg;
+}
+
+bool Mailbox::probe(std::int64_t context, int source, int tag) {
+  std::lock_guard lock(mutex_);
+  return find_match(context, source, tag) != npos;
+}
+
+std::size_t Mailbox::pending() const {
+  std::lock_guard lock(mutex_);
+  return queue_.size();
+}
+
+void Mailbox::abort() {
+  {
+    std::lock_guard lock(mutex_);
+    aborted_ = true;
+  }
+  cv_.notify_all();
+}
+
+}  // namespace rsmpi::mprt

@@ -1,0 +1,61 @@
+// Per-rank mailbox: an unbounded MPSC message queue with MPI-style
+// (source, tag) matching, wildcard receives, and abort-aware blocking.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+
+#include "mprt/message.hpp"
+
+namespace rsmpi::mprt {
+
+/// Thread-safe mailbox owned by one rank.  Any rank may `put`; only the
+/// owning rank calls `take`/`try_take`/`probe`.  Matching preserves
+/// per-(source, tag) FIFO order: `take` always returns the *oldest* queued
+/// message that satisfies the pattern, so two same-tag messages from the
+/// same sender are received in send order (the MPI non-overtaking rule).
+class Mailbox {
+ public:
+  Mailbox() = default;
+  Mailbox(const Mailbox&) = delete;
+  Mailbox& operator=(const Mailbox&) = delete;
+
+  /// Enqueues a message; wakes the owner if it is blocked in take().
+  void put(Message msg);
+
+  /// Blocks until a message matching (context, source, tag) is available
+  /// and removes it.  Source and tag may be wildcards
+  /// (kAnySource/kAnyTag); the context is always exact.  Throws AbortError
+  /// if the runtime is aborted while waiting.
+  Message take(std::int64_t context, int source, int tag);
+
+  /// Non-blocking take; std::nullopt when no queued message matches.
+  std::optional<Message> try_take(std::int64_t context, int source, int tag);
+
+  /// True when a message matching the pattern is queued (MPI_Iprobe).
+  [[nodiscard]] bool probe(std::int64_t context, int source, int tag);
+
+  /// Number of queued (unmatched) messages; primarily for tests.
+  [[nodiscard]] std::size_t pending() const;
+
+  /// Puts the mailbox into the aborted state: all current and future
+  /// blocking takes throw AbortError.  Used for fail-fast teardown when a
+  /// sibling rank throws.
+  void abort();
+
+ private:
+  /// Index of oldest matching message, or npos.  Caller holds the lock.
+  [[nodiscard]] std::size_t find_match(std::int64_t context, int source,
+                                       int tag) const;
+
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<Message> queue_;
+  bool aborted_ = false;
+};
+
+}  // namespace rsmpi::mprt

@@ -1,0 +1,32 @@
+// In-flight message representation for the rsmpi runtime.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace rsmpi::mprt {
+
+/// Wildcards for receive matching, mirroring MPI_ANY_SOURCE / MPI_ANY_TAG.
+inline constexpr int kAnySource = -1;
+inline constexpr int kAnyTag = -1;
+
+/// One message in flight between two ranks.
+///
+/// `context` identifies the communicator the message was sent on (MPI's
+/// communicator-context mechanism): receives only ever match messages of
+/// their own communicator, so point-to-point traffic and collectives on a
+/// subcommunicator can never be confused with the parent's.  `source` is
+/// the sender's rank *within that communicator*.  `arrival_vtime_s` is the
+/// virtual time at which the payload becomes available at the receiver
+/// (sender clock at send + modelled wire time); the receiver merges it
+/// into its own clock on matching.
+struct Message {
+  std::int64_t context = 0;
+  int source = 0;
+  int tag = 0;
+  double arrival_vtime_s = 0.0;
+  std::vector<std::byte> payload;
+};
+
+}  // namespace rsmpi::mprt

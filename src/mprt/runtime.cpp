@@ -1,0 +1,109 @@
+#include "mprt/runtime.hpp"
+
+#include <exception>
+#include <thread>
+
+#include "util/error.hpp"
+
+namespace rsmpi::mprt {
+
+namespace {
+thread_local Comm* t_current_comm = nullptr;
+
+/// RAII registration of the rank thread's world communicator.
+struct CurrentCommGuard {
+  explicit CurrentCommGuard(Comm& comm) { t_current_comm = &comm; }
+  ~CurrentCommGuard() { t_current_comm = nullptr; }
+};
+}  // namespace
+
+Comm& this_comm() {
+  if (t_current_comm == nullptr) {
+    throw Error("this_comm: no rank is active on this thread (only valid "
+                "inside a run() body)");
+  }
+  return *t_current_comm;
+}
+
+Runtime::Runtime(int num_ranks, CostModel model) : model_(model) {
+  if (num_ranks < 1) {
+    throw ArgumentError("Runtime: need at least one rank, got " +
+                        std::to_string(num_ranks));
+  }
+  mailboxes_.reserve(static_cast<std::size_t>(num_ranks));
+  for (int r = 0; r < num_ranks; ++r) {
+    mailboxes_.push_back(std::make_unique<Mailbox>());
+  }
+  states_.resize(static_cast<std::size_t>(num_ranks));
+}
+
+Mailbox& Runtime::mailbox(int global_rank) {
+  return *mailboxes_[static_cast<std::size_t>(global_rank)];
+}
+
+RankState& Runtime::rank_state(int global_rank) {
+  return states_[static_cast<std::size_t>(global_rank)];
+}
+
+void Runtime::abort_all() {
+  for (auto& mb : mailboxes_) mb->abort();
+}
+
+RunResult run(int num_ranks, const std::function<void(Comm&)>& body,
+              const CostModel& model) {
+  Runtime runtime(num_ranks, model);
+
+  std::vector<std::unique_ptr<Comm>> comms;
+  comms.reserve(static_cast<std::size_t>(num_ranks));
+  for (int r = 0; r < num_ranks; ++r) {
+    comms.push_back(std::make_unique<Comm>(runtime, r));
+  }
+
+  std::vector<std::exception_ptr> errors(static_cast<std::size_t>(num_ranks));
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(num_ranks));
+
+  for (int r = 0; r < num_ranks; ++r) {
+    threads.emplace_back([&, r] {
+      try {
+        CurrentCommGuard guard(*comms[static_cast<std::size_t>(r)]);
+        body(*comms[static_cast<std::size_t>(r)]);
+      } catch (...) {
+        errors[static_cast<std::size_t>(r)] = std::current_exception();
+        runtime.abort_all();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  // Rethrow the first real (non-cascade) failure, preferring low ranks so
+  // the reported error is deterministic.  AbortError on a rank is only a
+  // symptom of some other rank's failure; surface it only if nothing else
+  // threw (which would indicate a stray abort).
+  std::exception_ptr abort_only;
+  for (const auto& e : errors) {
+    if (!e) continue;
+    try {
+      std::rethrow_exception(e);
+    } catch (const AbortError&) {
+      if (!abort_only) abort_only = e;
+    } catch (...) {
+      std::rethrow_exception(e);
+    }
+  }
+  if (abort_only) std::rethrow_exception(abort_only);
+
+  RunResult result;
+  result.rank_times_s.reserve(static_cast<std::size_t>(num_ranks));
+  for (int r = 0; r < num_ranks; ++r) {
+    const RankState& s = runtime.rank_state(r);
+    const double t = s.clock.now();
+    result.rank_times_s.push_back(t);
+    if (t > result.makespan_s) result.makespan_s = t;
+    result.total_messages += s.sent_count;
+    result.total_bytes += s.sent_bytes;
+  }
+  return result;
+}
+
+}  // namespace rsmpi::mprt

@@ -1,0 +1,61 @@
+// The virtual machine: spawns one thread per rank and wires their mailboxes.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "mprt/comm.hpp"
+#include "mprt/cost_model.hpp"
+#include "mprt/mailbox.hpp"
+
+namespace rsmpi::mprt {
+
+/// Owns the shared state of one parallel execution: mailboxes, per-rank
+/// clocks/counters, and the cost model.  Created internally by run(); user
+/// code only sees Comm.
+class Runtime {
+ public:
+  Runtime(int num_ranks, CostModel model);
+
+  [[nodiscard]] int size() const { return static_cast<int>(mailboxes_.size()); }
+  [[nodiscard]] const CostModel& cost_model() const { return model_; }
+
+  [[nodiscard]] Mailbox& mailbox(int global_rank);
+  [[nodiscard]] RankState& rank_state(int global_rank);
+
+  /// Fail-fast teardown: unblocks every rank's pending receive with
+  /// AbortError so a single throwing rank cannot deadlock the machine.
+  void abort_all();
+
+ private:
+  std::vector<std::unique_ptr<Mailbox>> mailboxes_;
+  std::vector<RankState> states_;
+  CostModel model_;
+};
+
+/// Result of one parallel execution.
+struct RunResult {
+  /// Maximum final virtual clock across ranks: the modelled critical-path
+  /// time of the whole execution.
+  double makespan_s = 0.0;
+  /// Final virtual clock of each rank.
+  std::vector<double> rank_times_s;
+  /// Total messages / payload bytes sent by all ranks.
+  std::uint64_t total_messages = 0;
+  std::uint64_t total_bytes = 0;
+};
+
+/// Runs `body` on `num_ranks` ranks, each a thread with its own world
+/// Comm, and joins them.  If any rank throws, the runtime aborts the
+/// others and rethrows the lowest-ranked exception in the caller.
+RunResult run(int num_ranks, const std::function<void(Comm&)>& body,
+              const CostModel& model = CostModel{});
+
+/// The calling thread's world communicator, set for the duration of its
+/// run() body — the analogue of MPI_COMM_WORLD being implicitly
+/// available, which the paper's RSMPI routines default to when no
+/// communicator is passed (§4).  Throws if called outside a rank thread.
+Comm& this_comm();
+
+}  // namespace rsmpi::mprt

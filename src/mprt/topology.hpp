@@ -1,0 +1,79 @@
+// Rank-topology arithmetic shared by the collective algorithms.
+//
+// The collectives in src/coll are expressed over three virtual topologies:
+// binomial trees (reduce, bcast), hypercube/recursive-doubling pairings
+// (allreduce, scan), and dissemination rings (barrier).  The functions here
+// keep that index arithmetic in one tested place.
+#pragma once
+
+#include <bit>
+#include <vector>
+
+namespace rsmpi::mprt::topology {
+
+/// Smallest power of two >= n (n >= 1).
+[[nodiscard]] constexpr int ceil_pow2(int n) {
+  int p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+/// floor(log2(n)) for n >= 1.
+[[nodiscard]] constexpr int floor_log2(int n) {
+  return std::bit_width(static_cast<unsigned>(n)) - 1;
+}
+
+/// Number of rounds of a dissemination/recursive-doubling schedule over n
+/// ranks: ceil(log2(n)), and 0 for a single rank.
+[[nodiscard]] constexpr int num_rounds(int n) {
+  int rounds = 0;
+  for (int d = 1; d < n; d <<= 1) ++rounds;
+  return rounds;
+}
+
+/// Binomial reduce tree rooted at rank 0, preserving rank order: in round
+/// k (k = 0, 1, ...), every rank with bit k set sends its partial result to
+/// `rank - 2^k` and leaves; a rank with bit k clear receives from
+/// `rank + 2^k` if that rank exists and still holds data.
+///
+/// The key property for non-commutative operators: the partial result held
+/// by rank r always covers the *contiguous* rank interval [r, r + extent),
+/// and a receive appends the partner's interval on the right, so combines
+/// can always be evaluated as (left block) op (right block).
+struct BinomialStep {
+  enum class Role { kSend, kRecv };
+  Role role;
+  int partner;
+};
+
+/// The schedule of rounds executed by `rank` in a p-rank binomial reduce to
+/// rank 0.  A rank's schedule ends with at most one kSend step.
+[[nodiscard]] inline std::vector<BinomialStep> binomial_reduce_schedule(
+    int rank, int p) {
+  std::vector<BinomialStep> steps;
+  for (int d = 1; d < p; d <<= 1) {
+    if ((rank & d) != 0) {
+      steps.push_back({BinomialStep::Role::kSend, rank - d});
+      break;
+    }
+    if (rank + d < p) {
+      steps.push_back({BinomialStep::Role::kRecv, rank + d});
+    }
+  }
+  return steps;
+}
+
+/// The mirror schedule for a binomial broadcast from rank 0: the reduce
+/// schedule reversed with roles flipped.
+[[nodiscard]] inline std::vector<BinomialStep> binomial_bcast_schedule(
+    int rank, int p) {
+  std::vector<BinomialStep> steps = binomial_reduce_schedule(rank, p);
+  std::vector<BinomialStep> out(steps.rbegin(), steps.rend());
+  for (auto& s : out) {
+    s.role = (s.role == BinomialStep::Role::kSend) ? BinomialStep::Role::kRecv
+                                                   : BinomialStep::Role::kSend;
+  }
+  return out;
+}
+
+}  // namespace rsmpi::mprt::topology

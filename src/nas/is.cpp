@@ -1,0 +1,219 @@
+#include "nas/is.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "coll/alltoall.hpp"
+#include "coll/local_reduce.hpp"
+#include "nas/randlc.hpp"
+#include "rs/ops/sorted.hpp"
+#include "rs/reduce.hpp"
+
+namespace rsmpi::nas {
+
+namespace {
+
+/// Number of keys owned by `rank` when `total` keys are block-distributed
+/// over `p` ranks (first `total % p` ranks take one extra).
+std::int64_t block_size(std::int64_t total, int p, int rank) {
+  return total / p + (rank < static_cast<int>(total % p) ? 1 : 0);
+}
+
+std::int64_t block_start(std::int64_t total, int p, int rank) {
+  const std::int64_t base = total / p;
+  const std::int64_t extra = total % p;
+  return base * rank + std::min<std::int64_t>(rank, extra);
+}
+
+}  // namespace
+
+std::vector<Key> is_generate_keys(const mprt::Comm& comm, IsParams params) {
+  const int p = comm.size();
+  const int rank = comm.rank();
+  const std::int64_t my_n = block_size(params.total_keys, p, rank);
+  const std::int64_t my_start = block_start(params.total_keys, p, rank);
+
+  // Each key consumes 4 randlc draws; jump the seed to this block's first
+  // draw so the global key sequence is identical for every rank count.
+  double x = randlc_jump(kRandlcSeed, kRandlcA,
+                         static_cast<std::uint64_t>(4 * my_start));
+
+  // NPB IS: key = floor(max_key/4 * (r1 + r2 + r3 + r4)); the sum of four
+  // uniforms gives the benchmark's bell-shaped key distribution.
+  const double k4 = static_cast<double>(params.max_key) / 4.0;
+  std::vector<Key> keys(static_cast<std::size_t>(my_n));
+  for (auto& key : keys) {
+    const double r = randlc(x, kRandlcA) + randlc(x, kRandlcA) +
+                     randlc(x, kRandlcA) + randlc(x, kRandlcA);
+    key = static_cast<Key>(k4 * r);
+  }
+  return keys;
+}
+
+std::vector<Key> is_bucket_sort(mprt::Comm& comm, std::vector<Key> keys,
+                                IsParams params) {
+  const int p = comm.size();
+
+  // One bucket per rank, splitting the key range evenly; NPB's production
+  // code tunes bucket boundaries, but even splits suffice for the slightly
+  // bell-shaped distribution.
+  const std::int64_t bucket_width =
+      (params.max_key + p - 1) / p;
+
+  std::vector<std::vector<Key>> outgoing(static_cast<std::size_t>(p));
+  {
+    auto timer = comm.compute_section();
+    for (const Key key : keys) {
+      int dest = static_cast<int>(key / bucket_width);
+      if (dest >= p) dest = p - 1;
+      outgoing[static_cast<std::size_t>(dest)].push_back(key);
+    }
+  }
+
+  std::vector<Key> local = coll::alltoallv(comm, outgoing);
+
+  auto timer = comm.compute_section();
+  // Counting sort over this rank's value range.
+  const std::int64_t lo = static_cast<std::int64_t>(comm.rank()) * bucket_width;
+  const std::int64_t hi =
+      std::min<std::int64_t>(lo + bucket_width, params.max_key);
+  std::vector<std::int64_t> counts(static_cast<std::size_t>(hi - lo + 1), 0);
+  for (const Key key : local) {
+    counts[static_cast<std::size_t>(key - lo)] += 1;
+  }
+  std::size_t out_i = 0;
+  for (std::int64_t v = lo; v <= hi; ++v) {
+    for (std::int64_t c = 0; c < counts[static_cast<std::size_t>(v - lo)];
+         ++c) {
+      local[out_i++] = static_cast<Key>(v);
+    }
+  }
+  return local;
+}
+
+bool is_verify_nas_mpi(mprt::Comm& comm, const std::vector<Key>& keys) {
+  const int p = comm.size();
+  const int rank = comm.rank();
+  constexpr int kBoundaryTag = 101;
+
+  // Phase 1: neighbour boundary exchange — each rank passes its *first*
+  // key left so rank r can check its last key against rank r+1's first.
+  // Ranks with no keys forward the boundary they receive, preserving the
+  // adjacency chain.
+  Key next_first = 0;
+  bool have_next = false;
+  if (p > 1) {
+    if (rank > 0) {
+      if (!keys.empty()) {
+        comm.send(rank - 1, kBoundaryTag, keys.front());
+      } else if (rank == p - 1) {
+        comm.send(rank - 1, kBoundaryTag,
+                  std::numeric_limits<Key>::max());  // empty tail: no bound
+      }
+    }
+    if (rank < p - 1) {
+      next_first = comm.recv<Key>(rank + 1, kBoundaryTag);
+      have_next = true;
+      if (keys.empty() && rank > 0) {
+        comm.send(rank - 1, kBoundaryTag, next_first);
+      }
+    }
+  }
+
+  // Phase 2: local element-wise check, transliterated from the NPB C code:
+  // both operands are array references (two loads per element).
+  long errors = 0;
+  {
+    auto timer = comm.compute_section();
+    for (std::size_t i = 1; i < keys.size(); ++i) {
+      if (keys[i - 1] > keys[i]) ++errors;
+    }
+    if (have_next && !keys.empty() && keys.back() > next_first) ++errors;
+  }
+
+  // Phase 3: global sum of error counts.
+  errors = coll::local_allreduce_value(comm, errors, coll::Sum<long>{});
+  return errors == 0;
+}
+
+bool is_verify_opt_mpi(mprt::Comm& comm, const std::vector<Key>& keys) {
+  const int p = comm.size();
+  const int rank = comm.rank();
+  constexpr int kBoundaryTag = 102;
+
+  Key next_first = 0;
+  bool have_next = false;
+  if (p > 1) {
+    if (rank > 0) {
+      if (!keys.empty()) {
+        comm.send(rank - 1, kBoundaryTag, keys.front());
+      } else if (rank == p - 1) {
+        comm.send(rank - 1, kBoundaryTag, std::numeric_limits<Key>::max());
+      }
+    }
+    if (rank < p - 1) {
+      next_first = comm.recv<Key>(rank + 1, kBoundaryTag);
+      have_next = true;
+      if (keys.empty() && rank > 0) {
+        comm.send(rank - 1, kBoundaryTag, next_first);
+      }
+    }
+  }
+
+  long errors = 0;
+  {
+    auto timer = comm.compute_section();
+    if (!keys.empty()) {
+      // The scalar improvement: one array reference per element.
+      Key last = keys[0];
+      for (std::size_t i = 1; i < keys.size(); ++i) {
+        const Key k = keys[i];
+        if (last > k) ++errors;
+        last = k;
+      }
+      if (have_next && last > next_first) ++errors;
+    }
+  }
+
+  errors = coll::local_allreduce_value(comm, errors, coll::Sum<long>{});
+  return errors == 0;
+}
+
+bool is_verify_rsmpi(mprt::Comm& comm, const std::vector<Key>& keys) {
+  return rs::reduce(comm, keys, rs::ops::Sorted<Key>{});
+}
+
+std::vector<std::int64_t> is_rank_keys(mprt::Comm& comm,
+                                       const std::vector<Key>& keys,
+                                       IsParams params) {
+  // Local key histogram over the full key range.
+  std::vector<std::int64_t> hist(static_cast<std::size_t>(params.max_key),
+                                 0);
+  {
+    auto timer = comm.compute_section();
+    for (const Key key : keys) {
+      hist[static_cast<std::size_t>(key)] += 1;
+    }
+  }
+
+  // Global histogram: one aggregated allreduce carrying max_key counters.
+  coll::ElementwiseOp<std::int64_t, coll::Sum<std::int64_t>> sum_op;
+  coll::local_allreduce(comm, std::span<std::int64_t>(hist), sum_op);
+
+  // rank(v) = number of keys with value < v: exclusive prefix, locally.
+  auto timer = comm.compute_section();
+  std::int64_t running = 0;
+  for (auto& h : hist) {
+    const std::int64_t count = h;
+    h = running;
+    running += count;
+  }
+  std::vector<std::int64_t> ranks;
+  ranks.reserve(keys.size());
+  for (const Key key : keys) {
+    ranks.push_back(hist[static_cast<std::size_t>(key)]);
+  }
+  return ranks;
+}
+
+}  // namespace rsmpi::nas

@@ -1,0 +1,63 @@
+// NAS IS (Integer Sort) kernel: key generation, distributed bucket sort,
+// and the verification phase the paper's Figure 2 measures.
+//
+// The benchmark generates Gaussian-ish integer keys with randlc, bucket-
+// sorts them across ranks so that every key on rank r precedes every key
+// on rank r+1, and finally *verifies* that the conceptual global array is
+// sorted.  The verification is the paper's §4.1 case study: the reference
+// C+MPI code exchanges boundary keys with neighbours, checks the local
+// stretch element-by-element (two array references per element), and
+// sum-reduces the per-rank error counts — while the global-view version is
+// one line: a `sorted` reduction over the whole array.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "mprt/comm.hpp"
+#include "nas/classes.hpp"
+
+namespace rsmpi::nas {
+
+using Key = std::int32_t;
+
+/// Deterministically generates this rank's block of the class's key
+/// sequence (NPB IS create_seq): each key is floor(max_key/4 * (sum of 4
+/// consecutive randlc draws)).  The substream is seed-jumped so the global
+/// sequence is independent of the rank count.
+std::vector<Key> is_generate_keys(const mprt::Comm& comm, IsParams params);
+
+/// Distributed bucket sort: keys are routed to the rank owning their value
+/// range (alltoallv) and counting-sorted locally.  On return every rank
+/// holds an ascending block and blocks ascend with rank — the conceptual
+/// global array is sorted.
+std::vector<Key> is_bucket_sort(mprt::Comm& comm, std::vector<Key> keys,
+                                IsParams params);
+
+/// Verification as in the distributed NPB C+MPI reference: boundary-key
+/// exchange with the neighbour rank, an element-wise local check that
+/// indexes the array twice per element, and a final sum-allreduce of error
+/// counts.  Returns true when globally sorted.
+bool is_verify_nas_mpi(mprt::Comm& comm, const std::vector<Key>& keys);
+
+/// The paper's "scalar improvement" on the same structure: the running
+/// previous key is kept in a local scalar, halving the array references.
+/// (The paper reports that this optimization alone closed the measured
+/// gap between the MPI and RSMPI versions.)
+bool is_verify_opt_mpi(mprt::Comm& comm, const std::vector<Key>& keys);
+
+/// The global-view version: one `sorted` reduction (Listing 7) over the
+/// conceptual whole array.
+bool is_verify_rsmpi(mprt::Comm& comm, const std::vector<Key>& keys);
+
+/// The ranking phase — the section NPB IS actually times.  Computes, for
+/// each locally-held key, its global rank (the number of keys smaller
+/// than it across all ranks), NPB-style: one *aggregated* sum-allreduce
+/// of the full key histogram (§2.1 aggregation at its largest), then a
+/// local exclusive prefix over key values.  Keys of equal value share a
+/// rank, as in NPB.
+std::vector<std::int64_t> is_rank_keys(mprt::Comm& comm,
+                                       const std::vector<Key>& keys,
+                                       IsParams params);
+
+}  // namespace rsmpi::nas

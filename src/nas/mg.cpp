@@ -1,0 +1,162 @@
+#include "nas/mg.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <ranges>
+
+#include "coll/local_reduce.hpp"
+#include "nas/randlc.hpp"
+#include "rs/reduce.hpp"
+
+namespace rsmpi::nas {
+
+namespace {
+
+using Candidate = rs::ops::Located<double, std::int64_t>;
+
+/// Sorted local candidate lists built in one grid pass — the per-rank
+/// bookkeeping both formulations need before any communication.
+struct LocalCandidates {
+  std::vector<Candidate> largest;   // descending by value
+  std::vector<Candidate> smallest;  // ascending by value
+};
+
+LocalCandidates build_candidates(const MgGrid& grid, std::size_t k) {
+  rs::ops::TopBottomK<double, std::int64_t> keeper(k);
+  const int plane = grid.nx * grid.ny;
+  for (std::size_t i = 0; i < grid.values.size(); ++i) {
+    const int zl = static_cast<int>(i / static_cast<std::size_t>(plane));
+    const std::int64_t gpos =
+        static_cast<std::int64_t>(i % static_cast<std::size_t>(plane)) +
+        static_cast<std::int64_t>(zl + grid.z0) * plane;
+    keeper.accum(Candidate{grid.values[i], gpos});
+  }
+  auto result = keeper.gen();
+  return {std::move(result.largest), std::move(result.smallest)};
+}
+
+}  // namespace
+
+MgGrid mg_fill_grid(const mprt::Comm& comm, MgParams params) {
+  const int p = comm.size();
+  const int rank = comm.rank();
+
+  MgGrid grid;
+  grid.nx = params.nx;
+  grid.ny = params.ny;
+  grid.nz = params.nz;
+  grid.local_nz = params.nz / p + (rank < params.nz % p ? 1 : 0);
+  grid.z0 = (params.nz / p) * rank + std::min(rank, params.nz % p);
+  grid.values.resize(static_cast<std::size_t>(grid.local_nz) * params.ny *
+                     params.nx);
+
+  // The field is draw number (global flat index) of one randlc stream, so
+  // jump the seed to this slab's first cell.
+  const std::uint64_t offset = static_cast<std::uint64_t>(grid.z0) *
+                               static_cast<std::uint64_t>(params.ny) *
+                               static_cast<std::uint64_t>(params.nx);
+  double x = randlc_jump(kRandlcSeed, kRandlcA, offset);
+  vranlc(x, kRandlcA, grid.values);
+  return grid;
+}
+
+MgCharges mg_zran3_baseline(mprt::Comm& comm, const MgGrid& grid,
+                            std::size_t k) {
+  LocalCandidates cand;
+  {
+    auto timer = comm.compute_section();
+    cand = build_candidates(grid, k);
+  }
+
+  MgCharges charges;
+  constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+  constexpr double kPosInf = std::numeric_limits<double>::infinity();
+  constexpr std::int64_t kNoPos = std::numeric_limits<std::int64_t>::max();
+
+  // Ten iterations per sign, two built-in collectives per iteration —
+  // the "forty reductions" of the F+MPI reference (§4.2).
+  std::size_t next_large = 0;
+  for (std::size_t i = 0; i < k; ++i) {
+    const double local_best =
+        next_large < cand.largest.size() ? cand.largest[next_large].value
+                                         : kNegInf;
+    const double best =
+        coll::local_allreduce_value(comm, local_best, coll::Max<double>{});
+    const std::int64_t local_pos =
+        (next_large < cand.largest.size() && local_best == best)
+            ? cand.largest[next_large].index
+            : kNoPos;
+    const std::int64_t pos =
+        coll::local_allreduce_value(comm, local_pos,
+                                    coll::Min<std::int64_t>{});
+    if (local_pos == pos && pos != kNoPos) ++next_large;
+    charges.positive.push_back(pos);
+  }
+
+  std::size_t next_small = 0;
+  for (std::size_t i = 0; i < k; ++i) {
+    const double local_best =
+        next_small < cand.smallest.size() ? cand.smallest[next_small].value
+                                          : kPosInf;
+    const double best =
+        coll::local_allreduce_value(comm, local_best, coll::Min<double>{});
+    const std::int64_t local_pos =
+        (next_small < cand.smallest.size() && local_best == best)
+            ? cand.smallest[next_small].index
+            : kNoPos;
+    const std::int64_t pos =
+        coll::local_allreduce_value(comm, local_pos,
+                                    coll::Min<std::int64_t>{});
+    if (local_pos == pos && pos != kNoPos) ++next_small;
+    charges.negative.push_back(pos);
+  }
+  return charges;
+}
+
+MgCharges mg_zran3_rsmpi(mprt::Comm& comm, const MgGrid& grid,
+                         std::size_t k) {
+  const int plane = grid.nx * grid.ny;
+  const std::int64_t base = static_cast<std::int64_t>(grid.z0) * plane;
+  auto located =
+      std::views::iota(std::size_t{0}, grid.values.size()) |
+      std::views::transform([&grid, plane, base](std::size_t i) {
+        const std::int64_t zl =
+            static_cast<std::int64_t>(i / static_cast<std::size_t>(plane));
+        const std::int64_t gpos =
+            base + zl * plane +
+            static_cast<std::int64_t>(i % static_cast<std::size_t>(plane));
+        return Candidate{grid.values[i], gpos};
+      });
+
+  const auto result = rs::reduce(
+      comm, located, rs::ops::TopBottomK<double, std::int64_t>(k));
+
+  MgCharges charges;
+  for (const auto& c : result.largest) charges.positive.push_back(c.index);
+  for (const auto& c : result.smallest) charges.negative.push_back(c.index);
+  return charges;
+}
+
+int mg_apply_charges(MgGrid& grid, const MgCharges& charges) {
+  std::fill(grid.values.begin(), grid.values.end(), 0.0);
+  const int plane = grid.nx * grid.ny;
+  const std::int64_t lo = static_cast<std::int64_t>(grid.z0) * plane;
+  const std::int64_t hi = lo + static_cast<std::int64_t>(grid.local_nz) *
+                                   plane;
+  int written = 0;
+  for (const std::int64_t pos : charges.positive) {
+    if (pos >= lo && pos < hi) {
+      grid.values[static_cast<std::size_t>(pos - lo)] = 1.0;
+      ++written;
+    }
+  }
+  for (const std::int64_t pos : charges.negative) {
+    if (pos >= lo && pos < hi) {
+      grid.values[static_cast<std::size_t>(pos - lo)] = -1.0;
+      ++written;
+    }
+  }
+  return written;
+}
+
+}  // namespace rsmpi::nas

@@ -1,0 +1,66 @@
+// NAS MG ZRAN3: the initialization routine the paper's Figure 3 measures.
+//
+// ZRAN3 fills a 3-D grid with uniform random numbers (vranlc), locates the
+// ten largest and ten smallest values together with their grid positions,
+// and rewrites the grid as +1 at the largest positions, -1 at the
+// smallest, and 0 elsewhere.
+//
+// The F+MPI reference resolves the extrema one at a time with repeated
+// built-in reductions — forty in all (§4.2): for each of the ten charges
+// of each sign, one max/min allreduce to agree on the value and one
+// min-location allreduce to agree on the owning position.  The
+// global-view version replaces all forty with a single user-defined
+// TopBottomK reduction whose accumulate phase *is* the grid traversal.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "mprt/comm.hpp"
+#include "nas/classes.hpp"
+#include "rs/ops/topbottomk.hpp"
+
+namespace rsmpi::nas {
+
+/// One rank's slab of the z-sliced grid, plus its global extent.
+struct MgGrid {
+  int nx = 0, ny = 0, nz = 0;  // global extents
+  int z0 = 0;                  // first global z-plane owned by this rank
+  int local_nz = 0;            // number of owned z-planes
+  std::vector<double> values;  // local_nz * ny * nx, x fastest
+
+  [[nodiscard]] std::int64_t global_index(int x, int y, int z_local) const {
+    return (static_cast<std::int64_t>(z_local + z0) * ny + y) * nx + x;
+  }
+  [[nodiscard]] std::size_t local_index(int x, int y, int z_local) const {
+    return (static_cast<std::size_t>(z_local) * ny + y) * nx + x;
+  }
+};
+
+/// The charge positions ZRAN3 discovers.
+struct MgCharges {
+  std::vector<std::int64_t> positive;  // positions of the ten largest
+  std::vector<std::int64_t> negative;  // positions of the ten smallest
+};
+
+/// Fills this rank's slab with the class's random field.  The field is a
+/// pure function of global position (seed-jumped vranlc per slab), so it
+/// is identical for every rank count.
+MgGrid mg_fill_grid(const mprt::Comm& comm, MgParams params);
+
+/// The F+MPI formulation (baseline): per-rank candidate lists, then forty
+/// built-in reductions (2 collectives x 10 charges x 2 signs) to agree on
+/// values and owning positions one at a time.
+MgCharges mg_zran3_baseline(mprt::Comm& comm, const MgGrid& grid,
+                            std::size_t k = 10);
+
+/// The global-view formulation: a single TopBottomK reduction over the
+/// grid values.
+MgCharges mg_zran3_rsmpi(mprt::Comm& comm, const MgGrid& grid,
+                         std::size_t k = 10);
+
+/// Completes ZRAN3: rewrites the slab as {-1, 0, +1} from the charge
+/// positions.  Returns the number of nonzeros written locally (for tests).
+int mg_apply_charges(MgGrid& grid, const MgCharges& charges);
+
+}  // namespace rsmpi::nas

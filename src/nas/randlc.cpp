@@ -1,0 +1,68 @@
+#include "nas/randlc.hpp"
+
+#include <cmath>
+
+namespace rsmpi::nas {
+
+namespace {
+// 2^-23, 2^23, 2^-46, 2^46: the split constants of the NPB reference code.
+constexpr double r23 = 1.0 / 8388608.0;
+constexpr double t23 = 8388608.0;
+constexpr double r46 = r23 * r23;
+constexpr double t46 = t23 * t23;
+}  // namespace
+
+double randlc(double& x, double a) {
+  // Split a and x into 23-bit halves: a = a1*2^23 + a2, x = x1*2^23 + x2.
+  double t1 = r23 * a;
+  const double a1 = std::trunc(t1);
+  const double a2 = a - t23 * a1;
+
+  t1 = r23 * x;
+  const double x1 = std::trunc(t1);
+  const double x2 = x - t23 * x1;
+
+  // z = lower 23 bits of (a1*x2 + a2*x1); the a1*x1 term only affects bits
+  // >= 46 and is dropped entirely.
+  t1 = a1 * x2 + a2 * x1;
+  const double t2 = std::trunc(r23 * t1);
+  const double z = t1 - t23 * t2;
+
+  // x = lower 46 bits of (z*2^23 + a2*x2).
+  const double t3 = t23 * z + a2 * x2;
+  const double t4 = std::trunc(r46 * t3);
+  x = t3 - t46 * t4;
+  return r46 * x;
+}
+
+void vranlc(double& x, double a, std::span<double> out) {
+  for (double& y : out) {
+    y = randlc(x, a);
+  }
+}
+
+double randlc_pow(double a, std::uint64_t k) {
+  // Square-and-multiply in the 46-bit modular arithmetic: randlc(x, a)
+  // computes x*a mod 2^46 as a side effect, which is exactly the modular
+  // product we need.
+  double result = 1.0;
+  double base = a;
+  while (k != 0) {
+    if (k & 1u) {
+      (void)randlc(result, base);  // result *= base (mod 2^46)
+    }
+    double sq = base;
+    (void)randlc(sq, base);  // sq = base^2 (mod 2^46)
+    base = sq;
+    k >>= 1;
+  }
+  return result;
+}
+
+double randlc_jump(double seed, double a, std::uint64_t k) {
+  const double ak = randlc_pow(a, k);
+  (void)randlc(seed, ak);
+  return seed;
+}
+
+}  // namespace rsmpi::nas

@@ -1,0 +1,42 @@
+// The NAS Parallel Benchmarks pseudorandom number generator.
+//
+// NPB generates all of its input data with the linear congruential
+// generator
+//
+//     x_{k+1} = a * x_k  (mod 2^46),      a = 5^13 = 1220703125,
+//
+// returning uniform doubles r_k = x_k * 2^-46 in (0, 1).  The reference
+// implementation carries the 46-bit state in IEEE doubles, splitting every
+// operand into two 23-bit halves so all intermediate products stay exact;
+// this file reproduces that arithmetic (randlc / vranlc) plus the
+// log-time jump NPB uses to give each process an independent substream
+// (IS's find_my_seed).  Tests validate the double-splitting arithmetic
+// against an exact 128-bit integer oracle.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace rsmpi::nas {
+
+/// NPB's default multiplier (5^13) and seed.
+inline constexpr double kRandlcA = 1220703125.0;
+inline constexpr double kRandlcSeed = 314159265.0;
+
+/// Advances x by one LCG step (x := a*x mod 2^46) and returns x * 2^-46.
+double randlc(double& x, double a);
+
+/// Fills `out` with successive uniform draws, advancing x accordingly —
+/// NPB's vectorized variant, used to fill MG's grids.
+void vranlc(double& x, double a, std::span<double> out);
+
+/// The k-th power of `a` modulo 2^46, computed in log2(k) squarings with
+/// the same exact double arithmetic.  pow_a(a, k) is the multiplier that
+/// advances a seed by k steps at once.
+double randlc_pow(double a, std::uint64_t k);
+
+/// Seed after jumping `k` steps forward from `seed` — the substream
+/// mechanism NPB IS uses to give each process disjoint key blocks.
+double randlc_jump(double seed, double a, std::uint64_t k);
+
+}  // namespace rsmpi::nas

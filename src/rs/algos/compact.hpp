@@ -1,0 +1,70 @@
+// Stream compaction (parallel filter) built from the library's own
+// primitives — the first of the classic parallel-prefix algorithms
+// Blelloch's vector model (the paper's [3]) constructs from scan.
+//
+// Semantics: given the conceptual global array formed by concatenating
+// every rank's local block, keep exactly the elements satisfying the
+// predicate, preserve their order, and block-redistribute the survivors
+// so every rank ends up with an even share.  The enumeration step is one
+// exclusive sum scan (each rank learns the global offset of its first
+// survivor); the redistribution is one alltoallv.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "coll/alltoall.hpp"
+#include "coll/local_reduce.hpp"
+#include "coll/local_scan.hpp"
+#include "mprt/comm.hpp"
+#include "util/block_dist.hpp"
+
+namespace rsmpi::rs::algos {
+
+using rsmpi::BlockDist;
+
+/// Keeps the elements of the distributed array satisfying `keep`,
+/// preserving global order, and returns this rank's block of the
+/// compacted array under an even block distribution.
+template <typename T, typename Pred>
+  requires std::is_trivially_copyable_v<T>
+std::vector<T> compact(mprt::Comm& comm, std::span<const T> local,
+                       Pred keep) {
+  const int p = comm.size();
+
+  // 1. Select locally, in order.
+  std::vector<T> kept;
+  {
+    auto timer = comm.compute_section();
+    for (const T& x : local) {
+      if (keep(x)) kept.push_back(x);
+    }
+  }
+
+  // 2. Enumerate: exclusive scan of survivor counts gives this rank's
+  //    first global output position; an allreduce gives the total.
+  const auto my_count = static_cast<std::int64_t>(kept.size());
+  const std::int64_t my_offset =
+      coll::local_xscan_value(comm, my_count, coll::Sum<std::int64_t>{});
+  const std::int64_t total =
+      coll::local_allreduce_value(comm, my_count, coll::Sum<std::int64_t>{});
+
+  // 3. Route each survivor to the rank owning its output position.
+  const BlockDist dist{total, p};
+  std::vector<std::vector<T>> outgoing(static_cast<std::size_t>(p));
+  {
+    auto timer = comm.compute_section();
+    for (std::size_t i = 0; i < kept.size(); ++i) {
+      const std::int64_t pos = my_offset + static_cast<std::int64_t>(i);
+      outgoing[static_cast<std::size_t>(dist.owner_of(pos))].push_back(
+          kept[i]);
+    }
+  }
+  // Survivors arrive ordered by source rank = ordered by global position,
+  // and each source's block is internally ordered, so concatenation in
+  // source order is the correct block.
+  return coll::alltoallv(comm, outgoing);
+}
+
+}  // namespace rsmpi::rs::algos

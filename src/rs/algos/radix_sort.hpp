@@ -1,0 +1,114 @@
+// Distributed LSD radix sort, built entirely from the library's reduction
+// and scan primitives — the flagship of the "scans as the principal tool
+// for parallel algorithm design" school (Blelloch, the paper's [3]).
+//
+// Each digit pass is:
+//   1. a local histogram of the current digit (pure compute);
+//   2. one aggregated exclusive sum scan of the histograms across ranks
+//      (§2.1 aggregation: all 2^b buckets in one message) — rank r learns,
+//      per bucket, how many equal-digit keys earlier ranks hold;
+//   3. one aggregated allreduce for the global bucket totals, scanned
+//      locally into bucket base offsets;
+//   4. a route: key i with digit d goes to global position
+//      base[d] + earlier_ranks[d] + (its index among the rank's own
+//      digit-d keys), delivered by one alltoallv and placed by offset.
+//
+// The pass is stable, so b-bit digits from least to most significant sort
+// the whole key.  Keys end up block-distributed and globally ascending.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "coll/alltoall.hpp"
+#include "coll/local_reduce.hpp"
+#include "coll/local_scan.hpp"
+#include "mprt/comm.hpp"
+#include "rs/algos/compact.hpp"
+#include "util/error.hpp"
+
+namespace rsmpi::rs::algos {
+
+/// Sorts the distributed array of unsigned keys ascending; returns this
+/// rank's block of the sorted array (block distribution of the global
+/// total).  `digit_bits` trades passes against histogram width.
+template <typename K>
+  requires std::is_unsigned_v<K>
+std::vector<K> radix_sort(mprt::Comm& comm, std::vector<K> local,
+                          int digit_bits = 8) {
+  if (digit_bits < 1 || digit_bits > 16) {
+    throw ArgumentError("radix_sort: digit_bits must be in [1, 16]");
+  }
+  const int p = comm.size();
+  const std::size_t buckets = std::size_t{1} << digit_bits;
+  const K digit_mask = static_cast<K>(buckets - 1);
+
+  const std::int64_t total = coll::local_allreduce_value(
+      comm, static_cast<std::int64_t>(local.size()),
+      coll::Sum<std::int64_t>{});
+  const BlockDist dist{total, p};
+
+  /// A key en route to its output position.
+  struct Placed {
+    std::int64_t pos;
+    K key;
+  };
+
+  const int passes =
+      (static_cast<int>(sizeof(K)) * 8 + digit_bits - 1) / digit_bits;
+  for (int pass = 0; pass < passes; ++pass) {
+    const int shift = pass * digit_bits;
+
+    // 1. Local histogram of this digit.
+    std::vector<std::int64_t> hist(buckets, 0);
+    {
+      auto timer = comm.compute_section();
+      for (const K key : local) {
+        hist[static_cast<std::size_t>((key >> shift) & digit_mask)] += 1;
+      }
+    }
+
+    // 2. Exclusive scan across ranks, all buckets aggregated in one call.
+    std::vector<std::int64_t> earlier = hist;
+    coll::ElementwiseOp<std::int64_t, coll::Sum<std::int64_t>> sum_op;
+    coll::local_xscan(comm, std::span<std::int64_t>(earlier), sum_op);
+
+    // 3. Global totals -> bucket base offsets (local exclusive scan over
+    //    the bucket axis).
+    std::vector<std::int64_t> totals = hist;
+    coll::local_allreduce(comm, std::span<std::int64_t>(totals), sum_op);
+    std::vector<std::int64_t> base(buckets, 0);
+    for (std::size_t b = 1; b < buckets; ++b) {
+      base[b] = base[b - 1] + totals[b - 1];
+    }
+
+    // 4. Route each key to the owner of its output position.
+    std::vector<std::vector<Placed>> outgoing(static_cast<std::size_t>(p));
+    {
+      auto timer = comm.compute_section();
+      std::vector<std::int64_t> next(buckets);
+      for (std::size_t b = 0; b < buckets; ++b) {
+        next[b] = base[b] + earlier[b];
+      }
+      for (const K key : local) {
+        const auto b = static_cast<std::size_t>((key >> shift) & digit_mask);
+        const std::int64_t pos = next[b]++;
+        outgoing[static_cast<std::size_t>(dist.owner_of(pos))].push_back(
+            {pos, key});
+      }
+    }
+    const auto incoming = coll::alltoallv(comm, outgoing);
+
+    // Place by global position relative to this rank's block start.
+    auto timer = comm.compute_section();
+    local.assign(static_cast<std::size_t>(dist.size_of(comm.rank())), K{});
+    const std::int64_t my_start = dist.start_of(comm.rank());
+    for (const Placed& pl : incoming) {
+      local[static_cast<std::size_t>(pl.pos - my_start)] = pl.key;
+    }
+  }
+  return local;
+}
+
+}  // namespace rsmpi::rs::algos

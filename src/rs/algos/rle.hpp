@@ -1,0 +1,124 @@
+// Distributed run-length encoding — a composition exercise for the
+// library's own primitives, in the Blelloch tradition of building array
+// algorithms from scans:
+//
+//   1. a Last-operator exclusive scan carries each rank the value
+//      preceding its block (correct across empty ranks, log p rounds);
+//   2. local run detection is pure compute;
+//   3. an exclusive sum scan over per-rank run-start counts assigns
+//      global run ids;
+//   4. one alltoallv routes partial runs (a run may span many ranks) to
+//      the output owner, which sums the lengths.
+//
+// The result is the globally-ordered list of (value, length) runs,
+// block-distributed over the ranks.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "coll/alltoall.hpp"
+#include "coll/local_reduce.hpp"
+#include "coll/local_scan.hpp"
+#include "mprt/comm.hpp"
+#include "rs/ops/firstlast.hpp"
+#include "rs/scan.hpp"
+#include "util/block_dist.hpp"
+#include "util/error.hpp"
+
+namespace rsmpi::rs::algos {
+
+template <typename T>
+struct Run {
+  T value;
+  std::int64_t length;
+
+  friend bool operator==(const Run&, const Run&) = default;
+};
+
+/// Encodes the distributed array into runs; returns this rank's block of
+/// the run list under an even block distribution.
+template <typename T>
+  requires std::is_trivially_copyable_v<T>
+std::vector<Run<T>> run_length_encode(mprt::Comm& comm,
+                                      std::span<const T> local) {
+  const int p = comm.size();
+
+  // 1. The value immediately before this block, if any earlier rank holds
+  //    one — an exclusive scan with the Last operator.
+  const auto prev =
+      xscan_state(comm, local, ops::Last<T>{}).gen();
+
+  // 2. Local runs, noting whether the first continues the carried value.
+  struct LocalRun {
+    T value;
+    std::int64_t length;
+  };
+  std::vector<LocalRun> runs;
+  bool first_continues = false;
+  {
+    auto timer = comm.compute_section();
+    for (const T& x : local) {
+      if (!runs.empty() && runs.back().value == x) {
+        runs.back().length += 1;
+      } else {
+        runs.push_back({x, 1});
+      }
+    }
+    first_continues = !runs.empty() && prev.has && prev.value == runs[0].value;
+  }
+
+  // 3. Global run ids: exclusive prefix of per-rank start counts.
+  const std::int64_t my_starts =
+      static_cast<std::int64_t>(runs.size()) - (first_continues ? 1 : 0);
+  const std::int64_t id0 =
+      coll::local_xscan_value(comm, my_starts, coll::Sum<std::int64_t>{});
+  const std::int64_t total_runs =
+      coll::local_allreduce_value(comm, my_starts, coll::Sum<std::int64_t>{});
+
+  // 4. Route each partial run to the rank owning its output slot.
+  struct Partial {
+    std::int64_t id;
+    T value;
+    std::int64_t length;
+  };
+  const BlockDist dist{total_runs, p};
+  std::vector<std::vector<Partial>> outgoing(static_cast<std::size_t>(p));
+  {
+    auto timer = comm.compute_section();
+    std::int64_t id = first_continues ? id0 - 1 : id0;
+    for (const LocalRun& r : runs) {
+      outgoing[static_cast<std::size_t>(dist.owner_of(id))].push_back(
+          {id, r.value, r.length});
+      ++id;
+    }
+  }
+  const auto incoming = coll::alltoallv(comm, outgoing);
+
+  auto timer = comm.compute_section();
+  const std::int64_t my_out_start = dist.start_of(comm.rank());
+  std::vector<Run<T>> out(
+      static_cast<std::size_t>(dist.size_of(comm.rank())), Run<T>{T{}, 0});
+  for (const Partial& part : incoming) {
+    auto& slot = out[static_cast<std::size_t>(part.id - my_out_start)];
+    slot.value = part.value;  // all partials of one run share the value
+    slot.length += part.length;
+  }
+  return out;
+}
+
+/// The values of consecutive-duplicate-free form of the array — RLE minus
+/// the lengths.
+template <typename T>
+  requires std::is_trivially_copyable_v<T>
+std::vector<T> unique_consecutive(mprt::Comm& comm,
+                                  std::span<const T> local) {
+  const auto runs = run_length_encode(comm, local);
+  std::vector<T> out;
+  out.reserve(runs.size());
+  for (const auto& r : runs) out.push_back(r.value);
+  return out;
+}
+
+}  // namespace rsmpi::rs::algos

@@ -1,0 +1,132 @@
+// Segmented reduction: one reduction result *per segment* of a
+// flag-delimited distributed array, with any global-view operator doing
+// the per-segment work.
+//
+// Where a Segmented<Op> *scan* yields running values and a Segmented<Op>
+// *reduction* yields only the final segment, this algorithm materializes
+// every segment's result, block-distributed by segment id:
+//
+//   1. exclusive sum scan over per-rank segment-start counts assigns
+//      global segment ids (exactly as rle.hpp numbers runs);
+//   2. each rank folds its local stretch of every intersecting segment
+//      into an operator state;
+//   3. partial states are *serialized* and routed to the segment's output
+//      owner by one alltoallv, where they are combined in source-rank
+//      order (correct for non-commutative operators, since source ranks
+//      cover ascending position ranges) and generated.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "coll/alltoall.hpp"
+#include "coll/local_reduce.hpp"
+#include "coll/local_scan.hpp"
+#include "mprt/comm.hpp"
+#include "rs/op_concepts.hpp"
+#include "rs/ops/segmented.hpp"
+#include "util/block_dist.hpp"
+
+namespace rsmpi::rs::algos {
+
+/// Reduces each segment of the distributed array with `op` (prototype in
+/// identity state).  Input elements are Seg<In> (value + start flag); an
+/// unflagged global position 0 opens an implicit first segment.  Returns
+/// this rank's block of the per-segment results, ordered by segment id.
+template <typename Op, typename In>
+  requires ReductionOp<Op, In>
+std::vector<reduce_result_t<Op>> segmented_reduce(
+    mprt::Comm& comm, std::span<const ops::Seg<In>> local, Op prototype) {
+  const int p = comm.size();
+
+  // 1. Per-rank partial states, one per locally-intersecting segment.
+  struct Partial {
+    bool starts_here;
+    Op state;
+  };
+  std::vector<Partial> partials;
+  {
+    auto timer = comm.compute_section();
+    for (const auto& e : local) {
+      if (partials.empty() || e.start) {
+        partials.push_back({e.start, prototype});
+      }
+      partials.back().state.accum(e.value);
+    }
+  }
+  const bool first_continues = !partials.empty() && !partials[0].starts_here;
+
+  // Does any earlier rank hold data?  (Decides whether a continuing first
+  // stretch joins an earlier segment or *is* the implicit segment 0.)
+  const std::int64_t elems_before = coll::local_xscan_value(
+      comm, static_cast<std::int64_t>(local.size()),
+      coll::Sum<std::int64_t>{});
+  const bool joins_earlier = first_continues && elems_before > 0;
+
+  // 2. Global segment ids via the start-count prefix.
+  const std::int64_t my_starts =
+      static_cast<std::int64_t>(partials.size()) - (joins_earlier ? 1 : 0);
+  const std::int64_t id0 =
+      coll::local_xscan_value(comm, my_starts, coll::Sum<std::int64_t>{});
+  const std::int64_t total_segments =
+      coll::local_allreduce_value(comm, my_starts,
+                                  coll::Sum<std::int64_t>{});
+
+  // 3. Route serialized partial states to segment owners.
+  const BlockDist dist{total_segments, p};
+  std::vector<std::vector<std::byte>> frames(static_cast<std::size_t>(p));
+  {
+    auto timer = comm.compute_section();
+    std::int64_t id = joins_earlier ? id0 - 1 : id0;
+    for (const auto& partial : partials) {
+      bytes::Writer w;
+      w.put<std::int64_t>(id);
+      w.put_vector(save_op(partial.state));
+      auto frame = std::move(w).take();
+      auto& dest = frames[static_cast<std::size_t>(dist.owner_of(id))];
+      bytes::Writer envelope;
+      envelope.put<std::uint64_t>(frame.size());
+      envelope.put_raw(frame);
+      const auto env = std::move(envelope).take();
+      dest.insert(dest.end(), env.begin(), env.end());
+      ++id;
+    }
+  }
+
+  // Exchange the framed byte streams; sources arrive in rank order.
+  std::vector<std::vector<std::byte>> received;
+  coll::detail::alltoallv_bytes(comm, frames, received);
+
+  // 4. Combine partials per segment (source-rank order = position order)
+  //    and generate.
+  auto timer = comm.compute_section();
+  const std::int64_t out_start = dist.start_of(comm.rank());
+  const auto out_count = static_cast<std::size_t>(dist.size_of(comm.rank()));
+  std::vector<Op> states(out_count, prototype);
+  std::vector<bool> seen(out_count, false);
+  for (int src = 0; src < p; ++src) {
+    bytes::Reader stream(received[static_cast<std::size_t>(src)]);
+    while (!stream.exhausted()) {
+      const auto frame_len = stream.get<std::uint64_t>();
+      (void)frame_len;
+      const auto id = stream.get<std::int64_t>();
+      const auto blob = stream.get_vector<std::byte>();
+      const Op part = load_op(prototype, blob);
+      auto& slot = states[static_cast<std::size_t>(id - out_start)];
+      if (!seen[static_cast<std::size_t>(id - out_start)]) {
+        slot = part;
+        seen[static_cast<std::size_t>(id - out_start)] = true;
+      } else {
+        slot.combine(part);
+      }
+    }
+  }
+
+  std::vector<reduce_result_t<Op>> out;
+  out.reserve(out_count);
+  for (const Op& s : states) out.push_back(red_result(s));
+  return out;
+}
+
+}  // namespace rsmpi::rs::algos

@@ -1,0 +1,175 @@
+// The global-view operator interface (paper §3).
+//
+// A user-defined reduction/scan operator is a class in the style of the
+// paper's Chapel listings (mink, mini, counts, sorted):
+//
+//   * construction yields the identity state (f_ident);
+//   * `accum(x)` folds one input value into the state (f_accum);
+//   * `combine(other)` folds another operator's state in on the right —
+//     this (+) other, where `this` covers the earlier input positions
+//     (f_combine);
+//   * one or more generate functions produce the output type from the
+//     state: `gen()` serves both roles, or `red_gen()` / `scan_gen(x)`
+//     specialize reduction and scan output (f_red_gen, f_scan_gen — note
+//     the scan generator may consult the input value at each position);
+//   * optional `pre_accum(x)` / `post_accum(x)` observe the first/last
+//     local value around the accumulate loop (f_pre_accum, f_post_accum);
+//   * optional `static constexpr bool commutative` — assumed true when
+//     absent, as in Chapel (§3.1.4);
+//   * state travels between ranks either by memcpy (trivially copyable
+//     operators) or through `save(bytes::Writer&)` / `load(bytes::Reader&)`
+//     for operators with heap state.
+//
+// Because operators may take runtime constructor arguments (e.g. mink's
+// k), the algorithms never default-construct them: the caller passes a
+// freshly-constructed *prototype* in identity state, and fresh identities
+// are obtained by copying it.
+#pragma once
+
+#include <concepts>
+#include <cstring>
+#include <type_traits>
+#include <utility>
+
+#include "util/bytes.hpp"
+
+namespace rsmpi::rs {
+
+template <typename Op>
+concept Combinable = requires(Op a, const Op& b) { a.combine(b); };
+
+template <typename Op, typename In>
+concept Accumulates = requires(Op op, const In& x) { op.accum(x); };
+
+template <typename Op>
+concept HasGen = requires(const Op op) { op.gen(); };
+
+template <typename Op>
+concept HasRedGen = requires(const Op op) { op.red_gen(); };
+
+template <typename Op, typename In>
+concept HasScanGen = requires(const Op op, const In& x) { op.scan_gen(x); };
+
+template <typename Op, typename In>
+concept HasPreAccum = requires(Op op, const In& x) { op.pre_accum(x); };
+
+template <typename Op, typename In>
+concept HasPostAccum = requires(Op op, const In& x) { op.post_accum(x); };
+
+template <typename Op>
+concept HasSaveLoad = requires(const Op cop, Op op, bytes::Writer& w,
+                               bytes::Reader& r) {
+  cop.save(w);
+  op.load(r);
+};
+
+/// A complete reduction operator over input type In: accumulable,
+/// combinable, copyable (for identity cloning), able to generate a
+/// reduction result, and serializable one way or the other.
+template <typename Op, typename In>
+concept ReductionOp =
+    Accumulates<Op, In> && Combinable<Op> && std::copy_constructible<Op> &&
+    (HasGen<Op> || HasRedGen<Op>) &&
+    (HasSaveLoad<Op> || std::is_trivially_copyable_v<Op>);
+
+/// A complete scan operator additionally generates per-position output.
+template <typename Op, typename In>
+concept ScanOp = Accumulates<Op, In> && Combinable<Op> &&
+                 std::copy_constructible<Op> &&
+                 (HasGen<Op> || HasScanGen<Op, In>) &&
+                 (HasSaveLoad<Op> || std::is_trivially_copyable_v<Op>);
+
+/// Chapel's rule: an operator without the trait is commutative (§3.1.4).
+template <typename Op>
+[[nodiscard]] constexpr bool op_commutative() {
+  if constexpr (requires { Op::commutative; }) {
+    return Op::commutative;
+  } else {
+    return true;
+  }
+}
+
+/// Invokes pre_accum when the operator defines it; no-op otherwise.
+template <typename Op, typename In>
+void pre_accum_if(Op& op, const In& first) {
+  if constexpr (HasPreAccum<Op, In>) op.pre_accum(first);
+}
+
+/// Invokes post_accum when the operator defines it; no-op otherwise.
+template <typename Op, typename In>
+void post_accum_if(Op& op, const In& last) {
+  if constexpr (HasPostAccum<Op, In>) op.post_accum(last);
+}
+
+/// The reduction generate function: red_gen when present, else gen.
+template <typename Op>
+[[nodiscard]] auto red_result(const Op& op) {
+  if constexpr (HasRedGen<Op>) {
+    return op.red_gen();
+  } else {
+    return op.gen();
+  }
+}
+
+/// The scan generate function: scan_gen(x) when present, else gen.  The
+/// paper's scan generator may produce a different value per position based
+/// on the input value there (counts does; mink does not).
+template <typename Op, typename In>
+[[nodiscard]] auto scan_result(const Op& op, const In& x) {
+  if constexpr (HasScanGen<Op, In>) {
+    return op.scan_gen(x);
+  } else {
+    return op.gen();
+  }
+}
+
+/// Result type of a reduction with operator Op.
+template <typename Op>
+using reduce_result_t = decltype(red_result(std::declval<const Op&>()));
+
+/// Result type of one scan output position.
+template <typename Op, typename In>
+using scan_result_t =
+    decltype(scan_result(std::declval<const Op&>(), std::declval<const In&>()));
+
+/// Serializes an operator's state.
+template <typename Op>
+[[nodiscard]] std::vector<std::byte> save_op(const Op& op) {
+  if constexpr (HasSaveLoad<Op>) {
+    bytes::Writer w;
+    op.save(w);
+    return std::move(w).take();
+  } else {
+    static_assert(std::is_trivially_copyable_v<Op>,
+                  "operator must be trivially copyable or provide save/load");
+    return bytes::to_bytes(op);
+  }
+}
+
+/// Reconstructs an operator's state from bytes.  `prototype` supplies
+/// constructor parameters (it is copied, then overwritten by load).
+template <typename Op>
+[[nodiscard]] Op load_op(const Op& prototype, std::span<const std::byte> data) {
+  if constexpr (HasSaveLoad<Op>) {
+    Op op(prototype);
+    bytes::Reader r(data);
+    op.load(r);
+    if (!r.exhausted()) {
+      throw ProtocolError("load_op: trailing bytes after operator state");
+    }
+    return op;
+  } else {
+    // Copy the prototype, then overwrite its bytes: legal for trivially
+    // copyable types and — unlike from_bytes — does not require the
+    // operator to be default-constructible (e.g. CountIf carries its
+    // predicate as a constructor argument).
+    if (data.size() != sizeof(Op)) {
+      throw ProtocolError("load_op: operator state has wrong size");
+    }
+    Op op(prototype);
+    std::memcpy(static_cast<void*>(&op), data.data(), sizeof(Op));
+    return op;
+  }
+}
+
+}  // namespace rsmpi::rs

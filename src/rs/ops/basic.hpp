@@ -1,0 +1,164 @@
+// Elementary global-view operators: the built-in reductions every
+// high-level language ships (sum, product, min, max, logical all/any),
+// restated against the operator-class protocol so they compose with the
+// same reduce/scan machinery as user-defined operators.
+#pragma once
+
+#include <limits>
+
+namespace rsmpi::rs::ops {
+
+/// Running sum.  State, input, and output types coincide — the degenerate
+/// case in which the global-view abstraction collapses to the local view.
+template <typename T>
+class Sum {
+ public:
+  static constexpr bool commutative = true;
+
+  void accum(const T& x) { value_ += x; }
+  void combine(const Sum& other) { value_ += other.value_; }
+  [[nodiscard]] T gen() const { return value_; }
+
+ private:
+  T value_{};
+};
+
+/// Running product.
+template <typename T>
+class Product {
+ public:
+  static constexpr bool commutative = true;
+
+  void accum(const T& x) { value_ *= x; }
+  void combine(const Product& other) { value_ *= other.value_; }
+  [[nodiscard]] T gen() const { return value_; }
+
+ private:
+  T value_{1};
+};
+
+/// Minimum value.
+template <typename T>
+class Min {
+ public:
+  static constexpr bool commutative = true;
+
+  void accum(const T& x) {
+    if (x < value_) value_ = x;
+  }
+  void combine(const Min& other) { accum(other.value_); }
+  [[nodiscard]] T gen() const { return value_; }
+
+ private:
+  T value_ = std::numeric_limits<T>::max();
+};
+
+/// Maximum value.
+template <typename T>
+class Max {
+ public:
+  static constexpr bool commutative = true;
+
+  void accum(const T& x) {
+    if (x > value_) value_ = x;
+  }
+  void combine(const Max& other) { accum(other.value_); }
+  [[nodiscard]] T gen() const { return value_; }
+
+ private:
+  T value_ = std::numeric_limits<T>::lowest();
+};
+
+/// Logical conjunction over a predicate-valued input.
+class All {
+ public:
+  static constexpr bool commutative = true;
+
+  void accum(const bool& x) { value_ = value_ && x; }
+  void combine(const All& other) { value_ = value_ && other.value_; }
+  [[nodiscard]] bool gen() const { return value_; }
+
+ private:
+  bool value_ = true;
+};
+
+/// Logical disjunction over a predicate-valued input.
+class Any {
+ public:
+  static constexpr bool commutative = true;
+
+  void accum(const bool& x) { value_ = value_ || x; }
+  void combine(const Any& other) { value_ = value_ || other.value_; }
+  [[nodiscard]] bool gen() const { return value_; }
+
+ private:
+  bool value_ = false;
+};
+
+/// Counts inputs satisfying a predicate.  Demonstrates configuration state
+/// (the predicate) riding along in the operator prototype while only the
+/// counter participates in combines.
+template <typename T, typename Pred>
+class CountIf {
+ public:
+  static constexpr bool commutative = true;
+
+  explicit CountIf(Pred pred) : pred_(std::move(pred)) {}
+
+  void accum(const T& x) {
+    if (pred_(x)) ++count_;
+  }
+  void combine(const CountIf& other) { count_ += other.count_; }
+  [[nodiscard]] long gen() const { return count_; }
+
+ private:
+  Pred pred_;
+  long count_ = 0;
+};
+
+/// Boyer–Moore majority vote, parallelized: the pairwise summary
+/// (candidate, weight) merges by cancelling opposing weights, so if any
+/// value holds a strict global majority it is guaranteed to be the
+/// surviving candidate under *any* combine tree.  (Whether the candidate
+/// truly is a majority needs one verification pass — CountIf — as in the
+/// sequential algorithm.)
+template <typename T>
+class MajorityVote {
+ public:
+  static constexpr bool commutative = true;
+
+  void accum(const T& x) {
+    if (weight_ == 0) {
+      candidate_ = x;
+      weight_ = 1;
+    } else if (candidate_ == x) {
+      ++weight_;
+    } else {
+      --weight_;
+    }
+  }
+
+  void combine(const MajorityVote& o) {
+    if (o.weight_ == 0) return;
+    if (weight_ == 0 || candidate_ == o.candidate_) {
+      if (weight_ == 0) candidate_ = o.candidate_;
+      weight_ += o.weight_;
+      return;
+    }
+    if (o.weight_ > weight_) {
+      candidate_ = o.candidate_;
+      weight_ = o.weight_ - weight_;
+    } else {
+      weight_ -= o.weight_;
+    }
+  }
+
+  /// The only possible majority value (meaningless if no majority exists).
+  [[nodiscard]] T gen() const { return candidate_; }
+
+ private:
+  T candidate_{};
+  long weight_ = 0;
+};
+
+}  // namespace rsmpi::rs::ops

@@ -1,0 +1,31 @@
+// Concatenation operator: the canonical non-commutative associative
+// operator, used throughout the test suite to pin operand ordering (any
+// schedule that reorders combines scrambles the string).  Scanning with it
+// yields running prefixes, making it a readable demonstration of the
+// exclusive/inclusive distinction.
+#pragma once
+
+#include <string>
+
+#include "util/bytes.hpp"
+
+namespace rsmpi::rs::ops {
+
+class Concat {
+ public:
+  static constexpr bool commutative = false;
+
+  void accum(const char& c) { s_.push_back(c); }
+
+  void combine(const Concat& other) { s_ += other.s_; }
+
+  [[nodiscard]] std::string gen() const { return s_; }
+
+  void save(bytes::Writer& w) const { w.put_string(s_); }
+  void load(bytes::Reader& r) { s_ = r.get_string(); }
+
+ private:
+  std::string s_;
+};
+
+}  // namespace rsmpi::rs::ops

@@ -1,0 +1,59 @@
+// First / Last operators: the first (last) value of the reduced sequence.
+//
+// Trivial as reductions, they earn their keep in *scans*: an exclusive
+// scan with Last hands every position the nearest preceding value — the
+// carry primitive that stitches rank boundaries in algorithms like
+// run-length encoding (rs/algos/rle.hpp) without any ad-hoc neighbour
+// protocol, even across empty ranks.
+#pragma once
+
+#include <type_traits>
+
+namespace rsmpi::rs::ops {
+
+/// Presence-tagged value; the generate type of First/Last.
+template <typename T>
+struct Maybe {
+  bool has = false;
+  T value{};
+
+  friend constexpr bool operator==(const Maybe&, const Maybe&) = default;
+};
+
+/// The first value of the sequence (positionally, so non-commutative).
+template <typename T>
+  requires std::is_trivially_copyable_v<T>
+class First {
+ public:
+  static constexpr bool commutative = false;
+
+  void accum(const T& x) {
+    if (!v_.has) v_ = {true, x};
+  }
+  void combine(const First& o) {
+    if (!v_.has) v_ = o.v_;
+  }
+  [[nodiscard]] Maybe<T> gen() const { return v_; }
+
+ private:
+  Maybe<T> v_;
+};
+
+/// The last value of the sequence (positionally, so non-commutative).
+template <typename T>
+  requires std::is_trivially_copyable_v<T>
+class Last {
+ public:
+  static constexpr bool commutative = false;
+
+  void accum(const T& x) { v_ = {true, x}; }
+  void combine(const Last& o) {
+    if (o.v_.has) v_ = o.v_;
+  }
+  [[nodiscard]] Maybe<T> gen() const { return v_; }
+
+ private:
+  Maybe<T> v_;
+};
+
+}  // namespace rsmpi::rs::ops

@@ -1,0 +1,45 @@
+// Compensated (Kahan–Neumaier) summation as a reduction operator.
+//
+// Floating-point addition is only approximately associative, so a
+// parallel sum's result depends on the combine tree — an old HPC trap the
+// operator-class abstraction can *mitigate*: carrying a compensation term
+// through accumulate and combine keeps the error near one ulp of the
+// true sum regardless of schedule, where the naive Sum<double> error
+// grows with the condition number of the data.
+#pragma once
+
+#include <cmath>
+
+namespace rsmpi::rs::ops {
+
+class KahanSum {
+ public:
+  static constexpr bool commutative = true;
+
+  /// Neumaier's variant of the compensated update: also correct when the
+  /// addend exceeds the running sum in magnitude.
+  void accum(const double& x) {
+    const double t = sum_ + x;
+    if (std::abs(sum_) >= std::abs(x)) {
+      comp_ += (sum_ - t) + x;
+    } else {
+      comp_ += (x - t) + sum_;
+    }
+    sum_ = t;
+  }
+
+  /// Merging two compensated partial sums: fold the other's principal sum
+  /// with a compensated update and carry both compensation terms.
+  void combine(const KahanSum& o) {
+    accum(o.sum_);
+    comp_ += o.comp_;
+  }
+
+  [[nodiscard]] double gen() const { return sum_ + comp_; }
+
+ private:
+  double sum_ = 0.0;
+  double comp_ = 0.0;
+};
+
+}  // namespace rsmpi::rs::ops

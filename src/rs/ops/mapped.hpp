@@ -1,0 +1,77 @@
+// Input-transforming operator adapter: feed f(x) to an operator expecting
+// a different input type.  The lazy-view equivalent at the data side is a
+// std::views::transform; this adapter puts the same idea on the operator
+// side, which composes better when the operator is handed to generic code
+// that only sees the raw input type:
+//
+//   // Reduce the *lengths* of strings with a plain Max<int>:
+//   auto longest = rs::reduce(comm, lengths_as_sizes,
+//       ops::mapped<std::size_t>([](std::size_t s) { return (int)s; },
+//                                ops::Max<int>{}));
+//
+// The transform must be stateless-ish (trivially copyable, e.g. a
+// captureless lambda or function pointer) because the adapter travels
+// between ranks with its inner state.
+#pragma once
+
+#include <type_traits>
+#include <utility>
+
+#include "rs/op_concepts.hpp"
+
+namespace rsmpi::rs::ops {
+
+template <typename In, typename Fn, typename Op>
+class Mapped {
+ public:
+  static constexpr bool commutative = op_commutative<Op>();
+
+  Mapped(Fn fn, Op op) : fn_(std::move(fn)), op_(std::move(op)) {}
+
+  void accum(const In& x) { op_.accum(fn_(x)); }
+
+  void pre_accum(const In& x)
+    requires HasPreAccum<Op, std::invoke_result_t<Fn, In>>
+  {
+    op_.pre_accum(fn_(x));
+  }
+
+  void post_accum(const In& x)
+    requires HasPostAccum<Op, std::invoke_result_t<Fn, In>>
+  {
+    op_.post_accum(fn_(x));
+  }
+
+  void combine(const Mapped& other) { op_.combine(other.op_); }
+
+  [[nodiscard]] auto red_gen() const { return red_result(op_); }
+
+  [[nodiscard]] auto scan_gen(const In& x) const {
+    return scan_result(op_, fn_(x));
+  }
+
+  [[nodiscard]] const Op& inner() const { return op_; }
+
+  void save(bytes::Writer& w) const
+    requires HasSaveLoad<Op>
+  {
+    op_.save(w);
+  }
+  void load(bytes::Reader& r)
+    requires HasSaveLoad<Op>
+  {
+    op_.load(r);
+  }
+
+ private:
+  Fn fn_;
+  Op op_;
+};
+
+/// Factory naming the input type only: mapped<Event>(fn, op).
+template <typename In, typename Fn, typename Op>
+[[nodiscard]] Mapped<In, Fn, Op> mapped(Fn fn, Op op) {
+  return Mapped<In, Fn, Op>(std::move(fn), std::move(op));
+}
+
+}  // namespace rsmpi::rs::ops

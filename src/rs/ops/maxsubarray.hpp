@@ -1,0 +1,56 @@
+// Maximum contiguous subarray sum: the classic example of a reduction that
+// looks inherently sequential (Kadane's algorithm carries a running
+// suffix) yet is expressible as an associative — though non-commutative —
+// operator, putting it squarely in the class of "complex scans and
+// reductions" the paper cites Fisher & Ghuloum [10] for parallelizing.
+//
+// State is the standard 4-tuple (total, best, best-prefix, best-suffix);
+// accumulate is Kadane's O(1) update, combine is the 4-tuple merge.
+#pragma once
+
+#include <algorithm>
+
+namespace rsmpi::rs::ops {
+
+template <typename T>
+class MaxSubarray {
+ public:
+  static constexpr bool commutative = false;
+
+  void accum(const T& x) {
+    if (empty_) {
+      total_ = best_ = prefix_ = suffix_ = x;
+      empty_ = false;
+      return;
+    }
+    total_ += x;
+    suffix_ = std::max(x, suffix_ + x);
+    best_ = std::max(best_, suffix_);
+    prefix_ = std::max(prefix_, total_);
+  }
+
+  void combine(const MaxSubarray& o) {
+    if (o.empty_) return;
+    if (empty_) {
+      *this = o;
+      return;
+    }
+    best_ = std::max({best_, o.best_, suffix_ + o.prefix_});
+    prefix_ = std::max(prefix_, total_ + o.prefix_);
+    suffix_ = std::max(o.suffix_, o.total_ + suffix_);
+    total_ += o.total_;
+  }
+
+  /// The maximum sum over all nonempty contiguous subarrays; T{} for an
+  /// empty input.
+  [[nodiscard]] T gen() const { return empty_ ? T{} : best_; }
+
+ private:
+  bool empty_ = true;
+  T total_{};
+  T best_{};
+  T prefix_{};  // best sum of a prefix
+  T suffix_{};  // best sum of a suffix
+};
+
+}  // namespace rsmpi::rs::ops

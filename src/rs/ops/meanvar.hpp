@@ -1,0 +1,64 @@
+// Streaming mean/variance operator (Welford accumulation, Chan et al.
+// pairwise combination).  The fully general shape of the paper's §3 type
+// signatures: input (a sample), state (count/mean/M2), and output (a
+// summary struct) are three distinct types.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+namespace rsmpi::rs::ops {
+
+/// Reduction output of MeanVar.
+struct MeanVarResult {
+  std::int64_t count = 0;
+  double mean = 0.0;
+  /// Population variance (M2 / n); 0 when count < 2.
+  double variance = 0.0;
+
+  friend bool operator==(const MeanVarResult&, const MeanVarResult&) = default;
+};
+
+class MeanVar {
+ public:
+  static constexpr bool commutative = true;
+
+  /// Welford's single-pass update.
+  void accum(const double& x) {
+    n_ += 1;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+  }
+
+  /// Chan et al. parallel combination of two partial summaries.
+  void combine(const MeanVar& other) {
+    if (other.n_ == 0) return;
+    if (n_ == 0) {
+      *this = other;
+      return;
+    }
+    const double na = static_cast<double>(n_);
+    const double nb = static_cast<double>(other.n_);
+    const double delta = other.mean_ - mean_;
+    const double total = na + nb;
+    mean_ += delta * nb / total;
+    m2_ += other.m2_ + delta * delta * na * nb / total;
+    n_ += other.n_;
+  }
+
+  [[nodiscard]] MeanVarResult gen() const {
+    MeanVarResult r;
+    r.count = n_;
+    r.mean = n_ > 0 ? mean_ : 0.0;
+    r.variance = n_ > 1 ? m2_ / static_cast<double>(n_) : 0.0;
+    return r;
+  }
+
+ private:
+  std::int64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+};
+
+}  // namespace rsmpi::rs::ops

@@ -1,0 +1,72 @@
+// The mini / maxi operators (paper Listing 5): minimum (maximum) value
+// together with its location.  The input is a (value, index) pair —
+// Chapel's first-class tuples, here a plain aggregate — and the output is
+// the winning pair.
+//
+// Deviation from the listing: Listing 5 keeps the first-seen pair on ties
+// (strict comparison), which makes the result depend on combine order and
+// therefore nondeterministic under the commutative combine-as-available
+// schedule.  We resolve ties to the smallest index — the MPI_MINLOC rule —
+// which restores determinism without changing any untied result.
+#pragma once
+
+#include <limits>
+
+namespace rsmpi::rs::ops {
+
+/// Input/output element for the located extrema operators.
+template <typename T, typename Index = long>
+struct Located {
+  T value;
+  Index index;
+
+  friend constexpr bool operator==(const Located&, const Located&) = default;
+};
+
+/// Minimum value and its location.
+template <typename T, typename Index = long>
+class MinI {
+ public:
+  static constexpr bool commutative = true;
+  using Element = Located<T, Index>;
+
+  void accum(const Element& x) {
+    if (x.value < best_.value ||
+        (x.value == best_.value && x.index < best_.index)) {
+      best_ = x;
+    }
+  }
+
+  void combine(const MinI& other) { accum(other.best_); }
+
+  [[nodiscard]] Element gen() const { return best_; }
+
+ private:
+  Element best_{std::numeric_limits<T>::max(),
+                std::numeric_limits<Index>::max()};
+};
+
+/// Maximum value and its location.
+template <typename T, typename Index = long>
+class MaxI {
+ public:
+  static constexpr bool commutative = true;
+  using Element = Located<T, Index>;
+
+  void accum(const Element& x) {
+    if (x.value > best_.value ||
+        (x.value == best_.value && x.index < best_.index)) {
+      best_ = x;
+    }
+  }
+
+  void combine(const MaxI& other) { accum(other.best_); }
+
+  [[nodiscard]] Element gen() const { return best_; }
+
+ private:
+  Element best_{std::numeric_limits<T>::lowest(),
+                std::numeric_limits<Index>::max()};
+};
+
+}  // namespace rsmpi::rs::ops

@@ -1,0 +1,19 @@
+// Umbrella header for the global-view operator library.
+#pragma once
+
+#include "rs/ops/basic.hpp"        // Sum, Product, Min, Max, All, Any, CountIf
+#include "rs/ops/concat.hpp"       // Concat (non-commutative test op)
+#include "rs/ops/counts.hpp"       // Counts (Listing 6)
+#include "rs/ops/mapped.hpp"       // Mapped (input-transform adapter)
+#include "rs/ops/firstlast.hpp"    // First, Last (boundary carries)
+#include "rs/ops/fuse.hpp"         // Fuse (two reductions, one pass)
+#include "rs/ops/histogram.hpp"    // Histogram
+#include "rs/ops/kahan.hpp"        // KahanSum (compensated summation)
+#include "rs/ops/maxsubarray.hpp"  // MaxSubarray (Kadane, associative form)
+#include "rs/ops/meanvar.hpp"      // MeanVar (Welford)
+#include "rs/ops/mini.hpp"         // MinI, MaxI (Listing 5)
+#include "rs/ops/mink.hpp"         // MinK, MaxK (Listings 1/4)
+#include "rs/ops/segmented.hpp"    // Segmented (Blelloch-style segments)
+#include "rs/ops/sketches.hpp"     // HyperLogLog, HeavyHitters, BloomFilter
+#include "rs/ops/sorted.hpp"       // Sorted (Listing 7)
+#include "rs/ops/topbottomk.hpp"   // TopBottomK (NAS MG §4.2)

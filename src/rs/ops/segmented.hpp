@@ -1,0 +1,92 @@
+// Segmented operator adapter: lifts any global-view operator to segmented
+// semantics in the style of Blelloch's segmented scans (the paper's [3],
+// whose vector model builds data-parallel algorithms on exactly this
+// primitive).
+//
+// Input elements carry a start-of-segment flag; a segmented *scan* with
+// Segmented<Op> restarts the underlying operator at every flagged
+// position, yielding per-segment running results, and a segmented
+// *reduction* yields the underlying result of the final segment.  The
+// adapter is the standard segment monoid: state = (suffix-run state, saw a
+// boundary?), so it is associative whenever Op is, but never commutative —
+// segment boundaries order the operands.
+#pragma once
+
+#include "rs/op_concepts.hpp"
+
+namespace rsmpi::rs::ops {
+
+/// One segmented input element.
+template <typename In>
+struct Seg {
+  In value;
+  /// True when this element begins a new segment.
+  bool start = false;
+};
+
+template <typename Op, typename In>
+  requires Accumulates<Op, In> && Combinable<Op> &&
+           std::copy_constructible<Op>
+class Segmented {
+ public:
+  static constexpr bool commutative = false;
+
+  /// `prototype` must be in identity state; it seeds every restart.
+  explicit Segmented(Op prototype)
+      : run_(prototype), prototype_(std::move(prototype)) {}
+
+  void accum(const Seg<In>& x) {
+    if (x.start) {
+      run_ = prototype_;
+      boundary_ = true;
+    }
+    run_.accum(x.value);
+  }
+
+  /// this = this (+) other.  If the right block contains a boundary, its
+  /// suffix run replaces ours (our run ended inside the right block);
+  /// otherwise the right block continues our run.
+  void combine(const Segmented& other) {
+    if (other.boundary_) {
+      run_ = other.run_;
+      boundary_ = true;
+    } else {
+      run_.combine(other.run_);
+    }
+  }
+
+  /// Reduction output: the underlying result of the last segment.
+  [[nodiscard]] auto red_gen() const { return red_result(run_); }
+
+  /// Scan output: the underlying operator's per-position output within the
+  /// current segment.
+  [[nodiscard]] auto scan_gen(const Seg<In>& x) const {
+    return scan_result(run_, x.value);
+  }
+
+  /// Access to the wrapped state (e.g. for extra generate functions).
+  [[nodiscard]] const Op& inner() const { return run_; }
+
+  void save(bytes::Writer& w) const {
+    w.put<std::uint8_t>(boundary_ ? 1 : 0);
+    w.put_vector(save_op(run_));
+  }
+  void load(bytes::Reader& r) {
+    boundary_ = r.get<std::uint8_t>() != 0;
+    const auto raw = r.get_vector<std::byte>();
+    run_ = load_op(prototype_, raw);
+  }
+
+ private:
+  Op run_;         // state of the suffix run (since the last boundary)
+  Op prototype_;   // identity, for restarts and deserialization
+  bool boundary_ = false;
+};
+
+/// Deduction-friendly factory: segmented(ops::Sum<long>{}).
+template <typename In, typename Op>
+[[nodiscard]] Segmented<Op, In> segmented(Op prototype) {
+  return Segmented<Op, In>(std::move(prototype));
+}
+
+}  // namespace rsmpi::rs::ops

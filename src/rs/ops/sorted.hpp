@@ -1,0 +1,74 @@
+// The sorted operator (paper Listing 7, §3.1.4): reduces an ordered
+// sequence to the single boolean "is it sorted?".
+//
+// This is the paper's showcase non-commutative operator and the operator
+// behind the NAS IS case study (§4.1).  The accumulate function tracks the
+// running last element (one comparison, one register-resident value per
+// input — the "scalar improvement" the paper credits for RSMPI's edge over
+// the stock NAS code), pre_accum records the block's first element, and
+// combine checks both sub-results and the boundary pair.
+//
+// Deviation from the listing: Listing 7's combine consults the right
+// operand's `first` but never updates its own, which silently mis-handles
+// a processor holding zero elements (its sentinel `first`/`last` values
+// leak into boundary checks).  We carry an explicit emptiness flag: an
+// empty state is a true identity for combine.  All non-empty behaviour is
+// exactly the listing's.
+#pragma once
+
+#include <limits>
+
+namespace rsmpi::rs::ops {
+
+template <typename T>
+class Sorted {
+ public:
+  /// Order matters: [3, 1] combined as (3)(1) is unsorted, as (1)(3) is
+  /// sorted.  Declaring this false selects the order-preserving combine
+  /// schedule (and §4.1's experiment of lying about it is reproduced in
+  /// bench/ablation_commutativity).
+  static constexpr bool commutative = false;
+
+  /// Observes the first element of the local block (Listing 7 pre_accum).
+  void pre_accum(const T& x) {
+    first_ = x;
+    empty_ = false;
+  }
+
+  /// Folds one element: any descent falsifies sortedness (Listing 7 accum).
+  /// If the framework's pre_accum hook was bypassed (direct use), the
+  /// first accumulated element doubles as `first`.
+  void accum(const T& x) {
+    if (empty_) {
+      first_ = x;
+      empty_ = false;
+    } else if (last_ > x) {
+      // last_ starts at T's lowest value, so the very first accum after
+      // pre_accum can never trip this branch spuriously.
+      status_ = false;
+    }
+    last_ = x;
+  }
+
+  /// this = this (+) other, where this covers the earlier positions:
+  /// both halves must be sorted and the boundary must not descend.
+  void combine(const Sorted& other) {
+    if (other.empty_) return;
+    if (empty_) {
+      *this = other;
+      return;
+    }
+    status_ = status_ && other.status_ && last_ <= other.first_;
+    last_ = other.last_;
+  }
+
+  [[nodiscard]] bool gen() const { return status_; }
+
+ private:
+  bool status_ = true;
+  bool empty_ = true;
+  T first_ = std::numeric_limits<T>::max();
+  T last_ = std::numeric_limits<T>::lowest();
+};
+
+}  // namespace rsmpi::rs::ops

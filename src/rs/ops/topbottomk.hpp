@@ -1,0 +1,105 @@
+// The TopBottomK operator: the k largest and k smallest values of a
+// distributed array, each with its global position.
+//
+// This is the single user-defined reduction that replaces the "forty
+// reductions" of NAS MG's ZRAN3 routine (paper §4.2): the F+MPI reference
+// locates the ten largest and ten smallest grid values one at a time with
+// repeated built-in reductions, while the global-view formulation carries
+// both candidate lists in one operator state and resolves everything in a
+// single combine tree.  It composes the semantics of mink/maxk (Listing 4)
+// with the location tracking of mini (Listing 5).
+#pragma once
+
+#include <algorithm>
+#include <vector>
+
+#include "rs/ops/mini.hpp"
+#include "util/bytes.hpp"
+#include "util/error.hpp"
+
+namespace rsmpi::rs::ops {
+
+/// Output of TopBottomK: the k largest entries (descending by value) and
+/// the k smallest (ascending), with positions.
+template <typename T, typename Index = long>
+struct TopBottomKResult {
+  std::vector<Located<T, Index>> largest;
+  std::vector<Located<T, Index>> smallest;
+};
+
+template <typename T, typename Index = long>
+class TopBottomK {
+ public:
+  static constexpr bool commutative = true;
+  using Element = Located<T, Index>;
+
+  explicit TopBottomK(std::size_t k) : k_(k) {
+    if (k == 0) throw ArgumentError("TopBottomK: k must be positive");
+    largest_.reserve(k + 1);
+    smallest_.reserve(k + 1);
+  }
+
+  /// Inserts into whichever candidate lists x qualifies for; each list is
+  /// kept sorted so rejection costs one comparison against the threshold.
+  void accum(const Element& x) {
+    insert_largest(x);
+    insert_smallest(x);
+  }
+
+  void combine(const TopBottomK& other) {
+    for (const Element& e : other.largest_) insert_largest(e);
+    for (const Element& e : other.smallest_) insert_smallest(e);
+  }
+
+  [[nodiscard]] TopBottomKResult<T, Index> gen() const {
+    return {largest_, smallest_};
+  }
+
+  [[nodiscard]] std::size_t k() const { return k_; }
+
+  void save(bytes::Writer& w) const {
+    w.put_vector(largest_);
+    w.put_vector(smallest_);
+  }
+  void load(bytes::Reader& r) {
+    largest_ = r.get_vector<Element>();
+    smallest_ = r.get_vector<Element>();
+    if (largest_.size() > k_ || smallest_.size() > k_) {
+      throw ProtocolError("TopBottomK: state arrived with more than k items");
+    }
+  }
+
+ private:
+  /// Descending by value; ties by ascending position (deterministic under
+  /// any combine order, like MinI).
+  static bool larger(const Element& a, const Element& b) {
+    if (a.value != b.value) return a.value > b.value;
+    return a.index < b.index;
+  }
+  static bool smaller(const Element& a, const Element& b) {
+    if (a.value != b.value) return a.value < b.value;
+    return a.index < b.index;
+  }
+
+  void insert_largest(const Element& x) {
+    if (largest_.size() == k_ && !larger(x, largest_.back())) return;
+    const auto pos =
+        std::lower_bound(largest_.begin(), largest_.end(), x, larger);
+    largest_.insert(pos, x);
+    if (largest_.size() > k_) largest_.pop_back();
+  }
+
+  void insert_smallest(const Element& x) {
+    if (smallest_.size() == k_ && !smaller(x, smallest_.back())) return;
+    const auto pos =
+        std::lower_bound(smallest_.begin(), smallest_.end(), x, smaller);
+    smallest_.insert(pos, x);
+    if (smallest_.size() > k_) smallest_.pop_back();
+  }
+
+  std::size_t k_;
+  std::vector<Element> largest_;   // descending by value
+  std::vector<Element> smallest_;  // ascending by value
+};
+
+}  // namespace rsmpi::rs::ops

@@ -1,0 +1,82 @@
+// Sequential reference semantics for the global-view abstraction.
+//
+// These run the same operator protocol (pre_accum / accum / post_accum /
+// generate) over a single range with no communication.  They serve three
+// roles: the p = 1 degenerate case, the oracle the parallel property tests
+// compare against, and a readable statement of what a reduction/scan
+// *means* independent of any schedule.
+#pragma once
+
+#include <ranges>
+#include <vector>
+
+#include "rs/op_concepts.hpp"
+
+namespace rsmpi::rs::serial {
+
+/// Folds a range into an operator state (identity prototype in, fully
+/// accumulated state out).
+template <typename Op, std::ranges::input_range R>
+  requires Accumulates<Op, std::ranges::range_value_t<R>>
+Op reduce_state(R&& values, Op op) {
+  using In = std::ranges::range_value_t<R>;
+  auto it = std::ranges::begin(values);
+  const auto end = std::ranges::end(values);
+  if (it == end) return op;
+  pre_accum_if(op, static_cast<const In&>(*it));
+  In last = *it;
+  for (; it != end; ++it) {
+    const In& x = *it;
+    op.accum(x);
+    last = x;
+  }
+  post_accum_if(op, static_cast<const In&>(last));
+  return op;
+}
+
+/// Sequential reduction: accumulate everything, then generate.
+template <typename Op, std::ranges::input_range R>
+  requires Accumulates<Op, std::ranges::range_value_t<R>> &&
+           (HasGen<Op> || HasRedGen<Op>)
+reduce_result_t<Op> reduce(R&& values, Op op) {
+  return red_result(reduce_state(std::forward<R>(values), std::move(op)));
+}
+
+/// Sequential inclusive scan.
+template <typename Op, std::ranges::input_range R>
+  requires Accumulates<Op, std::ranges::range_value_t<R>>
+std::vector<scan_result_t<Op, std::ranges::range_value_t<R>>> scan(
+    R&& values, Op op) {
+  using In = std::ranges::range_value_t<R>;
+  std::vector<scan_result_t<Op, In>> out;
+  for (const In& x : values) {
+    op.accum(x);
+    out.push_back(scan_result(op, x));
+  }
+  return out;
+}
+
+/// Sequential exclusive scan: position i is generated from the state of
+/// positions [0, i); position 0 from the identity state.
+template <typename Op, std::ranges::input_range R>
+  requires Accumulates<Op, std::ranges::range_value_t<R>>
+std::vector<scan_result_t<Op, std::ranges::range_value_t<R>>> xscan(
+    R&& values, Op op) {
+  using In = std::ranges::range_value_t<R>;
+  std::vector<scan_result_t<Op, In>> out;
+  for (const In& x : values) {
+    out.push_back(scan_result(op, x));
+    op.accum(x);
+  }
+  return out;
+}
+
+/// The "reduction of two states" view used by tests that exercise combine
+/// directly: left (+) right.
+template <Combinable Op>
+Op combine(Op left, const Op& right) {
+  left.combine(right);
+  return left;
+}
+
+}  // namespace rsmpi::rs::serial

@@ -1,0 +1,126 @@
+// Combine-phase plumbing for the global-view abstraction: moving operator
+// *state* between ranks and folding it with f_combine.
+//
+// These routines are the LOCAL_REDUCE / LOCAL_XSCAN of Listings 2–3,
+// specialized to a single variable-size operator state per rank instead of
+// a fixed value buffer.  The same three schedules as src/coll are offered:
+// order-preserving binomial (non-commutative safe), combine-as-available
+// k-ary tree (commutative only), and linear baselines.
+#pragma once
+
+#include <vector>
+
+#include "coll/bcast.hpp"
+#include "mprt/comm.hpp"
+#include "mprt/topology.hpp"
+#include "rs/op_concepts.hpp"
+#include "util/error.hpp"
+
+namespace rsmpi::rs::detail {
+
+inline constexpr int kUnorderedArity = 4;
+
+/// Binomial-tree reduction of operator states to rank 0, preserving rank
+/// order so non-commutative combines see (earlier ranks) (+) (later ranks).
+template <Combinable Op>
+void state_reduce_binomial(mprt::Comm& comm, Op& op, const Op& prototype) {
+  const int p = comm.size();
+  const int tag = comm.next_collective_tag();
+  const int rank = comm.rank();
+  for (const auto& step : mprt::topology::binomial_reduce_schedule(rank, p)) {
+    if (step.role == mprt::topology::BinomialStep::Role::kSend) {
+      comm.send_bytes(step.partner, tag, save_op(op));
+    } else {
+      const auto msg = comm.recv_message(step.partner, tag);
+      Op other = load_op(prototype, msg.payload);
+      auto timer = comm.compute_section();
+      op.combine(other);
+    }
+  }
+}
+
+/// Combine-as-available k-ary tree to rank 0; requires commutativity.
+template <Combinable Op>
+void state_reduce_unordered(mprt::Comm& comm, Op& op, const Op& prototype,
+                            int arity = kUnorderedArity) {
+  const int p = comm.size();
+  const int tag = comm.next_collective_tag();
+  const int rank = comm.rank();
+  int num_children = 0;
+  for (int c = arity * rank + 1; c <= arity * rank + arity && c < p; ++c) {
+    ++num_children;
+  }
+  for (int i = 0; i < num_children; ++i) {
+    const auto msg = comm.recv_message(mprt::kAnySource, tag);
+    Op other = load_op(prototype, msg.payload);
+    auto timer = comm.compute_section();
+    op.combine(other);
+  }
+  if (rank != 0) {
+    comm.send_bytes((rank - 1) / arity, tag, save_op(op));
+  }
+}
+
+/// Reduces operator states to rank 0, choosing the schedule from the
+/// operator's commutativity trait (or an explicit override used by the
+/// commutativity ablation benchmark).
+template <Combinable Op>
+void state_reduce_to_zero(mprt::Comm& comm, Op& op, const Op& prototype,
+                          bool commutative = op_commutative<Op>()) {
+  if (comm.size() == 1) return;
+  if (commutative) {
+    state_reduce_unordered(comm, op, prototype);
+  } else {
+    state_reduce_binomial(comm, op, prototype);
+  }
+}
+
+/// Reduce to rank 0, then broadcast the finished state to all ranks.
+template <Combinable Op>
+void state_allreduce(mprt::Comm& comm, Op& op, const Op& prototype,
+                     bool commutative = op_commutative<Op>()) {
+  if (comm.size() == 1) return;
+  state_reduce_to_zero(comm, op, prototype, commutative);
+  auto state = comm.rank() == 0 ? save_op(op) : std::vector<std::byte>{};
+  state = coll::bcast_bytes(comm, 0, state);
+  if (comm.rank() != 0) {
+    op = load_op(prototype, state);
+  }
+}
+
+/// Recursive-doubling exclusive scan of operator states across ranks: on
+/// return `op` holds the combination of all lower ranks' input states
+/// (identity, i.e. a copy of `prototype`, on rank 0).  Valid for
+/// non-commutative operators — every prepend joins contiguous rank
+/// intervals in order (see coll/local_scan.hpp for the invariant).
+template <Combinable Op>
+void state_xscan(mprt::Comm& comm, Op& op, const Op& prototype) {
+  const int p = comm.size();
+  const int rank = comm.rank();
+  if (p == 1) {
+    op = prototype;
+    return;
+  }
+  const int tag = comm.next_collective_tag();
+
+  Op incl = op;          // combination of [max(0, rank-2d+1), rank]
+  Op excl = prototype;   // combination of [max(0, rank-2d+1), rank-1]
+  for (int d = 1; d < p; d <<= 1) {
+    if (rank + d < p) {
+      comm.send_bytes(rank + d, tag, save_op(incl));
+    }
+    if (rank - d >= 0) {
+      const auto msg = comm.recv_message(rank - d, tag);
+      Op received = load_op(prototype, msg.payload);
+      auto timer = comm.compute_section();
+      Op tmp = received;
+      tmp.combine(incl);
+      incl = std::move(tmp);
+      received.combine(excl);
+      excl = std::move(received);
+    }
+  }
+  op = std::move(excl);
+}
+
+}  // namespace rsmpi::rs::detail

@@ -1,0 +1,162 @@
+// The RSMPI surface syntax (paper §4), rendered in C++.
+//
+// The paper's RSMPI is a C extension — `rsmpi operator sorted { state
+// {...} void ident(...) ... }` — that a Perl preprocessor lowers to plain
+// MPI.  The C++ rendering needs no preprocessor: an RSMPI operator is a
+// plain struct in exactly Listing 8's shape,
+//
+//   struct Sorted {
+//     using In = int;
+//     struct State { int first, last, status; };  // `state { ... }`
+//     static constexpr bool commutative = false;  // `non-commutative`
+//     static void ident(State& s);
+//     static void pre_accum(State& s, const In& i);    // optional
+//     static void accum(State& s, const In& i);
+//     static void post_accum(State& s, const In& i);   // optional
+//     static void combine(State& s1, const State& s2);
+//     static int generate(const State& s);
+//     static Out scan_generate(const State& s, const In& i);  // optional
+//   };
+//
+// and the call sites mirror the RSMPI routines, including §4's
+// convenience that the world communicator is the default when none is
+// passed:
+//
+//   int sorted = 0;
+//   RSMPI_Reduceall<Sorted>(&sorted, keys);
+//
+// Internally each struct is adapted onto the global-view operator
+// protocol (rs/op_concepts.hpp), so every schedule, trait, and test of
+// the core library applies unchanged.  The state must be trivially
+// copyable — the natural condition for a C-born interface — which also
+// makes serialization automatic.
+#pragma once
+
+#include <optional>
+#include <ranges>
+#include <vector>
+
+#include "mprt/comm.hpp"
+#include "mprt/runtime.hpp"
+#include "rs/reduce.hpp"
+#include "rs/scan.hpp"
+
+namespace rsmpi::c_api {
+
+namespace detail {
+
+template <typename COp>
+concept HasCPreAccum = requires(typename COp::State& s,
+                                const typename COp::In& x) {
+  COp::pre_accum(s, x);
+};
+
+template <typename COp>
+concept HasCPostAccum = requires(typename COp::State& s,
+                                 const typename COp::In& x) {
+  COp::post_accum(s, x);
+};
+
+template <typename COp>
+concept HasCScanGenerate = requires(const typename COp::State& s,
+                                    const typename COp::In& x) {
+  COp::scan_generate(s, x);
+};
+
+template <typename COp>
+concept HasCGenerate = requires(const typename COp::State& s) {
+  COp::generate(s);
+};
+
+/// Bridges a Listing-8-style struct onto the operator-class protocol.
+template <typename COp>
+class Adapter {
+ public:
+  using In = typename COp::In;
+  using State = typename COp::State;
+  static_assert(std::is_trivially_copyable_v<State>,
+                "RSMPI operator state must be trivially copyable");
+
+  static constexpr bool commutative = [] {
+    if constexpr (requires { COp::commutative; }) {
+      return COp::commutative;
+    } else {
+      return true;  // the paper's default (§3.1.4)
+    }
+  }();
+
+  Adapter() { COp::ident(state_); }
+
+  void accum(const In& x) { COp::accum(state_, x); }
+
+  void pre_accum(const In& x)
+    requires HasCPreAccum<COp>
+  {
+    COp::pre_accum(state_, x);
+  }
+
+  void post_accum(const In& x)
+    requires HasCPostAccum<COp>
+  {
+    COp::post_accum(state_, x);
+  }
+
+  void combine(const Adapter& other) { COp::combine(state_, other.state_); }
+
+  [[nodiscard]] auto red_gen() const
+    requires HasCGenerate<COp>
+  {
+    return COp::generate(state_);
+  }
+
+  [[nodiscard]] auto scan_gen(const In& x) const
+    requires HasCScanGenerate<COp>
+  {
+    return COp::scan_generate(state_, x);
+  }
+
+  [[nodiscard]] const State& state() const { return state_; }
+
+ private:
+  State state_;
+};
+
+}  // namespace detail
+
+/// RSMPI_Reduceall: global-view reduction, result on every rank.
+template <typename COp, std::ranges::input_range R, typename Out>
+void RSMPI_Reduceall(Out* result, R&& values,
+                     mprt::Comm& comm = mprt::this_comm()) {
+  *result = rs::reduce(comm, std::forward<R>(values),
+                       detail::Adapter<COp>{});
+}
+
+/// RSMPI_Reduce: result generated on `root` only; other ranks' outputs
+/// are untouched.
+template <typename COp, std::ranges::input_range R, typename Out>
+void RSMPI_Reduce(Out* result, int root, R&& values,
+                  mprt::Comm& comm = mprt::this_comm()) {
+  auto out = rs::reduce_root(comm, root, std::forward<R>(values),
+                             detail::Adapter<COp>{});
+  if (out.has_value()) *result = std::move(*out);
+}
+
+/// RSMPI_Scan: inclusive global-view scan of this rank's slice.
+template <typename COp, std::ranges::forward_range R, typename Out>
+void RSMPI_Scan(std::vector<Out>* result, R&& values,
+                mprt::Comm& comm = mprt::this_comm()) {
+  *result = rs::scan(comm, std::forward<R>(values), detail::Adapter<COp>{},
+                     rs::ScanKind::kInclusive);
+}
+
+/// RSMPI_Exscan: exclusive global-view scan; global position 0 receives
+/// the generate of the identity state (unlike MPI_Exscan, which leaves it
+/// undefined — the reason the abstraction demands an ident function, §2).
+template <typename COp, std::ranges::forward_range R, typename Out>
+void RSMPI_Exscan(std::vector<Out>* result, R&& values,
+                  mprt::Comm& comm = mprt::this_comm()) {
+  *result = rs::scan(comm, std::forward<R>(values), detail::Adapter<COp>{},
+                     rs::ScanKind::kExclusive);
+}
+
+}  // namespace rsmpi::c_api

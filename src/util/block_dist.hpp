@@ -1,0 +1,34 @@
+// Block distribution arithmetic: n elements over p ranks, first n % p
+// ranks one element heavier.  Shared by the distributed-array substrate
+// and the scan-built algorithms.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+namespace rsmpi {
+
+struct BlockDist {
+  std::int64_t n = 0;
+  int p = 1;
+
+  [[nodiscard]] std::int64_t size_of(int rank) const {
+    return n / p + (rank < static_cast<int>(n % p) ? 1 : 0);
+  }
+  [[nodiscard]] std::int64_t start_of(int rank) const {
+    return (n / p) * rank + std::min<std::int64_t>(rank, n % p);
+  }
+  /// The rank owning global position `pos` (0 <= pos < n).
+  [[nodiscard]] int owner_of(std::int64_t pos) const {
+    // Positions below the heavy/light boundary belong to heavy ranks.
+    const std::int64_t heavy = n % p;
+    const std::int64_t heavy_span = heavy * (n / p + 1);
+    if (pos < heavy_span) {
+      return static_cast<int>(pos / (n / p + 1));
+    }
+    if (n / p == 0) return static_cast<int>(heavy);  // degenerate: n < p
+    return static_cast<int>(heavy + (pos - heavy_span) / (n / p));
+  }
+};
+
+}  // namespace rsmpi

@@ -1,0 +1,3 @@
+// bytes.hpp is header-only; this translation unit exists to give the build a
+// home for the archive's symbols should out-of-line definitions be added.
+#include "util/bytes.hpp"

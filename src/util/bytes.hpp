@@ -1,0 +1,168 @@
+// Flat byte archive used to serialize user-defined operator state and
+// collective payloads between ranks.
+//
+// The format is a plain little-endian (host-order) concatenation of
+// trivially-copyable values; variable-length sequences are preceded by a
+// 64-bit count.  The archive is intentionally minimal: messages never leave
+// the process (ranks are threads of one virtual machine), so no
+// byte-swapping or versioning is needed — only bounds safety, which Reader
+// enforces on every extraction.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace rsmpi::bytes {
+
+/// Appends trivially-copyable values and sized sequences to a byte buffer.
+class Writer {
+ public:
+  Writer() = default;
+
+  /// Serialize one trivially-copyable value.
+  template <typename T>
+    requires std::is_trivially_copyable_v<T>
+  void put(const T& value) {
+    const auto* p = reinterpret_cast<const std::byte*>(&value);
+    buf_.insert(buf_.end(), p, p + sizeof(T));
+  }
+
+  /// Serialize a sequence of trivially-copyable values preceded by its
+  /// length, so the reader can recover it without out-of-band information.
+  template <typename T>
+    requires std::is_trivially_copyable_v<T>
+  void put_span(std::span<const T> values) {
+    put<std::uint64_t>(values.size());
+    if (!values.empty()) {
+      const auto* p = reinterpret_cast<const std::byte*>(values.data());
+      buf_.insert(buf_.end(), p, p + values.size_bytes());
+    }
+  }
+
+  template <typename T>
+    requires std::is_trivially_copyable_v<T>
+  void put_vector(const std::vector<T>& values) {
+    put_span(std::span<const T>(values));
+  }
+
+  void put_string(const std::string& s) {
+    put<std::uint64_t>(s.size());
+    const auto* p = reinterpret_cast<const std::byte*>(s.data());
+    buf_.insert(buf_.end(), p, p + s.size());
+  }
+
+  /// Raw bytes without a length prefix (caller manages framing).
+  void put_raw(std::span<const std::byte> raw) {
+    buf_.insert(buf_.end(), raw.begin(), raw.end());
+  }
+
+  [[nodiscard]] std::size_t size() const { return buf_.size(); }
+  [[nodiscard]] std::span<const std::byte> view() const { return buf_; }
+
+  /// Relinquish the underlying buffer.
+  std::vector<std::byte> take() && { return std::move(buf_); }
+
+ private:
+  std::vector<std::byte> buf_;
+};
+
+/// Extracts values from a byte buffer written by Writer.  Every extraction
+/// is bounds-checked and throws ProtocolError on underflow.
+class Reader {
+ public:
+  explicit Reader(std::span<const std::byte> data) : data_(data) {}
+
+  template <typename T>
+    requires std::is_trivially_copyable_v<T>
+  T get() {
+    T value;
+    require(sizeof(T));
+    std::memcpy(&value, data_.data() + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return value;
+  }
+
+  template <typename T>
+    requires std::is_trivially_copyable_v<T>
+  std::vector<T> get_vector() {
+    const auto n = get<std::uint64_t>();
+    require(n * sizeof(T));
+    std::vector<T> out(n);
+    if (n > 0) {
+      std::memcpy(out.data(), data_.data() + pos_, n * sizeof(T));
+    }
+    pos_ += n * sizeof(T);
+    return out;
+  }
+
+  /// Reads a length-prefixed sequence into a caller-provided buffer, which
+  /// must be exactly the serialized length.
+  template <typename T>
+    requires std::is_trivially_copyable_v<T>
+  void get_span(std::span<T> out) {
+    const auto n = get<std::uint64_t>();
+    if (n != out.size()) {
+      throw ProtocolError("bytes::Reader: sequence length mismatch (have " +
+                          std::to_string(n) + ", want " +
+                          std::to_string(out.size()) + ")");
+    }
+    require(n * sizeof(T));
+    if (n > 0) {
+      std::memcpy(out.data(), data_.data() + pos_, n * sizeof(T));
+    }
+    pos_ += n * sizeof(T);
+  }
+
+  std::string get_string() {
+    const auto n = get<std::uint64_t>();
+    require(n);
+    std::string s(reinterpret_cast<const char*>(data_.data() + pos_), n);
+    pos_ += n;
+    return s;
+  }
+
+  [[nodiscard]] std::size_t remaining() const { return data_.size() - pos_; }
+  [[nodiscard]] bool exhausted() const { return remaining() == 0; }
+
+ private:
+  void require(std::size_t n) const {
+    if (data_.size() - pos_ < n) {
+      throw ProtocolError("bytes::Reader: payload underflow (need " +
+                          std::to_string(n) + " bytes, have " +
+                          std::to_string(data_.size() - pos_) + ")");
+    }
+  }
+
+  std::span<const std::byte> data_;
+  std::size_t pos_ = 0;
+};
+
+/// Serializes a trivially-copyable value into a standalone buffer.
+template <typename T>
+  requires std::is_trivially_copyable_v<T>
+std::vector<std::byte> to_bytes(const T& value) {
+  Writer w;
+  w.put(value);
+  return std::move(w).take();
+}
+
+/// Deserializes a trivially-copyable value from a standalone buffer.
+template <typename T>
+  requires std::is_trivially_copyable_v<T>
+T from_bytes(std::span<const std::byte> data) {
+  Reader r(data);
+  T value = r.get<T>();
+  if (!r.exhausted()) {
+    throw ProtocolError("bytes::from_bytes: trailing bytes in payload");
+  }
+  return value;
+}
+
+}  // namespace rsmpi::bytes

@@ -1,0 +1,37 @@
+// Error types shared across the rsmpi library.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace rsmpi {
+
+/// Base class for all errors raised by the rsmpi library.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Raised on a rank when the parallel region is being torn down because
+/// another rank threw.  Blocking receives unblock by throwing this, so a
+/// single failing rank cannot deadlock the whole virtual machine.
+class AbortError : public Error {
+ public:
+  explicit AbortError(const std::string& what) : Error(what) {}
+};
+
+/// Raised for malformed arguments (bad rank, negative count, ...).
+class ArgumentError : public Error {
+ public:
+  explicit ArgumentError(const std::string& what) : Error(what) {}
+};
+
+/// Raised when deserialization runs past the end of a message payload or a
+/// payload has an unexpected size.  Indicates a protocol bug or a corrupted
+/// user-provided save/load pair.
+class ProtocolError : public Error {
+ public:
+  explicit ProtocolError(const std::string& what) : Error(what) {}
+};
+
+}  // namespace rsmpi

@@ -1,0 +1,130 @@
+// Semantics of the twelve built-in operators (paper §2.2) and the
+// commutativity trait plumbing.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "coll/buffer_op.hpp"
+#include "coll/ops.hpp"
+
+namespace {
+
+using namespace rsmpi::coll;
+
+TEST(BuiltinOps, MaxMin) {
+  EXPECT_EQ(Max<int>{}(3, 5), 5);
+  EXPECT_EQ(Max<int>{}(Max<int>::identity(), -100), -100);
+  EXPECT_EQ(Min<int>{}(3, 5), 3);
+  EXPECT_EQ(Min<int>{}(Min<int>::identity(), 100), 100);
+  EXPECT_EQ(Max<double>{}(-1.5, -2.5), -1.5);
+}
+
+TEST(BuiltinOps, SumProd) {
+  EXPECT_EQ(Sum<int>{}(3, 4), 7);
+  EXPECT_EQ(Sum<int>::identity(), 0);
+  EXPECT_EQ(Prod<int>{}(3, 4), 12);
+  EXPECT_EQ(Prod<int>::identity(), 1);
+  EXPECT_DOUBLE_EQ(Sum<double>{}(0.5, 0.25), 0.75);
+}
+
+TEST(BuiltinOps, Logical) {
+  EXPECT_TRUE(LogicalAnd<>{}(true, true));
+  EXPECT_FALSE(LogicalAnd<>{}(true, false));
+  EXPECT_TRUE(LogicalAnd<>::identity());
+  EXPECT_TRUE(LogicalOr<>{}(false, true));
+  EXPECT_FALSE(LogicalOr<>::identity());
+  EXPECT_TRUE(LogicalXor<>{}(true, false));
+  EXPECT_FALSE(LogicalXor<>{}(true, true));
+  EXPECT_FALSE(LogicalXor<>::identity());
+}
+
+TEST(BuiltinOps, LogicalOnIntegers) {
+  // MPI's logical ops act on integers with C truthiness.
+  EXPECT_EQ(LogicalAnd<int>{}(3, 2), 1);
+  EXPECT_EQ(LogicalAnd<int>{}(3, 0), 0);
+  EXPECT_EQ(LogicalXor<int>{}(5, 0), 1);
+  EXPECT_EQ(LogicalXor<int>{}(5, 7), 0);
+}
+
+TEST(BuiltinOps, Bitwise) {
+  EXPECT_EQ(BitAnd<std::uint8_t>{}(0b1100, 0b1010), 0b1000);
+  EXPECT_EQ(BitAnd<std::uint8_t>::identity(), 0xFF);
+  EXPECT_EQ(BitOr<std::uint8_t>{}(0b1100, 0b1010), 0b1110);
+  EXPECT_EQ(BitOr<std::uint8_t>::identity(), 0);
+  EXPECT_EQ(BitXor<std::uint8_t>{}(0b1100, 0b1010), 0b0110);
+  EXPECT_EQ(BitXor<std::uint8_t>::identity(), 0);
+}
+
+TEST(BuiltinOps, MaxLocPrefersSmallerIndexOnTie) {
+  const MaxLoc<int> op;
+  const ValueLoc<int> a{5, 2};
+  const ValueLoc<int> b{5, 7};
+  EXPECT_EQ(op(a, b).index, 2);
+  EXPECT_EQ(op(b, a).index, 2);
+  EXPECT_EQ(op({4, 0}, {5, 9}).index, 9);
+  EXPECT_EQ(op(MaxLoc<int>::identity(), a), a);
+}
+
+TEST(BuiltinOps, MinLocPrefersSmallerIndexOnTie) {
+  const MinLoc<int> op;
+  const ValueLoc<int> a{5, 2};
+  const ValueLoc<int> b{5, 7};
+  EXPECT_EQ(op(a, b).index, 2);
+  EXPECT_EQ(op(b, a).index, 2);
+  EXPECT_EQ(op({4, 9}, {5, 0}).index, 9);
+  EXPECT_EQ(op(MinLoc<int>::identity(), a), a);
+}
+
+struct NoTraitOp {
+  static int identity() { return 0; }
+  int operator()(int a, int b) const { return a + b; }
+};
+struct FalseTraitOp {
+  static constexpr bool commutative = false;
+  static int identity() { return 0; }
+  int operator()(int a, int /*b*/) const { return a; }
+};
+
+TEST(BuiltinOps, CommutativityTraitDefaultsTrue) {
+  EXPECT_TRUE(is_commutative<NoTraitOp>());
+  EXPECT_FALSE(is_commutative<FalseTraitOp>());
+  EXPECT_TRUE(is_commutative<Sum<int>>());
+}
+
+TEST(ElementwiseOp, AppliesPerElement) {
+  ElementwiseOp<int, Min<int>> op;
+  std::vector<int> a = {5, 1, 9};
+  const std::vector<int> b = {3, 4, 2};
+  op.combine(a, b);
+  EXPECT_EQ(a, (std::vector<int>{3, 1, 2}));
+
+  std::vector<int> ident(3);
+  op.ident(ident);
+  for (int v : ident) EXPECT_EQ(v, Min<int>::identity());
+}
+
+TEST(LocalMinK, IdentityIsAllMax) {
+  LocalMinK<int> op;
+  std::vector<int> buf(4);
+  op.ident(buf);
+  for (int v : buf) EXPECT_EQ(v, std::numeric_limits<int>::max());
+}
+
+TEST(LocalMinK, CombineKeepsKSmallest) {
+  LocalMinK<int> op;
+  std::vector<int> a = {1, 4, 8, 12};  // ascending, as the op maintains
+  const std::vector<int> b = {2, 3, 9, 20};
+  op.combine(a, b);
+  EXPECT_EQ(a, (std::vector<int>{1, 2, 3, 4}));
+}
+
+TEST(LocalMinK, CombineWithIdentityIsNoop) {
+  LocalMinK<int> op;
+  std::vector<int> a = {1, 4, 8, 12};
+  std::vector<int> ident(4);
+  op.ident(ident);
+  op.combine(a, ident);
+  EXPECT_EQ(a, (std::vector<int>{1, 4, 8, 12}));
+}
+
+}  // namespace

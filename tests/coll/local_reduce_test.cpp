@@ -1,0 +1,203 @@
+// Property tests for LOCAL_REDUCE / LOCAL_ALLREDUCE: every algorithm, over
+// a sweep of rank counts and roots, must match the sequential left-fold —
+// including for non-commutative operators, which pin operand order.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <tuple>
+#include <vector>
+
+#include "coll/local_reduce.hpp"
+#include "mprt/runtime.hpp"
+#include "tests/coll/test_matrix_op.hpp"
+
+namespace {
+
+using namespace rsmpi;
+using coll::ReduceAlgo;
+
+constexpr std::array kAlgos = {ReduceAlgo::kAuto, ReduceAlgo::kLinear,
+                               ReduceAlgo::kBinomial,
+                               ReduceAlgo::kUnorderedTree};
+
+const char* algo_name(ReduceAlgo a) {
+  switch (a) {
+    case ReduceAlgo::kAuto: return "auto";
+    case ReduceAlgo::kLinear: return "linear";
+    case ReduceAlgo::kBinomial: return "binomial";
+    case ReduceAlgo::kUnorderedTree: return "unordered";
+  }
+  return "?";
+}
+
+class ReduceSweep
+    : public ::testing::TestWithParam<std::tuple<int, ReduceAlgo>> {};
+
+TEST_P(ReduceSweep, ScalarSumMatchesClosedForm) {
+  const auto [p, algo] = GetParam();
+  mprt::run(p, [&, p2 = p, a = algo](mprt::Comm& comm) {
+    // Each rank contributes rank+1; reduce to every possible root.
+    for (int root = 0; root < p2; ++root) {
+      long v = comm.rank() + 1;
+      coll::ElementwiseOp<long, coll::Sum<long>> op;
+      coll::local_reduce(comm, root, std::span<long>(&v, 1), op, a);
+      if (comm.rank() == root) {
+        EXPECT_EQ(v, static_cast<long>(p2) * (p2 + 1) / 2)
+            << "p=" << p2 << " algo=" << algo_name(a) << " root=" << root;
+      }
+    }
+  });
+}
+
+TEST_P(ReduceSweep, AllreduceLeavesResultEverywhere) {
+  const auto [p, algo] = GetParam();
+  mprt::run(p, [p2 = p, a = algo](mprt::Comm& comm) {
+    long v = (comm.rank() + 7) * 3;
+    long expect = 0;
+    for (int r = 0; r < p2; ++r) expect = std::max(expect, (r + 7L) * 3);
+    coll::ElementwiseOp<long, coll::Max<long>> op;
+    coll::local_allreduce(comm, std::span<long>(&v, 1), op, a);
+    EXPECT_EQ(v, expect) << "p=" << p2 << " algo=" << algo_name(a);
+  });
+}
+
+TEST_P(ReduceSweep, AggregatedElementwiseMin) {
+  // §2.1 aggregation: many element-wise reductions in one call.
+  const auto [p, algo] = GetParam();
+  constexpr int kWidth = 17;
+  mprt::run(p, [p2 = p, a = algo](mprt::Comm& comm) {
+    std::vector<int> v(kWidth);
+    for (int i = 0; i < kWidth; ++i) {
+      v[static_cast<std::size_t>(i)] = ((comm.rank() + 3) * (i + 11)) % 101;
+    }
+    coll::ElementwiseOp<int, coll::Min<int>> op;
+    coll::local_allreduce(comm, std::span<int>(v), op, a);
+    for (int i = 0; i < kWidth; ++i) {
+      int expect = std::numeric_limits<int>::max();
+      for (int r = 0; r < p2; ++r) {
+        expect = std::min(expect, ((r + 3) * (i + 11)) % 101);
+      }
+      EXPECT_EQ(v[static_cast<std::size_t>(i)], expect)
+          << "p=" << p2 << " algo=" << algo_name(a) << " elt=" << i;
+    }
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ReduceSweep,
+    ::testing::Combine(::testing::Values(1, 2, 3, 4, 5, 7, 8, 16),
+                       ::testing::ValuesIn(kAlgos)),
+    [](const auto& inf) {
+      return "p" + std::to_string(std::get<0>(inf.param)) + "_" +
+             algo_name(std::get<1>(inf.param));
+    });
+
+// -- Non-commutative ordering ------------------------------------------------
+
+class NonCommutativeReduce : public ::testing::TestWithParam<int> {};
+
+TEST_P(NonCommutativeReduce, BinomialPreservesRankOrder) {
+  const int p = GetParam();
+  const auto want = test::ordered_product(p);
+  mprt::run(p, [&](mprt::Comm& comm) {
+    auto m = test::rank_matrix(comm.rank());
+    coll::local_reduce(comm, 0, std::span<std::int64_t>(m),
+                       test::MatMulOp{}, ReduceAlgo::kBinomial);
+    if (comm.rank() == 0) {
+      EXPECT_EQ(m, want) << "p=" << p;
+    }
+  });
+}
+
+TEST_P(NonCommutativeReduce, LinearPreservesRankOrderAtAnyRoot) {
+  const int p = GetParam();
+  const auto want = test::ordered_product(p);
+  mprt::run(p, [&](mprt::Comm& comm) {
+    const int root = p - 1;
+    auto m = test::rank_matrix(comm.rank());
+    coll::local_reduce(comm, root, std::span<std::int64_t>(m),
+                       test::MatMulOp{}, ReduceAlgo::kLinear);
+    if (comm.rank() == root) {
+      EXPECT_EQ(m, want) << "p=" << p;
+    }
+  });
+}
+
+TEST_P(NonCommutativeReduce, AutoRoutesToOrderedScheduleAtNonzeroRoot) {
+  const int p = GetParam();
+  const auto want = test::ordered_product(p);
+  mprt::run(p, [&](mprt::Comm& comm) {
+    const int root = p / 2;
+    auto m = test::rank_matrix(comm.rank());
+    coll::local_reduce(comm, root, std::span<std::int64_t>(m),
+                       test::MatMulOp{}, ReduceAlgo::kAuto);
+    if (comm.rank() == root) {
+      EXPECT_EQ(m, want) << "p=" << p;
+    }
+  });
+}
+
+TEST_P(NonCommutativeReduce, AllreduceMatchesOrderedProduct) {
+  const int p = GetParam();
+  const auto want = test::ordered_product(p);
+  mprt::run(p, [&](mprt::Comm& comm) {
+    auto m = test::rank_matrix(comm.rank());
+    coll::local_allreduce(comm, std::span<std::int64_t>(m),
+                          test::MatMulOp{});
+    EXPECT_EQ(m, want) << "p=" << p << " rank=" << comm.rank();
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(RankCounts, NonCommutativeReduce,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 12, 16,
+                                           17));
+
+TEST(LocalReduce, UnorderedTreeRejectsNonCommutativeOps) {
+  EXPECT_THROW(
+      mprt::run(2,
+                [](mprt::Comm& comm) {
+                  auto m = test::rank_matrix(comm.rank());
+                  coll::local_reduce(comm, 0, std::span<std::int64_t>(m),
+                                     test::MatMulOp{},
+                                     ReduceAlgo::kUnorderedTree);
+                }),
+      ArgumentError);
+}
+
+TEST(LocalReduce, RootOutOfRangeRejected) {
+  EXPECT_THROW(mprt::run(2,
+                         [](mprt::Comm& comm) {
+                           long v = 1;
+                           coll::ElementwiseOp<long, coll::Sum<long>> op;
+                           coll::local_reduce(comm, 2, std::span<long>(&v, 1),
+                                              op);
+                         }),
+               ArgumentError);
+}
+
+TEST(LocalReduce, ScalarConvenienceWrappers) {
+  mprt::run(4, [](mprt::Comm& comm) {
+    const long sum = coll::local_allreduce_value(
+        comm, static_cast<long>(comm.rank() + 1), coll::Sum<long>{});
+    EXPECT_EQ(sum, 10);
+    const long got = coll::local_reduce_value(
+        comm, 0, static_cast<long>(comm.rank()), coll::Max<long>{});
+    if (comm.rank() == 0) {
+      EXPECT_EQ(got, 3);
+    }
+  });
+}
+
+TEST(LocalReduce, MinLocFindsGlobalWinner) {
+  mprt::run(6, [](mprt::Comm& comm) {
+    // Rank 4 holds the smallest value.
+    const coll::ValueLoc<int> mine{comm.rank() == 4 ? -5 : comm.rank() * 10,
+                                   static_cast<long>(comm.rank())};
+    const auto best = coll::local_allreduce_value(
+        comm, mine, coll::MinLoc<int>{});
+    EXPECT_EQ(best.value, -5);
+    EXPECT_EQ(best.index, 4);
+  });
+}
+
+}  // namespace

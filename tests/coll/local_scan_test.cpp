@@ -1,0 +1,156 @@
+// Property tests for LOCAL_SCAN / LOCAL_XSCAN: both algorithms, sweeping
+// rank counts, must produce the rank-prefix combinations — with exclusive
+// rank 0 at the identity — for commutative and non-commutative operators.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <tuple>
+
+#include "coll/local_scan.hpp"
+#include "mprt/runtime.hpp"
+#include "tests/coll/test_matrix_op.hpp"
+
+namespace {
+
+using namespace rsmpi;
+using coll::ScanAlgo;
+
+constexpr std::array kAlgos = {ScanAlgo::kAuto, ScanAlgo::kLinear,
+                               ScanAlgo::kHillisSteele, ScanAlgo::kBlelloch};
+
+const char* algo_name(ScanAlgo a) {
+  switch (a) {
+    case ScanAlgo::kAuto: return "auto";
+    case ScanAlgo::kLinear: return "linear";
+    case ScanAlgo::kHillisSteele: return "hillis_steele";
+    case ScanAlgo::kBlelloch: return "blelloch";
+  }
+  return "?";
+}
+
+class ScanSweep : public ::testing::TestWithParam<std::tuple<int, ScanAlgo>> {
+};
+
+TEST_P(ScanSweep, InclusiveSumIsRankPrefix) {
+  const auto [p, algo] = GetParam();
+  mprt::run(p, [a = algo](mprt::Comm& comm) {
+    long v = comm.rank() + 1;
+    coll::ElementwiseOp<long, coll::Sum<long>> op;
+    coll::local_scan(comm, std::span<long>(&v, 1), op, a);
+    const long r = comm.rank() + 1;
+    EXPECT_EQ(v, r * (r + 1) / 2) << "algo=" << algo_name(a);
+  });
+}
+
+TEST_P(ScanSweep, ExclusiveSumIsLowerRankPrefix) {
+  const auto [p, algo] = GetParam();
+  mprt::run(p, [a = algo](mprt::Comm& comm) {
+    long v = comm.rank() + 1;
+    coll::ElementwiseOp<long, coll::Sum<long>> op;
+    coll::local_xscan(comm, std::span<long>(&v, 1), op, a);
+    const long r = comm.rank();
+    EXPECT_EQ(v, r * (r + 1) / 2) << "algo=" << algo_name(a);
+  });
+}
+
+TEST_P(ScanSweep, ExclusiveRankZeroGetsIdentity) {
+  const auto [p, algo] = GetParam();
+  mprt::run(p, [a = algo](mprt::Comm& comm) {
+    int v = 42;
+    coll::ElementwiseOp<int, coll::Min<int>> op;
+    coll::local_xscan(comm, std::span<int>(&v, 1), op, a);
+    if (comm.rank() == 0) {
+      EXPECT_EQ(v, coll::Min<int>::identity()) << "algo=" << algo_name(a);
+    }
+  });
+}
+
+TEST_P(ScanSweep, InclusiveEqualsExclusivePlusOwn) {
+  // The paper's derivation: inclusive[i] = exclusive[i] (+) a[i], locally
+  // and without communication.
+  const auto [p, algo] = GetParam();
+  mprt::run(p, [a = algo](mprt::Comm& comm) {
+    const long mine = (comm.rank() + 2) * 3;
+    long incl = mine;
+    long excl = mine;
+    coll::ElementwiseOp<long, coll::Sum<long>> op;
+    coll::local_scan(comm, std::span<long>(&incl, 1), op, a);
+    coll::local_xscan(comm, std::span<long>(&excl, 1), op, a);
+    EXPECT_EQ(incl, excl + mine) << "algo=" << algo_name(a);
+  });
+}
+
+TEST_P(ScanSweep, AggregatedScanIsElementwise) {
+  const auto [p, algo] = GetParam();
+  constexpr int kWidth = 5;
+  mprt::run(p, [a = algo](mprt::Comm& comm) {
+    std::vector<long> v(kWidth);
+    for (int i = 0; i < kWidth; ++i) {
+      v[static_cast<std::size_t>(i)] = comm.rank() * 100 + i;
+    }
+    coll::ElementwiseOp<long, coll::Sum<long>> op;
+    coll::local_scan(comm, std::span<long>(v), op, a);
+    for (int i = 0; i < kWidth; ++i) {
+      long expect = 0;
+      for (int r = 0; r <= comm.rank(); ++r) expect += r * 100 + i;
+      EXPECT_EQ(v[static_cast<std::size_t>(i)], expect)
+          << "algo=" << algo_name(a) << " elt=" << i;
+    }
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ScanSweep,
+    ::testing::Combine(::testing::Values(1, 2, 3, 4, 5, 7, 8, 16),
+                       ::testing::ValuesIn(kAlgos)),
+    [](const auto& inf) {
+      return "p" + std::to_string(std::get<0>(inf.param)) + "_" +
+             algo_name(std::get<1>(inf.param));
+    });
+
+// -- Non-commutative ordering ------------------------------------------------
+
+class NonCommutativeScan
+    : public ::testing::TestWithParam<std::tuple<int, ScanAlgo>> {};
+
+TEST_P(NonCommutativeScan, InclusiveMatrixPrefixes) {
+  const auto [p, algo] = GetParam();
+  mprt::run(p, [a = algo](mprt::Comm& comm) {
+    auto m = test::rank_matrix(comm.rank());
+    coll::local_scan(comm, std::span<std::int64_t>(m), test::MatMulOp{}, a);
+    const auto want = test::ordered_product(comm.rank() + 1);
+    EXPECT_EQ(m, want) << "rank=" << comm.rank() << " algo=" << algo_name(a);
+  });
+}
+
+TEST_P(NonCommutativeScan, ExclusiveMatrixPrefixes) {
+  const auto [p, algo] = GetParam();
+  mprt::run(p, [a = algo](mprt::Comm& comm) {
+    auto m = test::rank_matrix(comm.rank());
+    coll::local_xscan(comm, std::span<std::int64_t>(m), test::MatMulOp{}, a);
+    const auto want = test::ordered_product(comm.rank());
+    EXPECT_EQ(m, want) << "rank=" << comm.rank() << " algo=" << algo_name(a);
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, NonCommutativeScan,
+    ::testing::Combine(::testing::Values(1, 2, 3, 5, 8, 13, 16),
+                       ::testing::ValuesIn(kAlgos)),
+    [](const auto& inf) {
+      return "p" + std::to_string(std::get<0>(inf.param)) + "_" +
+             algo_name(std::get<1>(inf.param));
+    });
+
+TEST(LocalScan, ScalarConvenienceWrappers) {
+  mprt::run(5, [](mprt::Comm& comm) {
+    const long incl =
+        coll::local_scan_value(comm, 1L, coll::Sum<long>{});
+    EXPECT_EQ(incl, comm.rank() + 1);
+    const long excl =
+        coll::local_xscan_value(comm, 1L, coll::Sum<long>{});
+    EXPECT_EQ(excl, comm.rank());
+  });
+}
+
+}  // namespace

@@ -1,0 +1,122 @@
+// Local-view user-defined operators through every routine (paper §2):
+// Listing 1's mink as a buffer operator driven by LOCAL_REDUCE,
+// LOCAL_ALLREDUCE, LOCAL_SCAN and LOCAL_XSCAN, plus the blockwise
+// aggregation of §2.1 through the scans.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "coll/buffer_op.hpp"
+#include "coll/local_reduce.hpp"
+#include "coll/local_scan.hpp"
+#include "mprt/runtime.hpp"
+
+namespace {
+
+using namespace rsmpi;
+
+/// Rank r's contribution: an ascending k-vector.
+std::vector<int> rank_kvec(int rank, std::size_t k) {
+  std::vector<int> v(k);
+  for (std::size_t i = 0; i < k; ++i) {
+    v[i] = static_cast<int>(((rank + 1) * 37 + static_cast<int>(i) * 11) %
+                            100 +
+                            static_cast<int>(i) * 100);
+  }
+  std::sort(v.begin(), v.end());
+  return v;
+}
+
+/// Oracle: k smallest over the pooled vectors of ranks [lo, hi].
+std::vector<int> pooled_kmin(int lo, int hi, std::size_t k) {
+  std::vector<int> pool;
+  for (int r = lo; r <= hi; ++r) {
+    const auto v = rank_kvec(r, k);
+    pool.insert(pool.end(), v.begin(), v.end());
+  }
+  std::sort(pool.begin(), pool.end());
+  pool.resize(k);
+  return pool;
+}
+
+class LocalViewUserOp : public ::testing::TestWithParam<int> {};
+
+TEST_P(LocalViewUserOp, MinkReduce) {
+  const int p = GetParam();
+  constexpr std::size_t kK = 5;
+  const auto want = pooled_kmin(0, p - 1, kK);
+  mprt::run(p, [&](mprt::Comm& comm) {
+    auto v = rank_kvec(comm.rank(), kK);
+    coll::local_reduce(comm, 0, std::span<int>(v), coll::LocalMinK<int>{});
+    if (comm.rank() == 0) {
+      EXPECT_EQ(v, want);
+    }
+  });
+}
+
+TEST_P(LocalViewUserOp, MinkAllreduce) {
+  const int p = GetParam();
+  constexpr std::size_t kK = 4;
+  const auto want = pooled_kmin(0, p - 1, kK);
+  mprt::run(p, [&](mprt::Comm& comm) {
+    auto v = rank_kvec(comm.rank(), kK);
+    coll::local_allreduce(comm, std::span<int>(v), coll::LocalMinK<int>{});
+    EXPECT_EQ(v, want);
+  });
+}
+
+TEST_P(LocalViewUserOp, MinkInclusiveScanIsPrefixPool) {
+  const int p = GetParam();
+  constexpr std::size_t kK = 4;
+  mprt::run(p, [&](mprt::Comm& comm) {
+    auto v = rank_kvec(comm.rank(), kK);
+    coll::local_scan(comm, std::span<int>(v), coll::LocalMinK<int>{});
+    EXPECT_EQ(v, pooled_kmin(0, comm.rank(), kK)) << "rank " << comm.rank();
+  });
+}
+
+TEST_P(LocalViewUserOp, MinkExclusiveScanIsLowerPrefixPool) {
+  const int p = GetParam();
+  constexpr std::size_t kK = 3;
+  mprt::run(p, [&](mprt::Comm& comm) {
+    auto v = rank_kvec(comm.rank(), kK);
+    coll::local_xscan(comm, std::span<int>(v), coll::LocalMinK<int>{});
+    if (comm.rank() == 0) {
+      // Identity: all sentinels.
+      for (int x : v) EXPECT_EQ(x, std::numeric_limits<int>::max());
+    } else {
+      EXPECT_EQ(v, pooled_kmin(0, comm.rank() - 1, kK));
+    }
+  });
+}
+
+TEST_P(LocalViewUserOp, BlockwiseMinkScan) {
+  // §2.1's aggregated mink, now through a scan: m independent k-minimum
+  // prefixes in one buffer.
+  const int p = GetParam();
+  constexpr std::size_t kK = 3, kM = 2;
+  mprt::run(p, [&](mprt::Comm& comm) {
+    std::vector<int> buf;
+    for (std::size_t m = 0; m < kM; ++m) {
+      for (std::size_t i = 0; i < kK; ++i) {
+        buf.push_back(static_cast<int>(1000 * m) +
+                      rank_kvec(comm.rank(), kK)[i]);
+      }
+    }
+    coll::BlockwiseOp<int, coll::LocalMinK<int>> op{kK};
+    coll::local_scan(comm, std::span<int>(buf), op);
+    for (std::size_t m = 0; m < kM; ++m) {
+      const auto want = pooled_kmin(0, comm.rank(), kK);
+      for (std::size_t i = 0; i < kK; ++i) {
+        EXPECT_EQ(buf[m * kK + i], static_cast<int>(1000 * m) + want[i])
+            << "block " << m << " pos " << i;
+      }
+    }
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(RankCounts, LocalViewUserOp,
+                         ::testing::Values(1, 2, 3, 4, 5, 8, 16));
+
+}  // namespace

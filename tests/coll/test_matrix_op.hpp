@@ -1,0 +1,55 @@
+// A non-commutative associative buffer operator for ordering tests:
+// 2x2 integer matrices under multiplication.  Any collective schedule that
+// combines operands out of order produces a different product, so these
+// matrices pin operand ordering exactly.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+
+namespace rsmpi::test {
+
+/// Buffer layout: row-major [a, b; c, d].  Entries stay small modulo a
+/// prime so products cannot overflow during long chains.
+struct MatMulOp {
+  static constexpr bool commutative = false;
+  static constexpr std::int64_t kMod = 1'000'000'007;
+
+  void ident(std::span<std::int64_t> m) const {
+    m[0] = 1;
+    m[1] = 0;
+    m[2] = 0;
+    m[3] = 1;
+  }
+
+  /// inout = inout * in (left operand covers earlier positions).
+  void combine(std::span<std::int64_t> inout,
+               std::span<const std::int64_t> in) const {
+    const std::int64_t a = inout[0], b = inout[1], c = inout[2], d = inout[3];
+    inout[0] = (a * in[0] + b * in[2]) % kMod;
+    inout[1] = (a * in[1] + b * in[3]) % kMod;
+    inout[2] = (c * in[0] + d * in[2]) % kMod;
+    inout[3] = (c * in[1] + d * in[3]) % kMod;
+  }
+};
+
+/// A distinct matrix per rank, invertible-ish and far from commuting.
+inline std::array<std::int64_t, 4> rank_matrix(int rank) {
+  const std::int64_t r = rank + 2;
+  return {r, 1, r % 3 + 1, r % 5 + 2};
+}
+
+/// The ordered product of ranks [0, p) — the serial oracle.
+inline std::array<std::int64_t, 4> ordered_product(int p) {
+  MatMulOp op;
+  std::array<std::int64_t, 4> acc;
+  op.ident(acc);
+  for (int r = 0; r < p; ++r) {
+    const auto m = rank_matrix(r);
+    op.combine(acc, m);
+  }
+  return acc;
+}
+
+}  // namespace rsmpi::test

@@ -1,0 +1,251 @@
+// Tests for the global-view distributed array: geometry, rank-count
+// independence, and the Chapel-style reduce/scan call sites.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "dist/block_array.hpp"
+#include "mprt/runtime.hpp"
+#include "rs/ops/ops.hpp"
+#include "rs/serial.hpp"
+
+namespace {
+
+using namespace rsmpi;
+namespace ops = rs::ops;
+using dist::BlockArray;
+
+class BlockArraySweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(BlockArraySweep, GeometryPartitionsIndexSpace) {
+  const int p = GetParam();
+  mprt::run(p, [](mprt::Comm& comm) {
+    const BlockArray<int> a(comm, 103);
+    EXPECT_EQ(a.size(), 103);
+    // Everyone agrees on ownership, and each rank owns exactly its span.
+    for (std::int64_t i = 0; i < a.size(); ++i) {
+      const bool mine = i >= a.local_start() &&
+                        i < a.local_start() + a.local_size();
+      EXPECT_EQ(a.owns(i), mine) << "i=" << i;
+    }
+  });
+}
+
+TEST_P(BlockArraySweep, FromIndexIsRankCountInvariant) {
+  const int p = GetParam();
+  std::vector<long> reference;
+  mprt::run(1, [&](mprt::Comm& comm) {
+    reference = BlockArray<long>::from_index(comm, 97, [](std::int64_t i) {
+                  return i * i % 31;
+                }).gather_to(0);
+  });
+  mprt::run(p, [&](mprt::Comm& comm) {
+    const auto a = BlockArray<long>::from_index(
+        comm, 97, [](std::int64_t i) { return i * i % 31; });
+    const auto all = a.gather_to(0);
+    if (comm.rank() == 0) {
+      EXPECT_EQ(all, reference);
+    }
+  });
+}
+
+TEST_P(BlockArraySweep, ChapelMinkCallSite) {
+  // minimums = mink(integer, 10) reduce A  (§3.1.1).
+  const int p = GetParam();
+  mprt::run(p, [](mprt::Comm& comm) {
+    const auto a = BlockArray<int>::from_index(
+        comm, 500, [](std::int64_t i) { return static_cast<int>((i * 379) % 1009); });
+    const auto minimums = a.reduce(ops::MinK<int>(10));
+
+    std::vector<int> all(500);
+    for (std::int64_t i = 0; i < 500; ++i) {
+      all[static_cast<std::size_t>(i)] = static_cast<int>((i * 379) % 1009);
+    }
+    EXPECT_EQ(minimums, rs::serial::reduce(all, ops::MinK<int>(10)));
+  });
+}
+
+TEST_P(BlockArraySweep, ChapelMiniCallSite) {
+  // var (val, loc) = mini(integer) reduce [i in 1..n] (A(i), i)  (§3.1.2),
+  // via the lazy indexed view.
+  const int p = GetParam();
+  mprt::run(p, [](mprt::Comm& comm) {
+    const auto a = BlockArray<int>::from_index(comm, 300, [](std::int64_t i) {
+      return static_cast<int>((i * 577 + 11) % 891);
+    });
+    const auto [val, loc] = a.reduce_indexed(ops::MinI<int, std::int64_t>{});
+    // Verify against brute force.
+    int want_val = std::numeric_limits<int>::max();
+    std::int64_t want_loc = -1;
+    for (std::int64_t i = 0; i < 300; ++i) {
+      const int v = static_cast<int>((i * 577 + 11) % 891);
+      if (v < want_val) {
+        want_val = v;
+        want_loc = i;
+      }
+    }
+    EXPECT_EQ(val, want_val);
+    EXPECT_EQ(loc, want_loc);
+  });
+}
+
+TEST_P(BlockArraySweep, ScanReturnsDistributedResult) {
+  const int p = GetParam();
+  mprt::run(p, [](mprt::Comm& comm) {
+    const auto a = BlockArray<long>::from_index(
+        comm, 123, [](std::int64_t i) { return i % 7; });
+    const auto prefix = a.scan(ops::Sum<long>{});
+    EXPECT_EQ(prefix.size(), a.size());
+    EXPECT_EQ(prefix.local_size(), a.local_size());
+
+    const auto all = prefix.gather_to(0);
+    if (comm.rank() == 0) {
+      long acc = 0;
+      for (std::int64_t i = 0; i < 123; ++i) {
+        acc += i % 7;
+        EXPECT_EQ(all[static_cast<std::size_t>(i)], acc) << "i=" << i;
+      }
+    }
+  });
+}
+
+TEST_P(BlockArraySweep, XscanShiftsByOne) {
+  const int p = GetParam();
+  mprt::run(p, [](mprt::Comm& comm) {
+    const auto a = BlockArray<long>::from_index(
+        comm, 64, [](std::int64_t i) { return i + 1; });
+    const auto ex = a.xscan(ops::Sum<long>{});
+    const auto all = ex.gather_to(0);
+    if (comm.rank() == 0) {
+      for (std::int64_t i = 0; i < 64; ++i) {
+        EXPECT_EQ(all[static_cast<std::size_t>(i)], i * (i + 1) / 2);
+      }
+    }
+  });
+}
+
+TEST_P(BlockArraySweep, ForEachVisitsEveryOwnedIndexOnce) {
+  const int p = GetParam();
+  mprt::run(p, [](mprt::Comm& comm) {
+    auto a = BlockArray<long>(comm, 50);
+    a.for_each([](long& v, std::int64_t i) { v = 2 * i; });
+    const auto all = a.gather_to(0);
+    if (comm.rank() == 0) {
+      for (std::int64_t i = 0; i < 50; ++i) {
+        EXPECT_EQ(all[static_cast<std::size_t>(i)], 2 * i);
+      }
+    }
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(RankCounts, BlockArraySweep,
+                         ::testing::Values(1, 2, 3, 4, 5, 8, 16));
+
+TEST_P(BlockArraySweep, MapProducesSameDistribution) {
+  const int p = GetParam();
+  mprt::run(p, [](mprt::Comm& comm) {
+    const auto a = BlockArray<int>::from_index(
+        comm, 77, [](std::int64_t i) { return static_cast<int>(i); });
+    const auto b = a.map([](const int& v, std::int64_t i) {
+      return static_cast<long>(v) * 2 + (i % 3);
+    });
+    EXPECT_EQ(b.size(), a.size());
+    EXPECT_EQ(b.local_size(), a.local_size());
+    const auto all = b.gather_to(0);
+    if (comm.rank() == 0) {
+      for (std::int64_t i = 0; i < 77; ++i) {
+        EXPECT_EQ(all[static_cast<std::size_t>(i)], i * 2 + i % 3);
+      }
+    }
+  });
+}
+
+TEST_P(BlockArraySweep, ZipReduceDotProduct) {
+  const int p = GetParam();
+  mprt::run(p, [](mprt::Comm& comm) {
+    const auto a = BlockArray<long>::from_index(
+        comm, 60, [](std::int64_t i) { return i + 1; });
+    const auto b = BlockArray<long>::from_index(
+        comm, 60, [](std::int64_t i) { return 2 * i; });
+
+    // Dot product as a zip-reduce with an inline operator.
+    struct Dot {
+      long acc = 0;
+      void accum(const std::pair<long, long>& xy) {
+        acc += xy.first * xy.second;
+      }
+      void combine(const Dot& o) { acc += o.acc; }
+      [[nodiscard]] long gen() const { return acc; }
+    };
+    const long got = dist::zip_reduce(a, b, Dot{});
+    long want = 0;
+    for (std::int64_t i = 0; i < 60; ++i) want += (i + 1) * 2 * i;
+    EXPECT_EQ(got, want);
+  });
+}
+
+TEST(BlockArray, ZipReduceRejectsMismatchedSizes) {
+  EXPECT_THROW(
+      mprt::run(2,
+                [](mprt::Comm& comm) {
+                  const BlockArray<int> a(comm, 10);
+                  const BlockArray<int> b(comm, 11);
+                  struct Nop {
+                    void accum(const std::pair<int, int>&) {}
+                    void combine(const Nop&) {}
+                    int gen() const { return 0; }
+                  };
+                  (void)dist::zip_reduce(a, b, Nop{});
+                }),
+      ArgumentError);
+}
+
+TEST_P(BlockArraySweep, FetchBroadcastsFromOwner) {
+  const int p = GetParam();
+  mprt::run(p, [](mprt::Comm& comm) {
+    const auto a = BlockArray<long>::from_index(
+        comm, 41, [](std::int64_t i) { return i * 3 + 1; });
+    for (const std::int64_t i : {std::int64_t{0}, std::int64_t{20},
+                                 std::int64_t{40}}) {
+      EXPECT_EQ(a.fetch(i), i * 3 + 1);
+    }
+  });
+}
+
+TEST(BlockArray, FetchRejectsOutOfRange) {
+  EXPECT_THROW(mprt::run(2,
+                         [](mprt::Comm& comm) {
+                           const BlockArray<int> a(comm, 5);
+                           (void)a.fetch(5);
+                         }),
+               ArgumentError);
+}
+
+TEST(BlockArray, AtThrowsOnForeignIndex) {
+  mprt::run(2, [](mprt::Comm& comm) {
+    BlockArray<int> a(comm, 10);
+    const std::int64_t foreign = comm.rank() == 0 ? 9 : 0;
+    EXPECT_THROW((void)a.at(foreign), ArgumentError);
+    EXPECT_NO_THROW((void)a.at(a.local_start()));
+  });
+}
+
+TEST(BlockArray, FromLocalValidatesBlockSize) {
+  EXPECT_THROW(mprt::run(2,
+                         [](mprt::Comm& comm) {
+                           (void)BlockArray<int>::from_local(
+                               comm, 10, std::vector<int>(3));
+                         }),
+               ArgumentError);
+}
+
+TEST(BlockArray, EmptyArray) {
+  mprt::run(4, [](mprt::Comm& comm) {
+    const BlockArray<int> a(comm, 0);
+    EXPECT_EQ(a.local_size(), 0);
+    EXPECT_EQ(a.reduce(rs::ops::Sum<long>{}), 0);
+  });
+}
+
+}  // namespace

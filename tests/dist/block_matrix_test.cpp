@@ -1,0 +1,205 @@
+// Tests for the distributed matrix and its axis scans: row scans are
+// local, column scans cross ranks, and their composition is the 2-D
+// prefix (summed-area table), validated against a brute-force oracle.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "coll/ops.hpp"
+#include "dist/block_matrix.hpp"
+#include "mprt/runtime.hpp"
+
+namespace {
+
+using namespace rsmpi;
+using dist::BlockMatrix;
+
+long cell(std::int64_t r, std::int64_t c) {
+  return (r * 31 + c * 17 + 3) % 23 - 11;
+}
+
+class BlockMatrixSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(BlockMatrixSweep, FromIndexIsRankCountInvariant) {
+  const int p = GetParam();
+  std::vector<long> reference;
+  mprt::run(1, [&](mprt::Comm& comm) {
+    reference =
+        BlockMatrix<long>::from_index(comm, 13, 9, cell).gather_to(0);
+  });
+  mprt::run(p, [&](mprt::Comm& comm) {
+    const auto m = BlockMatrix<long>::from_index(comm, 13, 9, cell);
+    const auto all = m.gather_to(0);
+    if (comm.rank() == 0) {
+      EXPECT_EQ(all, reference);
+    }
+  });
+}
+
+TEST_P(BlockMatrixSweep, RowScanIsPerRowPrefix) {
+  const int p = GetParam();
+  mprt::run(p, [](mprt::Comm& comm) {
+    auto m = BlockMatrix<long>::from_index(comm, 12, 7, cell);
+    m.row_scan_inplace(coll::Sum<long>{});
+    const auto all = m.gather_to(0);
+    if (comm.rank() == 0) {
+      for (std::int64_t r = 0; r < 12; ++r) {
+        long acc = 0;
+        for (std::int64_t c = 0; c < 7; ++c) {
+          acc += cell(r, c);
+          EXPECT_EQ(all[static_cast<std::size_t>(r * 7 + c)], acc)
+              << "r=" << r << " c=" << c;
+        }
+      }
+    }
+  });
+}
+
+TEST_P(BlockMatrixSweep, ColumnScanCrossesRanks) {
+  const int p = GetParam();
+  mprt::run(p, [](mprt::Comm& comm) {
+    auto m = BlockMatrix<long>::from_index(comm, 11, 5, cell);
+    m.column_scan_inplace(coll::Sum<long>{});
+    const auto all = m.gather_to(0);
+    if (comm.rank() == 0) {
+      for (std::int64_t c = 0; c < 5; ++c) {
+        long acc = 0;
+        for (std::int64_t r = 0; r < 11; ++r) {
+          acc += cell(r, c);
+          EXPECT_EQ(all[static_cast<std::size_t>(r * 5 + c)], acc)
+              << "r=" << r << " c=" << c;
+        }
+      }
+    }
+  });
+}
+
+TEST_P(BlockMatrixSweep, Prefix2dIsSummedAreaTable) {
+  const int p = GetParam();
+  mprt::run(p, [](mprt::Comm& comm) {
+    auto m = BlockMatrix<long>::from_index(comm, 10, 8, cell);
+    m.prefix2d_inplace(coll::Sum<long>{});
+    const auto all = m.gather_to(0);
+    if (comm.rank() == 0) {
+      for (std::int64_t r = 0; r < 10; ++r) {
+        for (std::int64_t c = 0; c < 8; ++c) {
+          long want = 0;
+          for (std::int64_t i = 0; i <= r; ++i) {
+            for (std::int64_t j = 0; j <= c; ++j) {
+              want += cell(i, j);
+            }
+          }
+          EXPECT_EQ(all[static_cast<std::size_t>(r * 8 + c)], want)
+              << "r=" << r << " c=" << c;
+        }
+      }
+    }
+  });
+}
+
+TEST_P(BlockMatrixSweep, ColumnScanWithMax) {
+  // Axis scans are generic over the operator: running column maxima.
+  const int p = GetParam();
+  mprt::run(p, [](mprt::Comm& comm) {
+    auto m = BlockMatrix<long>::from_index(comm, 9, 4, cell);
+    m.column_scan_inplace(coll::Max<long>{});
+    const auto all = m.gather_to(0);
+    if (comm.rank() == 0) {
+      for (std::int64_t c = 0; c < 4; ++c) {
+        long acc = std::numeric_limits<long>::lowest();
+        for (std::int64_t r = 0; r < 9; ++r) {
+          acc = std::max(acc, cell(r, c));
+          EXPECT_EQ(all[static_cast<std::size_t>(r * 4 + c)], acc);
+        }
+      }
+    }
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(RankCounts, BlockMatrixSweep,
+                         ::testing::Values(1, 2, 3, 4, 5, 8, 16));
+
+TEST_P(BlockMatrixSweep, HaloExchangeDeliversNeighbourRows) {
+  const int p = GetParam();
+  mprt::run(p, [](mprt::Comm& comm) {
+    const auto m = BlockMatrix<long>::from_index(comm, 10, 6, cell);
+    const auto halos = m.exchange_halos();
+    if (m.local_rows() == 0) {
+      EXPECT_FALSE(halos.has_above);
+      EXPECT_FALSE(halos.has_below);
+      return;
+    }
+    const std::int64_t r0 = m.local_row_start();
+    if (r0 == 0) {
+      EXPECT_FALSE(halos.has_above);
+    } else {
+      ASSERT_TRUE(halos.has_above);
+      for (std::int64_t c = 0; c < 6; ++c) {
+        EXPECT_EQ(halos.above[static_cast<std::size_t>(c)], cell(r0 - 1, c));
+      }
+    }
+    const std::int64_t rend = r0 + m.local_rows();
+    if (rend == 10) {
+      EXPECT_FALSE(halos.has_below);
+    } else {
+      ASSERT_TRUE(halos.has_below);
+      for (std::int64_t c = 0; c < 6; ++c) {
+        EXPECT_EQ(halos.below[static_cast<std::size_t>(c)], cell(rend, c));
+      }
+    }
+  });
+}
+
+TEST_P(BlockMatrixSweep, FetchReturnsAnyCellEverywhere) {
+  const int p = GetParam();
+  mprt::run(p, [](mprt::Comm& comm) {
+    const auto m = BlockMatrix<long>::from_index(comm, 7, 5, cell);
+    EXPECT_EQ(m.fetch(0, 0), cell(0, 0));
+    EXPECT_EQ(m.fetch(6, 4), cell(6, 4));
+    EXPECT_EQ(m.fetch(3, 2), cell(3, 2));
+  });
+}
+
+TEST(BlockMatrix, HaloExchangeAcrossEmptyRanks) {
+  // 2 rows over 8 ranks: ranks 0 and 1 own one row each; the rest relay.
+  mprt::run(8, [](mprt::Comm& comm) {
+    const auto m = BlockMatrix<long>::from_index(comm, 2, 3, cell);
+    const auto halos = m.exchange_halos();
+    if (comm.rank() == 0) {
+      ASSERT_EQ(m.local_rows(), 1);
+      EXPECT_FALSE(halos.has_above);
+      ASSERT_TRUE(halos.has_below);
+      EXPECT_EQ(halos.below[0], cell(1, 0));
+    } else if (comm.rank() == 1) {
+      ASSERT_EQ(m.local_rows(), 1);
+      ASSERT_TRUE(halos.has_above);
+      EXPECT_EQ(halos.above[2], cell(0, 2));
+      EXPECT_FALSE(halos.has_below);
+    } else {
+      EXPECT_EQ(m.local_rows(), 0);
+    }
+  });
+}
+
+TEST(BlockMatrix, FetchRejectsOutOfRange) {
+  EXPECT_THROW(mprt::run(2,
+                         [](mprt::Comm& comm) {
+                           const BlockMatrix<long> m(comm, 3, 3);
+                           (void)m.fetch(3, 0);
+                         }),
+               ArgumentError);
+}
+
+TEST(BlockMatrix, MoreRanksThanRows) {
+  mprt::run(8, [](mprt::Comm& comm) {
+    auto m = BlockMatrix<long>::from_index(comm, 3, 4, cell);
+    m.prefix2d_inplace(coll::Sum<long>{});
+    const auto all = m.gather_to(0);
+    if (comm.rank() == 0) {
+      ASSERT_EQ(all.size(), 12u);
+      EXPECT_EQ(all[0], cell(0, 0));
+    }
+  });
+}
+
+}  // namespace

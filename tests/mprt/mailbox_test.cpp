@@ -1,0 +1,143 @@
+// Unit tests for the per-rank mailbox: matching (including communicator
+// contexts), ordering, and abort.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "mprt/mailbox.hpp"
+#include "util/error.hpp"
+
+namespace {
+
+using rsmpi::AbortError;
+using rsmpi::mprt::kAnySource;
+using rsmpi::mprt::kAnyTag;
+using rsmpi::mprt::Mailbox;
+using rsmpi::mprt::Message;
+
+constexpr std::int64_t kWorld = 0;
+
+Message make_msg(int source, int tag, std::byte marker = std::byte{0},
+                 std::int64_t context = kWorld) {
+  Message m;
+  m.context = context;
+  m.source = source;
+  m.tag = tag;
+  m.payload = {marker};
+  return m;
+}
+
+TEST(Mailbox, ExactMatchTake) {
+  Mailbox mb;
+  mb.put(make_msg(1, 10));
+  const Message m = mb.take(kWorld, 1, 10);
+  EXPECT_EQ(m.source, 1);
+  EXPECT_EQ(m.tag, 10);
+  EXPECT_EQ(mb.pending(), 0u);
+}
+
+TEST(Mailbox, NonMatchingMessageIsSkipped) {
+  Mailbox mb;
+  mb.put(make_msg(1, 10));
+  mb.put(make_msg(2, 20));
+  const Message m = mb.take(kWorld, 2, 20);
+  EXPECT_EQ(m.source, 2);
+  EXPECT_EQ(mb.pending(), 1u);  // the (1, 10) message is still queued
+}
+
+TEST(Mailbox, WildcardSource) {
+  Mailbox mb;
+  mb.put(make_msg(5, 7));
+  const Message m = mb.take(kWorld, kAnySource, 7);
+  EXPECT_EQ(m.source, 5);
+}
+
+TEST(Mailbox, WildcardTag) {
+  Mailbox mb;
+  mb.put(make_msg(3, 99));
+  const Message m = mb.take(kWorld, 3, kAnyTag);
+  EXPECT_EQ(m.tag, 99);
+}
+
+TEST(Mailbox, DoubleWildcardTakesOldest) {
+  Mailbox mb;
+  mb.put(make_msg(1, 1, std::byte{0xA}));
+  mb.put(make_msg(2, 2, std::byte{0xB}));
+  const Message m = mb.take(kWorld, kAnySource, kAnyTag);
+  EXPECT_EQ(m.payload[0], std::byte{0xA});
+}
+
+TEST(Mailbox, ContextIsolatesCommunicators) {
+  // Identical (source, tag) on two contexts must never cross-match, even
+  // under full wildcards.
+  Mailbox mb;
+  mb.put(make_msg(0, 5, std::byte{0xA}, /*context=*/111));
+  mb.put(make_msg(0, 5, std::byte{0xB}, /*context=*/222));
+  const Message m222 = mb.take(222, kAnySource, kAnyTag);
+  EXPECT_EQ(m222.payload[0], std::byte{0xB});
+  const Message m111 = mb.take(111, 0, 5);
+  EXPECT_EQ(m111.payload[0], std::byte{0xA});
+}
+
+TEST(Mailbox, ProbeRespectsContext) {
+  Mailbox mb;
+  mb.put(make_msg(0, 5, std::byte{0}, /*context=*/7));
+  EXPECT_TRUE(mb.probe(7, kAnySource, kAnyTag));
+  EXPECT_FALSE(mb.probe(kWorld, kAnySource, kAnyTag));
+}
+
+TEST(Mailbox, FifoPerSourceTagPair) {
+  // The MPI non-overtaking rule: same (source, tag) delivers in order.
+  Mailbox mb;
+  mb.put(make_msg(1, 5, std::byte{1}));
+  mb.put(make_msg(1, 5, std::byte{2}));
+  mb.put(make_msg(1, 5, std::byte{3}));
+  EXPECT_EQ(mb.take(kWorld, 1, 5).payload[0], std::byte{1});
+  EXPECT_EQ(mb.take(kWorld, 1, 5).payload[0], std::byte{2});
+  EXPECT_EQ(mb.take(kWorld, 1, 5).payload[0], std::byte{3});
+}
+
+TEST(Mailbox, TryTakeReturnsNulloptWhenEmpty) {
+  Mailbox mb;
+  EXPECT_FALSE(mb.try_take(kWorld, 0, 0).has_value());
+}
+
+TEST(Mailbox, TryTakeMatches) {
+  Mailbox mb;
+  mb.put(make_msg(4, 4));
+  EXPECT_FALSE(mb.try_take(kWorld, 4, 5).has_value());
+  EXPECT_TRUE(mb.try_take(kWorld, 4, 4).has_value());
+  EXPECT_EQ(mb.pending(), 0u);
+}
+
+TEST(Mailbox, ProbeDoesNotConsume) {
+  Mailbox mb;
+  mb.put(make_msg(1, 1));
+  EXPECT_TRUE(mb.probe(kWorld, 1, 1));
+  EXPECT_TRUE(mb.probe(kWorld, kAnySource, kAnyTag));
+  EXPECT_FALSE(mb.probe(kWorld, 2, 1));
+  EXPECT_EQ(mb.pending(), 1u);
+}
+
+TEST(Mailbox, BlockingTakeWokenByPut) {
+  Mailbox mb;
+  std::thread producer([&] { mb.put(make_msg(0, 42)); });
+  const Message m = mb.take(kWorld, 0, 42);
+  producer.join();
+  EXPECT_EQ(m.tag, 42);
+}
+
+TEST(Mailbox, AbortUnblocksTake) {
+  Mailbox mb;
+  std::thread aborter([&] { mb.abort(); });
+  EXPECT_THROW(mb.take(kWorld, 0, 0), AbortError);
+  aborter.join();
+}
+
+TEST(Mailbox, AbortedTryTakeThrows) {
+  Mailbox mb;
+  mb.abort();
+  EXPECT_THROW(mb.try_take(kWorld, 0, 0), AbortError);
+}
+
+}  // namespace

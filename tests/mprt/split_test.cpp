@@ -1,0 +1,167 @@
+// Tests for subcommunicators: group formation, rank ordering, traffic
+// isolation, and collectives/global-view reductions running unchanged on
+// split groups.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "coll/barrier.hpp"
+#include "coll/gather.hpp"
+#include "coll/local_reduce.hpp"
+#include "mprt/runtime.hpp"
+#include "rs/ops/ops.hpp"
+#include "rs/reduce.hpp"
+#include "rs/scan.hpp"
+
+namespace {
+
+using namespace rsmpi;
+using mprt::Comm;
+
+TEST(Split, EvenOddPartition) {
+  mprt::run(8, [](Comm& world) {
+    Comm sub = world.split(world.rank() % 2, world.rank());
+    EXPECT_EQ(sub.size(), 4);
+    EXPECT_EQ(sub.rank(), world.rank() / 2);
+    EXPECT_EQ(sub.global_rank(), world.rank());
+  });
+}
+
+TEST(Split, KeyReversesOrder) {
+  mprt::run(6, [](Comm& world) {
+    // One group, keyed descending by world rank.
+    Comm sub = world.split(0, -world.rank());
+    EXPECT_EQ(sub.size(), 6);
+    EXPECT_EQ(sub.rank(), world.size() - 1 - world.rank());
+  });
+}
+
+TEST(Split, SingletonGroups) {
+  mprt::run(4, [](Comm& world) {
+    Comm sub = world.split(world.rank(), 0);
+    EXPECT_EQ(sub.size(), 1);
+    EXPECT_EQ(sub.rank(), 0);
+  });
+}
+
+TEST(Split, NegativeColorRejected) {
+  EXPECT_THROW(mprt::run(2,
+                         [](Comm& world) {
+                           (void)world.split(-1, 0);
+                         }),
+               ArgumentError);
+}
+
+TEST(Split, PointToPointStaysInsideGroup) {
+  mprt::run(4, [](Comm& world) {
+    Comm sub = world.split(world.rank() % 2, world.rank());
+    // Each 2-rank group exchanges: sub rank 0 <-> sub rank 1, same tag.
+    const int partner = 1 - sub.rank();
+    const int token = world.rank() * 10;
+    const int got = sub.sendrecv(partner, 5, token, partner, 5);
+    // Even group holds world {0, 2}; odd group {1, 3}.
+    const int want = (world.rank() % 2 == 0)
+                         ? (world.rank() == 0 ? 20 : 0)
+                         : (world.rank() == 1 ? 30 : 10);
+    EXPECT_EQ(got, want);
+  });
+}
+
+TEST(Split, ConcurrentCollectivesOnSiblingGroups) {
+  // Both halves run a reduction with identical tags at the same time; the
+  // context keeps them apart.
+  mprt::run(8, [](Comm& world) {
+    Comm sub = world.split(world.rank() < 4 ? 0 : 1, world.rank());
+    const long sum = coll::local_allreduce_value(
+        sub, static_cast<long>(world.rank()), coll::Sum<long>{});
+    EXPECT_EQ(sum, world.rank() < 4 ? 0 + 1 + 2 + 3 : 4 + 5 + 6 + 7);
+  });
+}
+
+TEST(Split, GlobalViewReductionOnSubgroup) {
+  mprt::run(6, [](Comm& world) {
+    Comm sub = world.split(world.rank() % 3, world.rank());
+    // Each group of 2 reduces its members' blocks.
+    std::vector<int> mine = {world.rank() * 100, world.rank() * 100 + 1};
+    const auto mins = rs::reduce(sub, mine, rs::ops::MinK<int>(2));
+    const int low = world.rank() % 3;  // lowest world rank in my group
+    EXPECT_EQ(mins, (std::vector<int>{low * 100, low * 100 + 1}));
+  });
+}
+
+TEST(Split, ScanOnSubgroupUsesGroupOrder) {
+  mprt::run(8, [](Comm& world) {
+    Comm sub = world.split(world.rank() % 2, world.rank());
+    std::vector<char> mine = {static_cast<char>('a' + world.rank())};
+    const auto prefixes = rs::scan(sub, mine, rs::ops::Concat{});
+    ASSERT_EQ(prefixes.size(), 1u);
+    // Even group sees a, c, e, g; odd group b, d, f, h.
+    std::string want;
+    for (int r = world.rank() % 2; r <= world.rank(); r += 2) {
+      want.push_back(static_cast<char>('a' + r));
+    }
+    EXPECT_EQ(prefixes[0], want);
+  });
+}
+
+TEST(Split, NestedSplits) {
+  mprt::run(8, [](Comm& world) {
+    Comm half = world.split(world.rank() / 4, world.rank());
+    ASSERT_EQ(half.size(), 4);
+    Comm quarter = half.split(half.rank() / 2, half.rank());
+    ASSERT_EQ(quarter.size(), 2);
+    const long sum = coll::local_allreduce_value(
+        quarter, static_cast<long>(world.rank()), coll::Sum<long>{});
+    // Quarters are {0,1}, {2,3}, {4,5}, {6,7} in world ranks.
+    const int base = (world.rank() / 2) * 2;
+    EXPECT_EQ(sum, base + base + 1);
+  });
+}
+
+TEST(Split, RowColumnGridReductions) {
+  // The classic 2D use: row sums and column sums of a p = rows x cols
+  // grid of ranks, via two splits of the same world communicator.
+  static constexpr int kRows = 3, kCols = 4;
+  mprt::run(kRows * kCols, [](Comm& world) {
+    const int row = world.rank() / kCols;
+    const int col = world.rank() % kCols;
+    Comm row_comm = world.split(row, col);
+    Comm col_comm = world.split(col, row);
+    ASSERT_EQ(row_comm.size(), kCols);
+    ASSERT_EQ(col_comm.size(), kRows);
+
+    const long v = world.rank() + 1;
+    const long row_sum =
+        coll::local_allreduce_value(row_comm, v, coll::Sum<long>{});
+    const long col_sum =
+        coll::local_allreduce_value(col_comm, v, coll::Sum<long>{});
+
+    long want_row = 0, want_col = 0;
+    for (int c = 0; c < kCols; ++c) want_row += row * kCols + c + 1;
+    for (int r = 0; r < kRows; ++r) want_col += r * kCols + col + 1;
+    EXPECT_EQ(row_sum, want_row);
+    EXPECT_EQ(col_sum, want_col);
+  });
+}
+
+TEST(Split, ParentStillUsableAfterSplit) {
+  mprt::run(4, [](Comm& world) {
+    Comm sub = world.split(world.rank() % 2, world.rank());
+    const long sub_sum = coll::local_allreduce_value(
+        sub, static_cast<long>(1), coll::Sum<long>{});
+    EXPECT_EQ(sub_sum, 2);
+    const long world_sum = coll::local_allreduce_value(
+        world, static_cast<long>(1), coll::Sum<long>{});
+    EXPECT_EQ(world_sum, 4);
+  });
+}
+
+TEST(Split, SharedClockAcrossCommunicators) {
+  mprt::run(2, [](Comm& world) {
+    Comm sub = world.split(0, world.rank());
+    world.clock().advance(5.0);
+    EXPECT_DOUBLE_EQ(sub.clock().now(), world.clock().now());
+  });
+}
+
+}  // namespace

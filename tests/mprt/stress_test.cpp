@@ -1,0 +1,135 @@
+// Stress / soak tests: long interleaved sequences of collectives on the
+// world communicator and concurrently on sibling subcommunicators, plus
+// point-to-point traffic woven between them.  Any tag/context confusion,
+// lost wakeup, or ordering bug in the runtime tends to show up here as a
+// deadlock (caught by the test timeout) or a wrong value.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "coll/barrier.hpp"
+#include "coll/bcast.hpp"
+#include "coll/gather.hpp"
+#include "coll/local_reduce.hpp"
+#include "coll/local_scan.hpp"
+#include "mprt/runtime.hpp"
+#include "rs/ops/ops.hpp"
+#include "rs/reduce.hpp"
+#include "rs/scan.hpp"
+
+namespace {
+
+using namespace rsmpi;
+
+TEST(Stress, ManySequentialCollectives) {
+  constexpr int kP = 8;
+  constexpr int kIters = 200;
+  mprt::run(kP, [](mprt::Comm& comm) {
+    for (int i = 0; i < kIters; ++i) {
+      long v = comm.rank() + i;
+      coll::ElementwiseOp<long, coll::Sum<long>> op;
+      coll::local_allreduce(comm, std::span<long>(&v, 1), op);
+      long want = 0;
+      for (int r = 0; r < kP; ++r) want += r + i;
+      ASSERT_EQ(v, want) << "iter " << i;
+
+      long s = 1;
+      coll::local_xscan(comm, std::span<long>(&s, 1), op);
+      ASSERT_EQ(s, comm.rank()) << "iter " << i;
+    }
+  });
+}
+
+TEST(Stress, InterleavedWorldAndSubgroupTraffic) {
+  constexpr int kP = 8;
+  constexpr int kIters = 60;
+  mprt::run(kP, [](mprt::Comm& world) {
+    mprt::Comm half = world.split(world.rank() % 2, world.rank());
+    for (int i = 0; i < kIters; ++i) {
+      // World-wide reduce.
+      const long total = coll::local_allreduce_value(
+          world, static_cast<long>(world.rank()), coll::Sum<long>{});
+      ASSERT_EQ(total, 28);
+
+      // P2P ping between neighbours on the world comm, same tag every
+      // iteration (exercises per-pair FIFO).
+      const int partner = world.rank() ^ 1;
+      const int token =
+          world.sendrecv(partner, 9, world.rank() * 1000 + i, partner, 9);
+      ASSERT_EQ(token, partner * 1000 + i);
+
+      // Subgroup reduce with identical collective tags running
+      // "concurrently" in both halves.
+      const long half_total = coll::local_allreduce_value(
+          half, static_cast<long>(world.rank()), coll::Sum<long>{});
+      ASSERT_EQ(half_total, world.rank() % 2 == 0 ? 0 + 2 + 4 + 6
+                                                  : 1 + 3 + 5 + 7);
+    }
+  });
+}
+
+TEST(Stress, GlobalViewOpsBackToBack) {
+  constexpr int kP = 6;
+  mprt::run(kP, [](mprt::Comm& comm) {
+    std::vector<int> mine;
+    for (int i = 0; i < 64; ++i) {
+      mine.push_back((comm.rank() * 64 + i) * 31 % 257);
+    }
+    for (int i = 0; i < 40; ++i) {
+      const auto mins = rs::reduce(comm, mine, rs::ops::MinK<int>(3));
+      ASSERT_EQ(mins.size(), 3u);
+      const auto prefix = rs::scan(comm, mine, rs::ops::Sum<long>{});
+      ASSERT_EQ(prefix.size(), mine.size());
+      const bool sorted = rs::reduce(comm, mine, rs::ops::Sorted<int>{});
+      (void)sorted;
+    }
+  });
+}
+
+TEST(Stress, WideMachine) {
+  // 64 ranks on a (possibly single-core) host: scheduling pressure on the
+  // mailbox wakeups.
+  constexpr int kP = 64;
+  mprt::run(kP, [](mprt::Comm& comm) {
+    const long total = coll::local_allreduce_value(
+        comm, static_cast<long>(comm.rank()), coll::Sum<long>{});
+    EXPECT_EQ(total, static_cast<long>(kP) * (kP - 1) / 2);
+    const long prefix = coll::local_xscan_value(
+        comm, static_cast<long>(1), coll::Sum<long>{});
+    EXPECT_EQ(prefix, comm.rank());
+    coll::barrier(comm);
+  });
+}
+
+TEST(Stress, RepeatedSplitsDoNotLeakContexts) {
+  constexpr int kP = 6;
+  mprt::run(kP, [](mprt::Comm& world) {
+    for (int i = 0; i < 30; ++i) {
+      mprt::Comm sub = world.split(world.rank() % (1 + i % 3), world.rank());
+      const long x = coll::local_allreduce_value(
+          sub, static_cast<long>(1), coll::Sum<long>{});
+      ASSERT_EQ(x, sub.size());
+    }
+  });
+}
+
+TEST(Stress, LargePayloads) {
+  // Multi-megabyte broadcast and gather round trips.
+  mprt::run(4, [](mprt::Comm& comm) {
+    std::vector<std::uint64_t> big(1 << 18);  // 2 MiB
+    if (comm.rank() == 0) {
+      for (std::size_t i = 0; i < big.size(); ++i) big[i] = i * i;
+    }
+    coll::bcast_span<std::uint64_t>(comm, 0, big);
+    for (std::size_t i = 0; i < big.size(); i += 7777) {
+      ASSERT_EQ(big[i], i * i);
+    }
+    const auto all = coll::gather<std::uint64_t>(
+        comm, 0, std::span<const std::uint64_t>(big.data(), 1024));
+    if (comm.rank() == 0) {
+      ASSERT_EQ(all.size(), 4u * 1024);
+    }
+  });
+}
+
+}  // namespace

@@ -1,0 +1,111 @@
+// Property tests for the rank-topology arithmetic: for every rank count,
+// the binomial schedules must form a tree that delivers every rank's
+// contribution to the root exactly once, preserving contiguity.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "mprt/topology.hpp"
+
+namespace {
+
+using namespace rsmpi::mprt::topology;
+
+TEST(Topology, CeilPow2) {
+  EXPECT_EQ(ceil_pow2(1), 1);
+  EXPECT_EQ(ceil_pow2(2), 2);
+  EXPECT_EQ(ceil_pow2(3), 4);
+  EXPECT_EQ(ceil_pow2(5), 8);
+  EXPECT_EQ(ceil_pow2(8), 8);
+  EXPECT_EQ(ceil_pow2(1000), 1024);
+}
+
+TEST(Topology, FloorLog2) {
+  EXPECT_EQ(floor_log2(1), 0);
+  EXPECT_EQ(floor_log2(2), 1);
+  EXPECT_EQ(floor_log2(3), 1);
+  EXPECT_EQ(floor_log2(4), 2);
+  EXPECT_EQ(floor_log2(1023), 9);
+  EXPECT_EQ(floor_log2(1024), 10);
+}
+
+TEST(Topology, NumRounds) {
+  EXPECT_EQ(num_rounds(1), 0);
+  EXPECT_EQ(num_rounds(2), 1);
+  EXPECT_EQ(num_rounds(3), 2);
+  EXPECT_EQ(num_rounds(4), 2);
+  EXPECT_EQ(num_rounds(5), 3);
+  EXPECT_EQ(num_rounds(64), 6);
+}
+
+class BinomialScheduleProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(BinomialScheduleProperty, EveryNonRootRankSendsExactlyOnce) {
+  const int p = GetParam();
+  for (int r = 0; r < p; ++r) {
+    const auto steps = binomial_reduce_schedule(r, p);
+    int sends = 0;
+    for (const auto& s : steps) {
+      if (s.role == BinomialStep::Role::kSend) ++sends;
+    }
+    EXPECT_EQ(sends, r == 0 ? 0 : 1) << "rank " << r << " of " << p;
+    if (r != 0) {
+      // The send is always the final step.
+      EXPECT_EQ(steps.back().role, BinomialStep::Role::kSend);
+    }
+  }
+}
+
+TEST_P(BinomialScheduleProperty, SendsAndReceivesPairUp) {
+  // If rank a sends to rank b in its schedule, then b's schedule receives
+  // from a — and the tree reaches rank 0 from everywhere.
+  const int p = GetParam();
+  std::set<std::pair<int, int>> send_edges;
+  std::set<std::pair<int, int>> recv_edges;
+  for (int r = 0; r < p; ++r) {
+    for (const auto& s : binomial_reduce_schedule(r, p)) {
+      if (s.role == BinomialStep::Role::kSend) {
+        send_edges.insert({r, s.partner});
+      } else {
+        recv_edges.insert({s.partner, r});
+      }
+    }
+  }
+  EXPECT_EQ(send_edges, recv_edges);
+  EXPECT_EQ(send_edges.size(), static_cast<std::size_t>(p - 1));
+}
+
+TEST_P(BinomialScheduleProperty, SendersTargetLowerRanks) {
+  // Contiguity: rank r sends to r - 2^k, so the receiver's interval
+  // [recv, ...) is immediately left-adjacent to the sender's.
+  const int p = GetParam();
+  for (int r = 1; r < p; ++r) {
+    const auto steps = binomial_reduce_schedule(r, p);
+    const auto& send = steps.back();
+    EXPECT_LT(send.partner, r);
+    // Partner distance is the lowest set bit of r.
+    EXPECT_EQ(r - send.partner, r & -r);
+  }
+}
+
+TEST_P(BinomialScheduleProperty, BcastIsMirrorOfReduce) {
+  const int p = GetParam();
+  for (int r = 0; r < p; ++r) {
+    const auto red = binomial_reduce_schedule(r, p);
+    const auto bc = binomial_bcast_schedule(r, p);
+    ASSERT_EQ(red.size(), bc.size());
+    for (std::size_t i = 0; i < red.size(); ++i) {
+      const auto& fwd = red[i];
+      const auto& rev = bc[bc.size() - 1 - i];
+      EXPECT_EQ(fwd.partner, rev.partner);
+      EXPECT_NE(static_cast<int>(fwd.role), static_cast<int>(rev.role));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RankCounts, BinomialScheduleProperty,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 13, 16,
+                                           17, 31, 32, 33, 64, 100));
+
+}  // namespace

@@ -1,0 +1,200 @@
+// NAS IS pipeline tests: key generation determinism, bucket-sort
+// correctness, and agreement of the three verification implementations —
+// including fault injection, which all three must detect identically.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "coll/gather.hpp"
+#include "mprt/runtime.hpp"
+#include "nas/is.hpp"
+
+namespace {
+
+using namespace rsmpi;
+using nas::IsParams;
+using nas::Key;
+
+constexpr IsParams kTiny{1 << 12, 1 << 8};
+
+class IsSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(IsSweep, KeySequenceIndependentOfRankCount) {
+  // The conceptual global key array must be identical for every p.
+  std::vector<Key> reference;
+  mprt::run(1, [&](mprt::Comm& comm) {
+    reference = nas::is_generate_keys(comm, kTiny);
+  });
+  const int p = GetParam();
+  mprt::run(p, [&](mprt::Comm& comm) {
+    const auto mine = nas::is_generate_keys(comm, kTiny);
+    const auto all = coll::gather<Key>(comm, 0, mine);
+    if (comm.rank() == 0) {
+      EXPECT_EQ(all, reference);
+    }
+  });
+}
+
+TEST_P(IsSweep, KeysAreInRange) {
+  const int p = GetParam();
+  mprt::run(p, [&](mprt::Comm& comm) {
+    for (const Key k : nas::is_generate_keys(comm, kTiny)) {
+      EXPECT_GE(k, 0);
+      EXPECT_LT(k, kTiny.max_key);
+    }
+  });
+}
+
+TEST_P(IsSweep, BucketSortProducesGlobalSortedPermutation) {
+  const int p = GetParam();
+  mprt::run(p, [&](mprt::Comm& comm) {
+    auto keys = nas::is_generate_keys(comm, kTiny);
+    auto original = keys;
+    auto sorted = nas::is_bucket_sort(comm, std::move(keys), kTiny);
+
+    // Locally ascending.
+    EXPECT_TRUE(std::is_sorted(sorted.begin(), sorted.end()));
+
+    const auto all_sorted = coll::gather<Key>(comm, 0, sorted);
+    const auto all_original = coll::gather<Key>(comm, 0, original);
+    if (comm.rank() == 0) {
+      // Globally ascending and a permutation of the input.
+      EXPECT_TRUE(std::is_sorted(all_sorted.begin(), all_sorted.end()));
+      auto want = all_original;
+      std::sort(want.begin(), want.end());
+      EXPECT_EQ(all_sorted, want);
+    }
+  });
+}
+
+TEST_P(IsSweep, AllThreeVerifiersAcceptSortedData) {
+  const int p = GetParam();
+  mprt::run(p, [&](mprt::Comm& comm) {
+    auto keys = nas::is_generate_keys(comm, kTiny);
+    const auto sorted = nas::is_bucket_sort(comm, std::move(keys), kTiny);
+    EXPECT_TRUE(nas::is_verify_nas_mpi(comm, sorted));
+    EXPECT_TRUE(nas::is_verify_opt_mpi(comm, sorted));
+    EXPECT_TRUE(nas::is_verify_rsmpi(comm, sorted));
+  });
+}
+
+TEST_P(IsSweep, AllThreeVerifiersRejectLocalInversion) {
+  const int p = GetParam();
+  mprt::run(p, [&](mprt::Comm& comm) {
+    auto keys = nas::is_generate_keys(comm, kTiny);
+    auto sorted = nas::is_bucket_sort(comm, std::move(keys), kTiny);
+    // Inject an inversion in the middle of the last rank's block.
+    if (comm.rank() == comm.size() - 1 && sorted.size() >= 2) {
+      std::swap(sorted[sorted.size() / 2], sorted[sorted.size() / 2 - 1]);
+      // Guarantee a strict descent even if the swapped keys were equal.
+      sorted[sorted.size() / 2 - 1] += 1;
+    }
+    EXPECT_FALSE(nas::is_verify_nas_mpi(comm, sorted));
+    EXPECT_FALSE(nas::is_verify_opt_mpi(comm, sorted));
+    EXPECT_FALSE(nas::is_verify_rsmpi(comm, sorted));
+  });
+}
+
+TEST_P(IsSweep, AllThreeVerifiersRejectBoundaryInversion) {
+  const int p = GetParam();
+  if (p < 2) GTEST_SKIP() << "needs a rank boundary";
+  mprt::run(p, [&](mprt::Comm& comm) {
+    auto keys = nas::is_generate_keys(comm, kTiny);
+    auto sorted = nas::is_bucket_sort(comm, std::move(keys), kTiny);
+    // Raise rank 0's last key above everything: only the boundary check
+    // between ranks can see this.
+    if (comm.rank() == 0 && !sorted.empty()) {
+      sorted.back() = static_cast<Key>(kTiny.max_key + 100);
+    }
+    EXPECT_FALSE(nas::is_verify_nas_mpi(comm, sorted));
+    EXPECT_FALSE(nas::is_verify_opt_mpi(comm, sorted));
+    EXPECT_FALSE(nas::is_verify_rsmpi(comm, sorted));
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(RankCounts, IsSweep,
+                         ::testing::Values(1, 2, 3, 4, 5, 8));
+
+class IsRankSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(IsRankSweep, RanksCountSmallerKeys) {
+  const int p = GetParam();
+  constexpr IsParams params{1 << 10, 1 << 7};
+  // Oracle: global rank of value v = #keys < v.
+  std::vector<Key> all;
+  mprt::run(1, [&](mprt::Comm& comm) {
+    all = nas::is_generate_keys(comm, params);
+  });
+  std::vector<std::int64_t> smaller(static_cast<std::size_t>(params.max_key),
+                                    0);
+  for (const Key k : all) smaller[static_cast<std::size_t>(k)] += 1;
+  std::int64_t running = 0;
+  for (auto& s : smaller) {
+    const auto c = s;
+    s = running;
+    running += c;
+  }
+
+  mprt::run(p, [&](mprt::Comm& comm) {
+    const auto mine = nas::is_generate_keys(comm, params);
+    const auto ranks = nas::is_rank_keys(comm, mine, params);
+    ASSERT_EQ(ranks.size(), mine.size());
+    for (std::size_t i = 0; i < mine.size(); ++i) {
+      EXPECT_EQ(ranks[i], smaller[static_cast<std::size_t>(mine[i])])
+          << "key " << mine[i];
+    }
+  });
+}
+
+TEST_P(IsRankSweep, RankOrderMatchesSortOrder) {
+  // Stable property: sorting keys by (rank, value) reproduces the sorted
+  // permutation — ranks are consistent with the bucket sort's output.
+  const int p = GetParam();
+  constexpr IsParams params{1 << 10, 1 << 7};
+  mprt::run(p, [&](mprt::Comm& comm) {
+    auto keys = nas::is_generate_keys(comm, params);
+    const auto ranks = nas::is_rank_keys(comm, keys, params);
+    for (std::size_t i = 0; i < keys.size(); ++i) {
+      for (std::size_t j = i + 1; j < std::min(keys.size(), i + 4); ++j) {
+        if (keys[i] < keys[j]) {
+          EXPECT_LT(ranks[i], ranks[j]);
+        }
+        if (keys[i] == keys[j]) {
+          EXPECT_EQ(ranks[i], ranks[j]);
+        }
+      }
+    }
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(RankCounts, IsRankSweep,
+                         ::testing::Values(1, 2, 3, 5, 8));
+
+TEST(Is, VerifiersHandleEmptyRanks) {
+  // More ranks than distinct buckets with keys: some ranks may end up
+  // empty after the bucket sort of a tiny array.
+  mprt::run(8, [](mprt::Comm& comm) {
+    std::vector<Key> mine;
+    if (comm.rank() == 3) mine = {1, 2, 3};
+    if (comm.rank() == 5) mine = {4, 5};
+    EXPECT_TRUE(nas::is_verify_nas_mpi(comm, mine));
+    EXPECT_TRUE(nas::is_verify_opt_mpi(comm, mine));
+    EXPECT_TRUE(nas::is_verify_rsmpi(comm, mine));
+  });
+}
+
+TEST(Is, VerifiersCatchInversionAcrossEmptyRank) {
+  // Rank 3 holds [10], rank 5 holds [4]; ranks in between are empty.  The
+  // descent 10 > 4 spans an empty rank and must still be detected.
+  mprt::run(8, [](mprt::Comm& comm) {
+    std::vector<Key> mine;
+    if (comm.rank() == 3) mine = {10};
+    if (comm.rank() == 5) mine = {4};
+    EXPECT_FALSE(nas::is_verify_rsmpi(comm, mine));
+    EXPECT_FALSE(nas::is_verify_nas_mpi(comm, mine));
+    EXPECT_FALSE(nas::is_verify_opt_mpi(comm, mine));
+  });
+}
+
+}  // namespace

@@ -1,0 +1,149 @@
+// NAS MG ZRAN3 tests: grid-fill determinism across rank counts, agreement
+// of the 40-reduction baseline with the single-reduction global-view
+// formulation, both validated against a sort oracle, and the final charge
+// application.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "coll/gather.hpp"
+#include "coll/local_reduce.hpp"
+#include "mprt/runtime.hpp"
+#include "nas/mg.hpp"
+
+namespace {
+
+using namespace rsmpi;
+using nas::MgParams;
+
+constexpr MgParams kTinyGrid{16, 16, 16};
+
+/// Gathers the distributed grid to rank 0 in z order.
+std::vector<double> gather_grid(mprt::Comm& comm, const nas::MgGrid& grid) {
+  return coll::gather<double>(comm, 0, grid.values);
+}
+
+class MgSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(MgSweep, GridFillIndependentOfRankCount) {
+  std::vector<double> reference;
+  mprt::run(1, [&](mprt::Comm& comm) {
+    reference = nas::mg_fill_grid(comm, kTinyGrid).values;
+  });
+  ASSERT_EQ(reference.size(), 16u * 16 * 16);
+
+  const int p = GetParam();
+  mprt::run(p, [&](mprt::Comm& comm) {
+    const auto grid = nas::mg_fill_grid(comm, kTinyGrid);
+    const auto all = gather_grid(comm, grid);
+    if (comm.rank() == 0) {
+      EXPECT_EQ(all, reference);
+    }
+  });
+}
+
+TEST_P(MgSweep, SlabsPartitionZPlanes) {
+  const int p = GetParam();
+  mprt::run(p, [&](mprt::Comm& comm) {
+    const auto grid = nas::mg_fill_grid(comm, kTinyGrid);
+    const int total_z = coll::local_allreduce_value(
+        comm, grid.local_nz, coll::Sum<int>{});
+    EXPECT_EQ(total_z, kTinyGrid.nz);
+    EXPECT_EQ(grid.values.size(),
+              static_cast<std::size_t>(grid.local_nz) * 16 * 16);
+  });
+}
+
+TEST_P(MgSweep, BaselineAndRsmpiAgree) {
+  const int p = GetParam();
+  mprt::run(p, [&](mprt::Comm& comm) {
+    const auto grid = nas::mg_fill_grid(comm, kTinyGrid);
+    const auto base = nas::mg_zran3_baseline(comm, grid, 10);
+    const auto rsmpi_result = nas::mg_zran3_rsmpi(comm, grid, 10);
+    EXPECT_EQ(base.positive, rsmpi_result.positive);
+    EXPECT_EQ(base.negative, rsmpi_result.negative);
+  });
+}
+
+TEST_P(MgSweep, ChargesMatchSortOracle) {
+  const int p = GetParam();
+  // Serial oracle: positions of the ten largest/smallest values.
+  std::vector<double> field;
+  mprt::run(1, [&](mprt::Comm& comm) {
+    field = nas::mg_fill_grid(comm, kTinyGrid).values;
+  });
+  std::vector<std::pair<double, std::int64_t>> indexed;
+  for (std::size_t i = 0; i < field.size(); ++i) {
+    indexed.push_back({field[i], static_cast<std::int64_t>(i)});
+  }
+  auto by_value = indexed;
+  std::sort(by_value.begin(), by_value.end());
+  std::vector<std::int64_t> want_neg, want_pos;
+  for (int i = 0; i < 10; ++i) {
+    want_neg.push_back(by_value[static_cast<std::size_t>(i)].second);
+    want_pos.push_back(
+        by_value[by_value.size() - 1 - static_cast<std::size_t>(i)].second);
+  }
+
+  mprt::run(p, [&](mprt::Comm& comm) {
+    const auto grid = nas::mg_fill_grid(comm, kTinyGrid);
+    const auto charges = nas::mg_zran3_rsmpi(comm, grid, 10);
+    EXPECT_EQ(charges.positive, want_pos);
+    EXPECT_EQ(charges.negative, want_neg);
+  });
+}
+
+TEST_P(MgSweep, ApplyChargesWritesExactlyTwentyNonzeros) {
+  const int p = GetParam();
+  mprt::run(p, [&](mprt::Comm& comm) {
+    auto grid = nas::mg_fill_grid(comm, kTinyGrid);
+    const auto charges = nas::mg_zran3_rsmpi(comm, grid, 10);
+    const int local = nas::mg_apply_charges(grid, charges);
+    const int total =
+        coll::local_allreduce_value(comm, local, coll::Sum<int>{});
+    EXPECT_EQ(total, 20);
+
+    // The grid now holds only -1, 0, +1, with global sums 10 and -10.
+    double pos_sum = 0, neg_sum = 0;
+    for (double v : grid.values) {
+      EXPECT_TRUE(v == 0.0 || v == 1.0 || v == -1.0);
+      if (v > 0) pos_sum += v;
+      if (v < 0) neg_sum += v;
+    }
+    EXPECT_EQ(coll::local_allreduce_value(comm, pos_sum, coll::Sum<double>{}),
+              10.0);
+    EXPECT_EQ(coll::local_allreduce_value(comm, neg_sum, coll::Sum<double>{}),
+              -10.0);
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(RankCounts, MgSweep,
+                         ::testing::Values(1, 2, 3, 4, 5, 8, 16));
+
+TEST(Mg, GlobalIndexRoundTrip) {
+  nas::MgGrid grid;
+  grid.nx = 4;
+  grid.ny = 3;
+  grid.nz = 8;
+  grid.z0 = 2;
+  grid.local_nz = 3;
+  EXPECT_EQ(grid.global_index(0, 0, 0), 2 * 12);
+  EXPECT_EQ(grid.global_index(1, 2, 1), (3 * 3 + 2) * 4 + 1);
+  EXPECT_EQ(grid.local_index(1, 2, 1), (1u * 3 + 2) * 4 + 1);
+}
+
+TEST(Mg, BaselineHandlesMoreRanksThanCandidates) {
+  // A grid so small that some ranks own no z-planes at all.
+  mprt::run(8, [](mprt::Comm& comm) {
+    const MgParams tiny{4, 4, 4};  // 4 z-planes over 8 ranks
+    const auto grid = nas::mg_fill_grid(comm, tiny);
+    const auto base = nas::mg_zran3_baseline(comm, grid, 10);
+    const auto rsmpi_result = nas::mg_zran3_rsmpi(comm, grid, 10);
+    EXPECT_EQ(base.positive, rsmpi_result.positive);
+    EXPECT_EQ(base.negative, rsmpi_result.negative);
+  });
+}
+
+}  // namespace

@@ -1,0 +1,101 @@
+// Validation of the NPB random number generator: the double-splitting
+// arithmetic must agree bit-for-bit with an exact 128-bit integer model of
+// x := a*x mod 2^46, and the seed-jump must commute with stepping.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "nas/randlc.hpp"
+
+namespace {
+
+using namespace rsmpi::nas;
+
+constexpr std::uint64_t kMod46 = 1ULL << 46;
+
+/// Exact integer oracle for one LCG step.
+std::uint64_t lcg_step(std::uint64_t x, std::uint64_t a) {
+  return static_cast<std::uint64_t>(
+      (static_cast<unsigned __int128>(a) * x) % kMod46);
+}
+
+TEST(Randlc, MatchesIntegerOracle) {
+  double x = kRandlcSeed;
+  std::uint64_t xi = static_cast<std::uint64_t>(kRandlcSeed);
+  const auto ai = static_cast<std::uint64_t>(kRandlcA);
+  for (int i = 0; i < 10'000; ++i) {
+    const double r = randlc(x, kRandlcA);
+    xi = lcg_step(xi, ai);
+    ASSERT_EQ(static_cast<std::uint64_t>(x), xi) << "step " << i;
+    ASSERT_DOUBLE_EQ(r, static_cast<double>(xi) /
+                            static_cast<double>(kMod46));
+  }
+}
+
+TEST(Randlc, OutputsInUnitInterval) {
+  double x = kRandlcSeed;
+  for (int i = 0; i < 1000; ++i) {
+    const double r = randlc(x, kRandlcA);
+    EXPECT_GT(r, 0.0);
+    EXPECT_LT(r, 1.0);
+  }
+}
+
+TEST(Randlc, RoughlyUniform) {
+  double x = kRandlcSeed;
+  int below_half = 0;
+  constexpr int kN = 100'000;
+  for (int i = 0; i < kN; ++i) {
+    if (randlc(x, kRandlcA) < 0.5) ++below_half;
+  }
+  EXPECT_NEAR(static_cast<double>(below_half) / kN, 0.5, 0.01);
+}
+
+TEST(Vranlc, MatchesScalarDraws) {
+  double xs = kRandlcSeed;
+  std::vector<double> scalar(64);
+  for (auto& v : scalar) v = randlc(xs, kRandlcA);
+
+  double xv = kRandlcSeed;
+  std::vector<double> vec(64);
+  vranlc(xv, kRandlcA, vec);
+
+  EXPECT_EQ(vec, scalar);
+  EXPECT_EQ(xv, xs);  // state advances identically
+}
+
+TEST(RandlcPow, MatchesRepeatedSquaringOracle) {
+  const auto ai = static_cast<std::uint64_t>(kRandlcA);
+  std::uint64_t want = 1;
+  for (std::uint64_t k = 0; k <= 100; ++k) {
+    EXPECT_EQ(static_cast<std::uint64_t>(randlc_pow(kRandlcA, k)), want)
+        << "k=" << k;
+    want = lcg_step(want, ai);
+  }
+}
+
+TEST(RandlcJump, JumpEqualsStepping) {
+  for (const std::uint64_t k : {0ULL, 1ULL, 2ULL, 17ULL, 1000ULL, 65536ULL}) {
+    double stepped = kRandlcSeed;
+    for (std::uint64_t i = 0; i < k; ++i) (void)randlc(stepped, kRandlcA);
+    const double jumped = randlc_jump(kRandlcSeed, kRandlcA, k);
+    EXPECT_EQ(jumped, stepped) << "k=" << k;
+  }
+}
+
+TEST(RandlcJump, SubstreamsTileTheSequence) {
+  // Jumping to offset b then drawing must reproduce draws b.. of the
+  // un-jumped stream — the property IS key generation relies on.
+  double x = kRandlcSeed;
+  std::vector<double> stream(256);
+  for (auto& v : stream) v = randlc(x, kRandlcA);
+
+  for (const std::size_t offset : {0u, 1u, 100u, 255u}) {
+    double y = randlc_jump(kRandlcSeed, kRandlcA, offset);
+    const double r = randlc(y, kRandlcA);
+    EXPECT_EQ(r, stream[offset]) << "offset=" << offset;
+  }
+}
+
+}  // namespace

@@ -1,0 +1,238 @@
+// Tests for the scan-built algorithms (compact, radix sort), the block
+// distribution arithmetic, and the §2.1 blockwise-aggregation adapter.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+#include <vector>
+
+#include "coll/buffer_op.hpp"
+#include "coll/gather.hpp"
+#include "coll/local_reduce.hpp"
+#include "mprt/runtime.hpp"
+#include "rs/algos/compact.hpp"
+#include "rs/algos/radix_sort.hpp"
+
+namespace {
+
+using namespace rsmpi;
+using rs::algos::BlockDist;
+
+template <typename T>
+std::vector<T> my_block(const std::vector<T>& all, int p, int rank) {
+  const std::size_t n = all.size();
+  const std::size_t base = n / static_cast<std::size_t>(p);
+  const std::size_t extra = n % static_cast<std::size_t>(p);
+  const std::size_t lo = base * static_cast<std::size_t>(rank) +
+                         std::min<std::size_t>(rank, extra);
+  const std::size_t len = base + (static_cast<std::size_t>(rank) < extra);
+  return {all.begin() + static_cast<std::ptrdiff_t>(lo),
+          all.begin() + static_cast<std::ptrdiff_t>(lo + len)};
+}
+
+// -- BlockDist ----------------------------------------------------------------
+
+TEST(BlockDist, SizesPartitionN) {
+  for (const std::int64_t n : {0, 1, 7, 64, 100}) {
+    for (const int p : {1, 2, 3, 7, 8, 16}) {
+      const BlockDist d{n, p};
+      std::int64_t sum = 0;
+      for (int r = 0; r < p; ++r) {
+        sum += d.size_of(r);
+        EXPECT_EQ(d.start_of(r), sum - d.size_of(r));
+      }
+      EXPECT_EQ(sum, n) << "n=" << n << " p=" << p;
+    }
+  }
+}
+
+TEST(BlockDist, OwnerMatchesStartAndSize) {
+  for (const std::int64_t n : {1, 7, 64, 100, 1000}) {
+    for (const int p : {1, 2, 3, 7, 8, 16}) {
+      const BlockDist d{n, p};
+      for (std::int64_t pos = 0; pos < n; ++pos) {
+        const int owner = d.owner_of(pos);
+        EXPECT_GE(pos, d.start_of(owner)) << "n=" << n << " p=" << p;
+        EXPECT_LT(pos, d.start_of(owner) + d.size_of(owner))
+            << "n=" << n << " p=" << p << " pos=" << pos;
+      }
+    }
+  }
+}
+
+// -- compact ------------------------------------------------------------------
+
+class CompactSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(CompactSweep, MatchesSerialFilterWithBalancedBlocks) {
+  const int p = GetParam();
+  std::mt19937 rng(64);
+  std::uniform_int_distribution<int> dist(-100, 100);
+  std::vector<int> data(533);
+  for (auto& x : data) x = dist(rng);
+
+  std::vector<int> want;
+  for (int x : data) {
+    if (x % 3 == 0) want.push_back(x);
+  }
+
+  mprt::run(p, [&](mprt::Comm& comm) {
+    const auto mine = my_block(data, comm.size(), comm.rank());
+    const auto got = rs::algos::compact<int>(
+        comm, mine, [](int x) { return x % 3 == 0; });
+
+    // Balanced: this rank's share of the survivors.
+    EXPECT_EQ(got, my_block(want, comm.size(), comm.rank()));
+  });
+}
+
+TEST_P(CompactSweep, NothingSurvives) {
+  const int p = GetParam();
+  mprt::run(p, [&](mprt::Comm& comm) {
+    const std::vector<int> mine = {1, 3, 5};
+    const auto got =
+        rs::algos::compact<int>(comm, mine, [](int) { return false; });
+    EXPECT_TRUE(got.empty());
+  });
+}
+
+TEST_P(CompactSweep, EverythingSurvivesIsRebalancing) {
+  // With a uniform predicate, compact is a pure rebalance: ranks with
+  // uneven input sizes end up with even blocks of the same global array.
+  const int p = GetParam();
+  mprt::run(p, [&](mprt::Comm& comm) {
+    // Rank r holds r+1 elements: global array is 1, 2, 2, 3, 3, 3, ...
+    std::vector<int> mine(static_cast<std::size_t>(comm.rank()) + 1,
+                          comm.rank() + 1);
+    const auto got =
+        rs::algos::compact<int>(comm, mine, [](int) { return true; });
+    std::vector<int> all;
+    for (int r = 0; r < comm.size(); ++r) {
+      all.insert(all.end(), static_cast<std::size_t>(r) + 1, r + 1);
+    }
+    EXPECT_EQ(got, my_block(all, comm.size(), comm.rank()));
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(RankCounts, CompactSweep,
+                         ::testing::Values(1, 2, 3, 4, 5, 8, 16));
+
+// -- radix sort ----------------------------------------------------------------
+
+class RadixSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(RadixSweep, SortsUniformKeys) {
+  const int p = GetParam();
+  std::mt19937 rng(65);
+  std::uniform_int_distribution<std::uint32_t> dist;
+  std::vector<std::uint32_t> data(700);
+  for (auto& x : data) x = dist(rng);
+
+  auto want = data;
+  std::sort(want.begin(), want.end());
+
+  mprt::run(p, [&](mprt::Comm& comm) {
+    auto mine = my_block(data, comm.size(), comm.rank());
+    const auto got = rs::algos::radix_sort(comm, std::move(mine));
+    EXPECT_EQ(got, my_block(want, comm.size(), comm.rank()));
+  });
+}
+
+TEST_P(RadixSweep, SortsWithSmallDigits) {
+  const int p = GetParam();
+  std::mt19937 rng(66);
+  std::uniform_int_distribution<std::uint16_t> dist;
+  std::vector<std::uint16_t> data(256);
+  for (auto& x : data) x = dist(rng);
+  auto want = data;
+  std::sort(want.begin(), want.end());
+
+  mprt::run(p, [&](mprt::Comm& comm) {
+    auto mine = my_block(data, comm.size(), comm.rank());
+    const auto got = rs::algos::radix_sort(comm, std::move(mine),
+                                           /*digit_bits=*/4);
+    EXPECT_EQ(got, my_block(want, comm.size(), comm.rank()));
+  });
+}
+
+TEST_P(RadixSweep, HandlesDuplicatesAndSkew) {
+  const int p = GetParam();
+  std::vector<std::uint32_t> data;
+  for (int i = 0; i < 300; ++i) {
+    data.push_back(static_cast<std::uint32_t>(i % 5));  // heavy duplicates
+  }
+  auto want = data;
+  std::sort(want.begin(), want.end());
+  mprt::run(p, [&](mprt::Comm& comm) {
+    auto mine = my_block(data, comm.size(), comm.rank());
+    const auto got = rs::algos::radix_sort(comm, std::move(mine));
+    EXPECT_EQ(got, my_block(want, comm.size(), comm.rank()));
+  });
+}
+
+TEST_P(RadixSweep, FewerKeysThanRanks) {
+  const int p = GetParam();
+  const std::vector<std::uint32_t> data = {9, 1, 5};
+  std::vector<std::uint32_t> want = {1, 5, 9};
+  mprt::run(p, [&](mprt::Comm& comm) {
+    auto mine = my_block(data, comm.size(), comm.rank());
+    const auto got = rs::algos::radix_sort(comm, std::move(mine));
+    EXPECT_EQ(got, my_block(want, comm.size(), comm.rank()));
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(RankCounts, RadixSweep,
+                         ::testing::Values(1, 2, 3, 4, 5, 8, 16));
+
+TEST(RadixSort, RejectsBadDigitWidth) {
+  EXPECT_THROW(mprt::run(1,
+                         [](mprt::Comm& comm) {
+                           std::vector<std::uint32_t> v = {1};
+                           (void)rs::algos::radix_sort(comm, std::move(v), 0);
+                         }),
+               ArgumentError);
+}
+
+// -- BlockwiseOp (§2.1: aggregating mink itself) --------------------------------
+
+TEST(BlockwiseOp, AggregatedMinkComputesElementwiseKMins) {
+  // Each rank holds m = 3 vectors of k = 4 candidates; the aggregated
+  // reduction yields, per vector slot, the 4 smallest across ranks.
+  constexpr std::size_t kK = 4, kM = 3;
+  mprt::run(5, [](mprt::Comm& comm) {
+    std::vector<int> buf(kK * kM);
+    coll::BlockwiseOp<int, coll::LocalMinK<int>> op{kK};
+    for (std::size_t m = 0; m < kM; ++m) {
+      for (std::size_t j = 0; j < kK; ++j) {
+        // Ascending within each block, as LocalMinK maintains.
+        buf[m * kK + j] = static_cast<int>(
+            100 * m + 10 * j + ((comm.rank() * 7 + static_cast<int>(m)) % 5));
+      }
+    }
+    coll::local_allreduce(comm, std::span<int>(buf), op);
+
+    // Oracle: rebuild all ranks' blocks and take the k smallest per slot.
+    for (std::size_t m = 0; m < kM; ++m) {
+      std::vector<int> pool;
+      for (int r = 0; r < comm.size(); ++r) {
+        for (std::size_t j = 0; j < kK; ++j) {
+          pool.push_back(static_cast<int>(
+              100 * m + 10 * j + ((r * 7 + static_cast<int>(m)) % 5)));
+        }
+      }
+      std::sort(pool.begin(), pool.end());
+      for (std::size_t j = 0; j < kK; ++j) {
+        EXPECT_EQ(buf[m * kK + j], pool[j]) << "slot " << m << " pos " << j;
+      }
+    }
+  });
+}
+
+TEST(BlockwiseOp, IdentFillsEachBlock) {
+  coll::BlockwiseOp<int, coll::LocalMinK<int>> op{2};
+  std::vector<int> buf(6);
+  op.ident(buf);
+  for (int v : buf) EXPECT_EQ(v, std::numeric_limits<int>::max());
+}
+
+}  // namespace

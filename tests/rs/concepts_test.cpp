@@ -1,0 +1,129 @@
+// Compile-time and dispatch tests for the operator concept machinery.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "rs/op_concepts.hpp"
+#include "rs/ops/ops.hpp"
+
+namespace {
+
+using namespace rsmpi::rs;
+namespace ops = rsmpi::rs::ops;
+
+// -- Concept satisfaction (compile-time contracts of the public API) --------
+
+static_assert(ReductionOp<ops::Sum<int>, int>);
+static_assert(ReductionOp<ops::MinK<int>, int>);
+static_assert(ReductionOp<ops::Counts, int>);
+static_assert(ReductionOp<ops::Sorted<int>, int>);
+static_assert(ReductionOp<ops::MeanVar, double>);
+static_assert(ReductionOp<ops::Concat, char>);
+static_assert(ReductionOp<ops::MinI<double>, ops::Located<double>>);
+static_assert(
+    ReductionOp<ops::TopBottomK<double>, ops::Located<double>>);
+
+static_assert(ScanOp<ops::Counts, int>);
+static_assert(ScanOp<ops::Sum<long>, long>);
+static_assert(ScanOp<ops::Concat, char>);
+
+// An int is not an operator.
+static_assert(!ReductionOp<int, int>);
+
+// Sorted has pre_accum but not post_accum.
+static_assert(HasPreAccum<ops::Sorted<int>, int>);
+static_assert(!HasPostAccum<ops::Sorted<int>, int>);
+static_assert(!HasPreAccum<ops::Sum<int>, int>);
+
+// Counts splits its generate functions; Sum shares one.
+static_assert(HasRedGen<ops::Counts>);
+static_assert(HasScanGen<ops::Counts, int>);
+static_assert(!HasGen<ops::Counts>);
+static_assert(HasGen<ops::Sum<int>>);
+static_assert(!HasRedGen<ops::Sum<int>>);
+
+// Serialization routes: trivially copyable vs save/load.
+static_assert(std::is_trivially_copyable_v<ops::Sum<int>>);
+static_assert(!std::is_trivially_copyable_v<ops::MinK<int>>);
+static_assert(HasSaveLoad<ops::MinK<int>>);
+static_assert(HasSaveLoad<ops::Concat>);
+static_assert(!HasSaveLoad<ops::Sum<int>>);
+
+// -- Commutativity defaults --------------------------------------------------
+
+struct PlainOp {
+  void accum(const int&) {}
+  void combine(const PlainOp&) {}
+  int gen() const { return 0; }
+};
+
+TEST(OpConcepts, CommutativeDefaultsTrueWhenUnspecified) {
+  EXPECT_TRUE(op_commutative<PlainOp>());
+  EXPECT_TRUE(op_commutative<ops::Sum<int>>());
+  EXPECT_FALSE(op_commutative<ops::Sorted<int>>());
+  EXPECT_FALSE(op_commutative<ops::Concat>());
+}
+
+// -- Generate dispatch -------------------------------------------------------
+
+TEST(OpConcepts, RedResultPrefersRedGen) {
+  ops::Counts c(3);
+  c.accum(1);
+  c.accum(1);
+  // Counts has no gen(); red_result must find red_gen().
+  EXPECT_EQ(red_result(c), (std::vector<long>{0, 2, 0}));
+}
+
+TEST(OpConcepts, ScanResultPrefersScanGen) {
+  ops::Counts c(3);
+  c.accum(1);
+  c.accum(1);
+  c.accum(2);
+  EXPECT_EQ(scan_result(c, 1), 2);
+  EXPECT_EQ(scan_result(c, 2), 1);
+}
+
+TEST(OpConcepts, ScanResultFallsBackToGen) {
+  ops::Sum<int> s;
+  s.accum(4);
+  s.accum(5);
+  EXPECT_EQ(scan_result(s, 99), 9);  // gen() ignores the position value
+}
+
+// -- Serialization round trips ----------------------------------------------
+
+TEST(OpConcepts, TriviallyCopyableSaveLoadRoundTrip) {
+  ops::Sum<long> s;
+  s.accum(41);
+  const auto buf = save_op(s);
+  const auto restored = load_op(ops::Sum<long>{}, buf);
+  EXPECT_EQ(restored.gen(), 41);
+}
+
+TEST(OpConcepts, SaveLoadOpRoundTrip) {
+  ops::MinK<int> m(3);
+  m.accum(5);
+  m.accum(1);
+  m.accum(9);
+  m.accum(2);
+  const auto buf = save_op(m);
+  const auto restored = load_op(ops::MinK<int>(3), buf);
+  EXPECT_EQ(restored.gen(), (std::vector<int>{1, 2, 5}));
+}
+
+TEST(OpConcepts, LoadOpRejectsTrailingBytes) {
+  ops::Concat c;
+  c.accum('x');
+  auto buf = save_op(c);
+  buf.push_back(std::byte{0});
+  EXPECT_THROW((void)load_op(ops::Concat{}, buf), rsmpi::ProtocolError);
+}
+
+TEST(OpConcepts, LoadOpRejectsMismatchedPrototype) {
+  ops::MinK<int> m(3);
+  const auto buf = save_op(m);
+  EXPECT_THROW((void)load_op(ops::MinK<int>(5), buf), rsmpi::ProtocolError);
+}
+
+}  // namespace

@@ -1,0 +1,276 @@
+// Tests for the extension operators: Segmented, Fuse, and MaxSubarray —
+// serial semantics first, then parallel-equals-serial over rank sweeps.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+#include <vector>
+
+#include "mprt/runtime.hpp"
+#include "rs/ops/ops.hpp"
+#include "rs/reduce.hpp"
+#include "rs/scan.hpp"
+#include "rs/serial.hpp"
+
+namespace {
+
+using namespace rsmpi;
+namespace ops = rs::ops;
+namespace serial = rs::serial;
+
+template <typename T>
+std::vector<T> my_block(const std::vector<T>& all, int p, int rank) {
+  const std::size_t n = all.size();
+  const std::size_t base = n / static_cast<std::size_t>(p);
+  const std::size_t extra = n % static_cast<std::size_t>(p);
+  const std::size_t lo = base * static_cast<std::size_t>(rank) +
+                         std::min<std::size_t>(rank, extra);
+  const std::size_t len = base + (static_cast<std::size_t>(rank) < extra);
+  return {all.begin() + static_cast<std::ptrdiff_t>(lo),
+          all.begin() + static_cast<std::ptrdiff_t>(lo + len)};
+}
+
+// -- Segmented ----------------------------------------------------------------
+
+std::vector<ops::Seg<long>> make_segments(
+    const std::vector<long>& values, const std::vector<std::size_t>& starts) {
+  std::vector<ops::Seg<long>> out;
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    out.push_back({values[i],
+                   std::find(starts.begin(), starts.end(), i) != starts.end()});
+  }
+  return out;
+}
+
+TEST(Segmented, ScanRestartsAtBoundaries) {
+  // Segments: [1 2 3 | 4 5 | 6]; segmented +-scan = 1 3 6 | 4 9 | 6.
+  const auto data = make_segments({1, 2, 3, 4, 5, 6}, {0, 3, 5});
+  const auto got =
+      serial::scan(data, ops::segmented<long>(ops::Sum<long>{}));
+  EXPECT_EQ(got, (std::vector<long>{1, 3, 6, 4, 9, 6}));
+}
+
+TEST(Segmented, ReductionYieldsLastSegment) {
+  const auto data = make_segments({1, 2, 3, 4, 5, 6}, {0, 3, 5});
+  EXPECT_EQ(serial::reduce(data, ops::segmented<long>(ops::Sum<long>{})), 6);
+}
+
+TEST(Segmented, FirstElementNeedNotBeFlagged) {
+  // An unflagged opening run continues the (empty) initial segment.
+  const auto data = make_segments({10, 20}, {});
+  const auto got =
+      serial::scan(data, ops::segmented<long>(ops::Sum<long>{}));
+  EXPECT_EQ(got, (std::vector<long>{10, 30}));
+}
+
+TEST(Segmented, WorksWithMinUnderneath) {
+  const auto data = make_segments({5, 3, 7, 9, 2, 8}, {0, 3});
+  const auto got = serial::scan(data, ops::segmented<long>(ops::Min<long>{}));
+  EXPECT_EQ(got, (std::vector<long>{5, 3, 3, 9, 2, 2}));
+}
+
+TEST(Segmented, CombineAcrossBoundaryBlocks) {
+  using SegOp = ops::Segmented<ops::Sum<long>, long>;
+  // Left block ends mid-segment; right block opens a new segment later.
+  auto left = serial::reduce_state(make_segments({1, 2}, {0}),
+                                   ops::segmented<long>(ops::Sum<long>{}));
+  auto right = serial::reduce_state(make_segments({3, 4, 5}, {1}),
+                                    ops::segmented<long>(ops::Sum<long>{}));
+  left.combine(right);
+  // Segments: [1 2 3 | 4 5]; last segment sums to 9.
+  EXPECT_EQ(static_cast<const SegOp&>(left).red_gen(), 9);
+
+  // Right block without boundary extends the left run.
+  auto l2 = serial::reduce_state(make_segments({1, 2}, {0}),
+                                 ops::segmented<long>(ops::Sum<long>{}));
+  auto r2 = serial::reduce_state(make_segments({3, 4}, {}),
+                                 ops::segmented<long>(ops::Sum<long>{}));
+  l2.combine(r2);
+  EXPECT_EQ(l2.red_gen(), 10);
+}
+
+class SegmentedSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(SegmentedSweep, ParallelScanMatchesSerial) {
+  const int p = GetParam();
+  std::mt19937 rng(123);
+  std::uniform_int_distribution<long> vdist(-20, 20);
+  std::bernoulli_distribution bdist(0.15);
+  std::vector<ops::Seg<long>> data(400);
+  for (auto& e : data) e = {vdist(rng), bdist(rng)};
+
+  const auto op = ops::segmented<long>(ops::Sum<long>{});
+  const auto want = serial::scan(data, op);
+  mprt::run(p, [&](mprt::Comm& comm) {
+    const auto mine = my_block(data, comm.size(), comm.rank());
+    EXPECT_EQ(rs::scan(comm, mine, op),
+              my_block(want, comm.size(), comm.rank()));
+  });
+}
+
+TEST_P(SegmentedSweep, ParallelReduceMatchesSerial) {
+  const int p = GetParam();
+  std::mt19937 rng(321);
+  std::uniform_int_distribution<long> vdist(-9, 9);
+  std::bernoulli_distribution bdist(0.1);
+  std::vector<ops::Seg<long>> data(300);
+  for (auto& e : data) e = {vdist(rng), bdist(rng)};
+
+  const auto op = ops::segmented<long>(ops::Sum<long>{});
+  const auto want = serial::reduce(data, op);
+  mprt::run(p, [&](mprt::Comm& comm) {
+    const auto mine = my_block(data, comm.size(), comm.rank());
+    EXPECT_EQ(rs::reduce(comm, mine, op), want);
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(RankCounts, SegmentedSweep,
+                         ::testing::Values(1, 2, 3, 4, 5, 8, 16));
+
+// -- Fuse ---------------------------------------------------------------------
+
+TEST(Fuse, RunsBothReductionsInOnePass) {
+  const std::vector<int> v = {4, -1, 7, 2};
+  const auto [mn, mx] =
+      serial::reduce(v, ops::fuse(ops::Min<int>{}, ops::Max<int>{}));
+  EXPECT_EQ(mn, -1);
+  EXPECT_EQ(mx, 7);
+}
+
+TEST(Fuse, MixedTrivialAndHeapStates) {
+  // Sum (trivially copyable) fused with MinK (save/load).
+  const std::vector<int> v = {5, 1, 8, 3};
+  const auto [sum, mins] =
+      serial::reduce(v, ops::fuse(ops::Sum<long>{}, ops::MinK<int>(2)));
+  EXPECT_EQ(sum, 17);
+  EXPECT_EQ(mins, (std::vector<int>{1, 3}));
+}
+
+TEST(Fuse, CommutativityIsConjunction) {
+  using FMinMax = ops::Fuse<ops::Min<int>, ops::Max<int>>;
+  using FMinSorted = ops::Fuse<ops::Min<int>, ops::Sorted<int>>;
+  EXPECT_TRUE(rs::op_commutative<FMinMax>());
+  EXPECT_FALSE(rs::op_commutative<FMinSorted>());
+}
+
+TEST(Fuse, ForwardsPrePostHooks) {
+  // Sorted relies on pre_accum; fused with Sum it must still see it.
+  const std::vector<int> v = {1, 2, 5, 9};
+  const auto [sum, ok] =
+      serial::reduce(v, ops::fuse(ops::Sum<long>{}, ops::Sorted<int>{}));
+  EXPECT_EQ(sum, 17);
+  EXPECT_TRUE(ok);
+}
+
+class FuseSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(FuseSweep, ParallelMatchesSerialWithHeapState) {
+  const int p = GetParam();
+  std::mt19937 rng(55);
+  std::uniform_int_distribution<int> dist(-1000, 1000);
+  std::vector<int> data(500);
+  for (auto& x : data) x = dist(rng);
+
+  const auto op = ops::fuse(ops::Sum<long>{}, ops::MinK<int>(5));
+  const auto want = serial::reduce(data, op);
+  mprt::run(p, [&](mprt::Comm& comm) {
+    const auto mine = my_block(data, comm.size(), comm.rank());
+    const auto got = rs::reduce(comm, mine, op);
+    EXPECT_EQ(got.first, want.first);
+    EXPECT_EQ(got.second, want.second);
+  });
+}
+
+TEST_P(FuseSweep, NonCommutativeFusePreservesOrder) {
+  const int p = GetParam();
+  const std::string text = "fusion keeps order";
+  std::vector<char> data(text.begin(), text.end());
+  const auto op = ops::fuse(ops::Concat{}, ops::Sorted<char>{});
+  mprt::run(p, [&](mprt::Comm& comm) {
+    const auto mine = my_block(data, comm.size(), comm.rank());
+    const auto got = rs::reduce(comm, mine, op);
+    EXPECT_EQ(got.first, text);
+    EXPECT_FALSE(got.second);  // the text is not character-sorted
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(RankCounts, FuseSweep,
+                         ::testing::Values(1, 2, 3, 4, 5, 8, 16));
+
+// -- MaxSubarray --------------------------------------------------------------
+
+TEST(MaxSubarray, ClassicExample) {
+  const std::vector<long> v = {-2, 1, -3, 4, -1, 2, 1, -5, 4};
+  EXPECT_EQ(serial::reduce(v, ops::MaxSubarray<long>{}), 6);  // [4,-1,2,1]
+}
+
+TEST(MaxSubarray, AllNegativePicksLargestElement) {
+  const std::vector<long> v = {-8, -3, -6, -2, -5};
+  EXPECT_EQ(serial::reduce(v, ops::MaxSubarray<long>{}), -2);
+}
+
+TEST(MaxSubarray, SingleAndEmpty) {
+  EXPECT_EQ(serial::reduce(std::vector<long>{7}, ops::MaxSubarray<long>{}), 7);
+  EXPECT_EQ(serial::reduce(std::vector<long>{}, ops::MaxSubarray<long>{}), 0);
+}
+
+TEST(MaxSubarray, CombineMatchesWholeArrayKadane) {
+  std::mt19937 rng(77);
+  std::uniform_int_distribution<long> dist(-10, 10);
+  for (int trial = 0; trial < 25; ++trial) {
+    std::vector<long> v(100);
+    for (auto& x : v) x = dist(rng);
+
+    // Kadane oracle.
+    long best = v[0], run = v[0];
+    for (std::size_t i = 1; i < v.size(); ++i) {
+      run = std::max(v[i], run + v[i]);
+      best = std::max(best, run);
+    }
+
+    // Split at a random point and combine the halves.
+    const std::size_t cut = 1 + rng() % (v.size() - 1);
+    auto left = serial::reduce_state(
+        std::vector<long>(v.begin(), v.begin() + static_cast<long>(cut)),
+        ops::MaxSubarray<long>{});
+    const auto right = serial::reduce_state(
+        std::vector<long>(v.begin() + static_cast<long>(cut), v.end()),
+        ops::MaxSubarray<long>{});
+    left.combine(right);
+    EXPECT_EQ(left.gen(), best) << "trial " << trial << " cut " << cut;
+  }
+}
+
+class MaxSubarraySweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(MaxSubarraySweep, ParallelMatchesSerial) {
+  const int p = GetParam();
+  std::mt19937 rng(88);
+  std::uniform_int_distribution<long> dist(-50, 50);
+  std::vector<long> data(600);
+  for (auto& x : data) x = dist(rng);
+  const long want = serial::reduce(data, ops::MaxSubarray<long>{});
+  mprt::run(p, [&](mprt::Comm& comm) {
+    const auto mine = my_block(data, comm.size(), comm.rank());
+    EXPECT_EQ(rs::reduce(comm, mine, ops::MaxSubarray<long>{}), want);
+  });
+}
+
+TEST_P(MaxSubarraySweep, ScanGivesRunningBest) {
+  const int p = GetParam();
+  std::mt19937 rng(89);
+  std::uniform_int_distribution<long> dist(-10, 10);
+  std::vector<long> data(200);
+  for (auto& x : data) x = dist(rng);
+  const auto want = serial::scan(data, ops::MaxSubarray<long>{});
+  mprt::run(p, [&](mprt::Comm& comm) {
+    const auto mine = my_block(data, comm.size(), comm.rank());
+    EXPECT_EQ(rs::scan(comm, mine, ops::MaxSubarray<long>{}),
+              my_block(want, comm.size(), comm.rank()));
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(RankCounts, MaxSubarraySweep,
+                         ::testing::Values(1, 2, 3, 4, 5, 8, 16));
+
+}  // namespace

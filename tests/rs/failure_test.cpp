@@ -1,0 +1,116 @@
+// Failure-injection tests: errors thrown inside operator callbacks or
+// caused by malformed states must surface to the caller of mprt::run on
+// every rank count, never deadlock the machine, and carry the original
+// type.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "mprt/runtime.hpp"
+#include "rs/ops/ops.hpp"
+#include "rs/reduce.hpp"
+#include "rs/scan.hpp"
+
+namespace {
+
+using namespace rsmpi;
+namespace ops = rs::ops;
+
+/// Operator whose callbacks throw on demand.
+struct FaultyOp {
+  static constexpr bool commutative = false;
+
+  int fail_on_accum_value = -1;
+  bool fail_on_combine = false;
+  long sum = 0;
+
+  void accum(const int& x) {
+    if (x == fail_on_accum_value) {
+      throw std::domain_error("accum rejected value");
+    }
+    sum += x;
+  }
+  void combine(const FaultyOp& o) {
+    if (fail_on_combine || o.fail_on_combine) {
+      throw std::domain_error("combine failed");
+    }
+    sum += o.sum;
+  }
+  [[nodiscard]] long gen() const { return sum; }
+};
+
+class FailureSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(FailureSweep, AccumThrowPropagatesFromAnyRank) {
+  const int p = GetParam();
+  for (int failing_rank = 0; failing_rank < p; ++failing_rank) {
+    EXPECT_THROW(
+        mprt::run(p,
+                  [&](mprt::Comm& comm) {
+                    FaultyOp op;
+                    op.fail_on_accum_value =
+                        comm.rank() == failing_rank ? 3 : -1;
+                    const std::vector<int> mine = {1, 2, 3, 4};
+                    (void)rs::reduce(comm, mine, op);
+                  }),
+        std::domain_error)
+        << "p=" << p << " failing_rank=" << failing_rank;
+  }
+}
+
+TEST_P(FailureSweep, CombineThrowPropagates) {
+  const int p = GetParam();
+  if (p < 2) GTEST_SKIP() << "combine needs two ranks";
+  EXPECT_THROW(mprt::run(p,
+                         [&](mprt::Comm& comm) {
+                           FaultyOp op;
+                           op.fail_on_combine = comm.rank() == 0;
+                           const std::vector<int> mine = {1};
+                           (void)rs::reduce(comm, mine, op);
+                         }),
+               std::domain_error);
+}
+
+TEST_P(FailureSweep, ScanFailurePropagates) {
+  const int p = GetParam();
+  EXPECT_THROW(
+      mprt::run(p,
+                [&](mprt::Comm& comm) {
+                  // Counts rejects out-of-range buckets; the last rank
+                  // feeds it one.
+                  std::vector<int> mine = {0, 1, 0};
+                  if (comm.rank() == comm.size() - 1) mine.push_back(99);
+                  (void)rs::scan(comm, mine, ops::Counts(2));
+                }),
+      ArgumentError);
+}
+
+INSTANTIATE_TEST_SUITE_P(RankCounts, FailureSweep,
+                         ::testing::Values(1, 2, 3, 4, 8));
+
+TEST(Failure, MismatchedPrototypeAcrossRanksIsProtocolError) {
+  // Rank 1 constructs MinK with a different k: state payloads disagree and
+  // deserialization must fail loudly, not corrupt memory.
+  EXPECT_THROW(mprt::run(2,
+                         [](mprt::Comm& comm) {
+                           const std::vector<int> mine = {1, 2, 3};
+                           const std::size_t k = comm.rank() == 0 ? 3 : 5;
+                           (void)rs::reduce(comm, mine,
+                                            ops::MinK<int>(k));
+                         }),
+               ProtocolError);
+}
+
+TEST(Failure, MismatchedCountsWidthIsDetected) {
+  EXPECT_THROW(mprt::run(2,
+                         [](mprt::Comm& comm) {
+                           const std::vector<int> mine = {0};
+                           const std::size_t width =
+                               comm.rank() == 0 ? 4 : 6;
+                           (void)rs::reduce(comm, mine, ops::Counts(width));
+                         }),
+               ProtocolError);
+}
+
+}  // namespace

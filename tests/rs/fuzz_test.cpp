@@ -1,0 +1,160 @@
+// Randomized cross-validation: for a grid of (seed, rank count) pairs,
+// generate a random global array, slice it unevenly (random block
+// boundaries, including empty blocks), and check that every operator's
+// parallel reduction and scan equal the sequential oracle.  Uneven slices
+// distinguish these cases from the block-distribution tests and hammer
+// the empty-rank and boundary paths of every operator at once.
+#include <gtest/gtest.h>
+
+#include <random>
+#include <tuple>
+#include <vector>
+
+#include "mprt/runtime.hpp"
+#include "rs/ops/ops.hpp"
+#include "rs/reduce.hpp"
+#include "rs/scan.hpp"
+#include "rs/serial.hpp"
+
+namespace {
+
+using namespace rsmpi;
+namespace ops = rs::ops;
+namespace serial = rs::serial;
+
+/// Random cut points: p possibly-empty, possibly-lopsided slices.
+std::vector<std::pair<std::size_t, std::size_t>> random_slices(
+    std::size_t n, int p, std::mt19937& rng) {
+  std::vector<std::size_t> cuts = {0, n};
+  std::uniform_int_distribution<std::size_t> pos(0, n);
+  for (int i = 0; i < p - 1; ++i) cuts.push_back(pos(rng));
+  std::sort(cuts.begin(), cuts.end());
+  std::vector<std::pair<std::size_t, std::size_t>> out;
+  for (int r = 0; r < p; ++r) {
+    out.push_back({cuts[static_cast<std::size_t>(r)],
+                   cuts[static_cast<std::size_t>(r) + 1]});
+  }
+  return out;
+}
+
+class Fuzz : public ::testing::TestWithParam<std::tuple<unsigned, int>> {
+ protected:
+  void SetUp() override {
+    const auto [seed, p] = GetParam();
+    p_ = p;
+    std::mt19937 rng(seed);
+    std::uniform_int_distribution<int> vdist(-500, 500);
+    std::uniform_int_distribution<std::size_t> ndist(0, 400);
+    data_.resize(ndist(rng));
+    for (auto& x : data_) x = vdist(rng);
+    slices_ = random_slices(data_.size(), p, rng);
+  }
+
+  [[nodiscard]] std::vector<int> slice(int rank) const {
+    const auto [lo, hi] = slices_[static_cast<std::size_t>(rank)];
+    return {data_.begin() + static_cast<std::ptrdiff_t>(lo),
+            data_.begin() + static_cast<std::ptrdiff_t>(hi)};
+  }
+
+  /// The output slice of a serial scan corresponding to this rank's input.
+  template <typename Out>
+  [[nodiscard]] std::vector<Out> out_slice(const std::vector<Out>& all,
+                                           int rank) const {
+    const auto [lo, hi] = slices_[static_cast<std::size_t>(rank)];
+    return {all.begin() + static_cast<std::ptrdiff_t>(lo),
+            all.begin() + static_cast<std::ptrdiff_t>(hi)};
+  }
+
+  int p_ = 1;
+  std::vector<int> data_;
+  std::vector<std::pair<std::size_t, std::size_t>> slices_;
+};
+
+TEST_P(Fuzz, ReducersMatchSerialOnUnevenSlices) {
+  const long want_sum = serial::reduce(data_, ops::Sum<long>{});
+  const int want_min = serial::reduce(data_, ops::Min<int>{});
+  const auto want_mink = serial::reduce(data_, ops::MinK<int>(7));
+  const auto want_maxk = serial::reduce(data_, ops::MaxK<int>(4));
+  const auto want_stats = serial::reduce(
+      std::vector<double>(data_.begin(), data_.end()), ops::MeanVar{});
+  const long want_maxsub = serial::reduce(
+      std::vector<long>(data_.begin(), data_.end()), ops::MaxSubarray<long>{});
+  const bool want_sorted = serial::reduce(data_, ops::Sorted<int>{});
+
+  mprt::run(p_, [&](mprt::Comm& comm) {
+    const auto mine = slice(comm.rank());
+    EXPECT_EQ(rs::reduce(comm, mine, ops::Sum<long>{}), want_sum);
+    EXPECT_EQ(rs::reduce(comm, mine, ops::Min<int>{}), want_min);
+    EXPECT_EQ(rs::reduce(comm, mine, ops::MinK<int>(7)), want_mink);
+    EXPECT_EQ(rs::reduce(comm, mine, ops::MaxK<int>(4)), want_maxk);
+    EXPECT_EQ(rs::reduce(comm, mine, ops::Sorted<int>{}), want_sorted);
+
+    const std::vector<double> dmine(mine.begin(), mine.end());
+    const auto stats = rs::reduce(comm, dmine, ops::MeanVar{});
+    EXPECT_EQ(stats.count, want_stats.count);
+    EXPECT_NEAR(stats.mean, want_stats.mean, 1e-9);
+    EXPECT_NEAR(stats.variance, want_stats.variance, 1e-6);
+
+    const std::vector<long> lmine(mine.begin(), mine.end());
+    EXPECT_EQ(rs::reduce(comm, lmine, ops::MaxSubarray<long>{}),
+              want_maxsub);
+  });
+}
+
+TEST_P(Fuzz, ScannersMatchSerialOnUnevenSlices) {
+  const auto want_sum = serial::scan(data_, ops::Sum<long>{});
+  const auto want_xsum = serial::xscan(data_, ops::Sum<long>{});
+  const auto want_min = serial::scan(data_, ops::Min<int>{});
+
+  mprt::run(p_, [&](mprt::Comm& comm) {
+    const auto mine = slice(comm.rank());
+    EXPECT_EQ(rs::scan(comm, mine, ops::Sum<long>{}),
+              out_slice(want_sum, comm.rank()));
+    EXPECT_EQ(rs::xscan(comm, mine, ops::Sum<long>{}),
+              out_slice(want_xsum, comm.rank()));
+    EXPECT_EQ(rs::scan(comm, mine, ops::Min<int>{}),
+              out_slice(want_min, comm.rank()));
+  });
+}
+
+TEST_P(Fuzz, CountsOnBucketizedData) {
+  std::vector<int> buckets;
+  for (int x : data_) buckets.push_back(((x % 16) + 16) % 16);
+  const auto want_red = serial::reduce(buckets, ops::Counts(16));
+  const auto want_scan = serial::scan(buckets, ops::Counts(16));
+
+  mprt::run(p_, [&](mprt::Comm& comm) {
+    const auto [lo, hi] = slices_[static_cast<std::size_t>(comm.rank())];
+    const std::vector<int> mine(
+        buckets.begin() + static_cast<std::ptrdiff_t>(lo),
+        buckets.begin() + static_cast<std::ptrdiff_t>(hi));
+    EXPECT_EQ(rs::reduce(comm, mine, ops::Counts(16)), want_red);
+    EXPECT_EQ(rs::scan(comm, mine, ops::Counts(16)),
+              out_slice(want_scan, comm.rank()));
+  });
+}
+
+TEST_P(Fuzz, ConcatIsOrderWitness) {
+  // Any schedule or slicing error scrambles the string.
+  std::vector<char> chars;
+  for (int x : data_) chars.push_back(static_cast<char>('a' + ((x % 26) + 26) % 26));
+  const std::string want(chars.begin(), chars.end());
+  mprt::run(p_, [&](mprt::Comm& comm) {
+    const auto [lo, hi] = slices_[static_cast<std::size_t>(comm.rank())];
+    const std::vector<char> mine(
+        chars.begin() + static_cast<std::ptrdiff_t>(lo),
+        chars.begin() + static_cast<std::ptrdiff_t>(hi));
+    EXPECT_EQ(rs::reduce(comm, mine, ops::Concat{}), want);
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeedsAndRanks, Fuzz,
+    ::testing::Combine(::testing::Values(11u, 22u, 33u, 44u, 55u, 66u),
+                       ::testing::Values(1, 3, 5, 8, 13)),
+    [](const auto& inf) {
+      return "seed" + std::to_string(std::get<0>(inf.param)) + "_p" +
+             std::to_string(std::get<1>(inf.param));
+    });
+
+}  // namespace

@@ -1,0 +1,75 @@
+// Tests for compensated summation: exactness on adversarial data where
+// the naive sum loses everything, and schedule-independence in parallel.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+#include <vector>
+
+#include "mprt/runtime.hpp"
+#include "rs/ops/basic.hpp"
+#include "rs/ops/kahan.hpp"
+#include "rs/reduce.hpp"
+#include "rs/serial.hpp"
+
+namespace {
+
+using namespace rsmpi;
+namespace ops = rs::ops;
+
+TEST(KahanSum, ClassicCancellationCase) {
+  // 1 + 1e100 + 1 - 1e100 = 2; the naive left fold returns 0.
+  const std::vector<double> v = {1.0, 1e100, 1.0, -1e100};
+  EXPECT_EQ(rs::serial::reduce(v, ops::Sum<double>{}), 0.0);
+  EXPECT_EQ(rs::serial::reduce(v, ops::KahanSum{}), 2.0);
+}
+
+TEST(KahanSum, ManySmallOntoLarge) {
+  // 1e16 + 1.0 x 10000: naive drops every unit (1.0 < ulp of 1e16 is
+  // false — ulp(1e16) = 2, so each add rounds down); compensation keeps
+  // them.
+  std::vector<double> v = {1e16};
+  for (int i = 0; i < 10000; ++i) v.push_back(1.0);
+  const double naive = rs::serial::reduce(v, ops::Sum<double>{});
+  const double kahan = rs::serial::reduce(v, ops::KahanSum{});
+  EXPECT_EQ(kahan, 1e16 + 10000.0);
+  EXPECT_LT(std::abs(kahan - (1e16 + 10000.0)),
+            std::abs(naive - (1e16 + 10000.0)) + 1.0);
+}
+
+TEST(KahanSum, CombineKeepsCompensation) {
+  ops::KahanSum a, b;
+  a.accum(1e100);
+  a.accum(1.0);
+  b.accum(-1e100);
+  b.accum(1.0);
+  a.combine(b);
+  EXPECT_EQ(a.gen(), 2.0);
+}
+
+TEST(KahanSum, ParallelEqualsSerialWithinUlps) {
+  std::mt19937 rng(314);
+  std::uniform_real_distribution<double> mag(0.0, 1.0);
+  std::vector<double> data(4096);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    // Wildly varying magnitudes, alternating signs: high condition number.
+    const double scale = std::pow(10.0, static_cast<double>(i % 24));
+    data[i] = (i % 2 == 0 ? 1.0 : -1.0) * mag(rng) * scale;
+  }
+  const double want = rs::serial::reduce(data, ops::KahanSum{});
+  for (const int p : {2, 3, 8}) {
+    mprt::run(p, [&](mprt::Comm& comm) {
+      const std::size_t chunk = data.size() / comm.size();
+      const std::size_t lo = chunk * comm.rank();
+      const std::size_t hi =
+          comm.rank() == comm.size() - 1 ? data.size() : lo + chunk;
+      const std::vector<double> mine(data.begin() + static_cast<long>(lo),
+                                     data.begin() + static_cast<long>(hi));
+      const double got = rs::reduce(comm, mine, ops::KahanSum{});
+      // Different tree, same compensated result to near-ulp accuracy.
+      EXPECT_NEAR(got, want, std::abs(want) * 1e-15 + 1e-7) << "p=" << p;
+    });
+  }
+}
+
+}  // namespace

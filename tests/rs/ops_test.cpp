@@ -1,0 +1,396 @@
+// Unit tests for every operator in the library: identity, accumulate,
+// combine, generate, and edge cases — all through the sequential oracle so
+// the semantics are pinned independently of any parallel schedule.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "rs/serial.hpp"
+#include "rs/ops/ops.hpp"
+
+namespace {
+
+using namespace rsmpi::rs;
+namespace ops = rsmpi::rs::ops;
+
+// -- Sum / Product / Min / Max ----------------------------------------------
+
+TEST(BasicOps, SumOverRange) {
+  const std::vector<int> v = {1, 2, 3, 4};
+  EXPECT_EQ(serial::reduce(v, ops::Sum<long>{}), 10);
+}
+
+TEST(BasicOps, EmptyRangeYieldsIdentity) {
+  EXPECT_EQ(serial::reduce(std::vector<int>{}, ops::Sum<long>{}), 0);
+  EXPECT_EQ(serial::reduce(std::vector<int>{}, ops::Min<int>{}),
+            std::numeric_limits<int>::max());
+  EXPECT_EQ(serial::reduce(std::vector<int>{}, ops::Max<int>{}),
+            std::numeric_limits<int>::lowest());
+  EXPECT_EQ(serial::reduce(std::vector<int>{}, ops::Product<int>{}), 1);
+}
+
+TEST(BasicOps, ProductOverRange) {
+  const std::vector<int> v = {2, 3, 4};
+  EXPECT_EQ(serial::reduce(v, ops::Product<long>{}), 24);
+}
+
+TEST(BasicOps, MinMaxOverRange) {
+  const std::vector<int> v = {5, -2, 9, 0};
+  EXPECT_EQ(serial::reduce(v, ops::Min<int>{}), -2);
+  EXPECT_EQ(serial::reduce(v, ops::Max<int>{}), 9);
+}
+
+TEST(BasicOps, AllAnyCombine) {
+  EXPECT_TRUE(serial::reduce(std::vector<bool>{true, true}, ops::All{}));
+  EXPECT_FALSE(
+      serial::reduce(std::vector<bool>{true, false, true}, ops::All{}));
+  EXPECT_TRUE(
+      serial::reduce(std::vector<bool>{false, true, false}, ops::Any{}));
+  EXPECT_FALSE(serial::reduce(std::vector<bool>{false, false}, ops::Any{}));
+}
+
+TEST(BasicOps, CountIfCountsMatches) {
+  const std::vector<int> v = {1, 2, 3, 4, 5, 6};
+  const auto even = [](int x) { return x % 2 == 0; };
+  EXPECT_EQ(serial::reduce(v, ops::CountIf<int, decltype(even)>(even)), 3);
+}
+
+// -- MinK / MaxK (Listings 1/4) ----------------------------------------------
+
+TEST(MinK, KeepsKSmallestAscending) {
+  const std::vector<int> v = {9, 3, 7, 1, 8, 2, 6};
+  EXPECT_EQ(serial::reduce(v, ops::MinK<int>(3)),
+            (std::vector<int>{1, 2, 3}));
+}
+
+TEST(MinK, HandlesDuplicates) {
+  const std::vector<int> v = {4, 4, 4, 1, 1, 9};
+  EXPECT_EQ(serial::reduce(v, ops::MinK<int>(4)),
+            (std::vector<int>{1, 1, 4, 4}));
+}
+
+TEST(MinK, FewerInputsThanKLeavesSentinels) {
+  const std::vector<int> v = {5, 2};
+  const auto out = serial::reduce(v, ops::MinK<int>(4));
+  EXPECT_EQ(out[0], 2);
+  EXPECT_EQ(out[1], 5);
+  EXPECT_EQ(out[2], std::numeric_limits<int>::max());
+  EXPECT_EQ(out[3], std::numeric_limits<int>::max());
+}
+
+TEST(MinK, CombineMergesStates) {
+  ops::MinK<int> a(3), b(3);
+  for (int x : {10, 20, 30}) a.accum(x);
+  for (int x : {5, 25, 35}) b.accum(x);
+  a.combine(b);
+  EXPECT_EQ(a.gen(), (std::vector<int>{5, 10, 20}));
+}
+
+TEST(MinK, ZeroKRejected) {
+  EXPECT_THROW(ops::MinK<int>(0), rsmpi::ArgumentError);
+}
+
+TEST(MinK, MatchesSortOracleOnRandomData) {
+  std::mt19937 rng(7);
+  std::uniform_int_distribution<int> dist(-1000, 1000);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<int> v(200);
+    for (auto& x : v) x = dist(rng);
+    const auto got = serial::reduce(v, ops::MinK<int>(10));
+    std::vector<int> want = v;
+    std::sort(want.begin(), want.end());
+    want.resize(10);
+    EXPECT_EQ(got, want) << "trial " << trial;
+  }
+}
+
+TEST(MaxK, KeepsKLargestDescending) {
+  const std::vector<int> v = {9, 3, 7, 1, 8, 2, 6};
+  EXPECT_EQ(serial::reduce(v, ops::MaxK<int>(3)),
+            (std::vector<int>{9, 8, 7}));
+}
+
+TEST(MaxK, MatchesSortOracleOnRandomData) {
+  std::mt19937 rng(11);
+  std::uniform_int_distribution<int> dist(-500, 500);
+  std::vector<int> v(150);
+  for (auto& x : v) x = dist(rng);
+  const auto got = serial::reduce(v, ops::MaxK<int>(7));
+  std::vector<int> want = v;
+  std::sort(want.rbegin(), want.rend());
+  want.resize(7);
+  EXPECT_EQ(got, want);
+}
+
+// -- MinI / MaxI (Listing 5) --------------------------------------------------
+
+TEST(MinI, FindsValueAndLocation) {
+  std::vector<ops::Located<int>> v;
+  const std::vector<int> data = {7, 3, 9, 3, 8};
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    v.push_back({data[i], static_cast<long>(i)});
+  }
+  const auto best = serial::reduce(v, ops::MinI<int>{});
+  EXPECT_EQ(best.value, 3);
+  EXPECT_EQ(best.index, 1);  // tie at index 3 resolved to the smaller index
+}
+
+TEST(MaxI, FindsValueAndLocation) {
+  std::vector<ops::Located<int>> v = {{5, 0}, {9, 1}, {9, 2}, {1, 3}};
+  const auto best = serial::reduce(v, ops::MaxI<int>{});
+  EXPECT_EQ(best.value, 9);
+  EXPECT_EQ(best.index, 1);
+}
+
+TEST(MinI, CombineOrderIrrelevantOnTies) {
+  ops::MinI<int> a, b;
+  a.accum({3, 10});
+  b.accum({3, 4});
+  ops::MinI<int> ab = a;
+  ab.combine(b);
+  ops::MinI<int> ba = b;
+  ba.combine(a);
+  EXPECT_EQ(ab.gen(), ba.gen());
+  EXPECT_EQ(ab.gen().index, 4);
+}
+
+// -- Counts (Listing 6) --------------------------------------------------------
+
+TEST(Counts, PaperReductionExample) {
+  // §3.1.3: octants [6,7,6,3,8,2,8,4,8,3] -> counts [0,1,2,1,0,2,1,3].
+  std::vector<int> v;
+  for (int x : {6, 7, 6, 3, 8, 2, 8, 4, 8, 3}) v.push_back(x - 1);
+  EXPECT_EQ(serial::reduce(v, ops::Counts(8)),
+            (std::vector<long>{0, 1, 2, 1, 0, 2, 1, 3}));
+}
+
+TEST(Counts, PaperScanExample) {
+  // §3.1.3: rankings [1,1,2,1,1,1,2,1,3,2].
+  std::vector<int> v;
+  for (int x : {6, 7, 6, 3, 8, 2, 8, 4, 8, 3}) v.push_back(x - 1);
+  EXPECT_EQ(serial::scan(v, ops::Counts(8)),
+            (std::vector<long>{1, 1, 2, 1, 1, 1, 2, 1, 3, 2}));
+}
+
+TEST(Counts, ExclusiveScanGivesZeroBasedRanks) {
+  const std::vector<int> v = {0, 0, 1, 0};
+  EXPECT_EQ(serial::xscan(v, ops::Counts(2)),
+            (std::vector<long>{0, 1, 0, 2}));
+}
+
+TEST(Counts, OutOfRangeBucketRejected) {
+  ops::Counts c(4);
+  EXPECT_THROW(c.accum(4), rsmpi::ArgumentError);
+  EXPECT_THROW(c.accum(-1), rsmpi::ArgumentError);
+}
+
+// -- Sorted (Listing 7) --------------------------------------------------------
+
+TEST(Sorted, AcceptsSortedSequences) {
+  EXPECT_TRUE(serial::reduce(std::vector<int>{1, 2, 2, 3}, ops::Sorted<int>{}));
+  EXPECT_TRUE(serial::reduce(std::vector<int>{7}, ops::Sorted<int>{}));
+  EXPECT_TRUE(serial::reduce(std::vector<int>{}, ops::Sorted<int>{}));
+}
+
+TEST(Sorted, RejectsDescents) {
+  EXPECT_FALSE(
+      serial::reduce(std::vector<int>{1, 3, 2, 4}, ops::Sorted<int>{}));
+  EXPECT_FALSE(serial::reduce(std::vector<int>{2, 1}, ops::Sorted<int>{}));
+}
+
+TEST(Sorted, CombineChecksBoundary) {
+  // Two internally sorted halves with a descending boundary.
+  auto left = serial::reduce_state(std::vector<int>{1, 5}, ops::Sorted<int>{});
+  auto right =
+      serial::reduce_state(std::vector<int>{3, 7}, ops::Sorted<int>{});
+  left.combine(right);
+  EXPECT_FALSE(left.gen());  // 5 > 3 at the boundary
+
+  auto a = serial::reduce_state(std::vector<int>{1, 2}, ops::Sorted<int>{});
+  auto b = serial::reduce_state(std::vector<int>{2, 9}, ops::Sorted<int>{});
+  a.combine(b);
+  EXPECT_TRUE(a.gen());  // equal boundary values are in order
+}
+
+TEST(Sorted, EmptyStateIsCombineIdentity) {
+  const ops::Sorted<int> empty;
+  auto block = serial::reduce_state(std::vector<int>{4, 6}, ops::Sorted<int>{});
+
+  auto l = empty;
+  l.combine(block);
+  EXPECT_TRUE(l.gen());
+
+  auto r = block;
+  r.combine(empty);
+  EXPECT_TRUE(r.gen());
+
+  // And an empty identity between two halves must not mask a boundary
+  // violation: [9] ++ [] ++ [3] is unsorted.
+  auto nine = serial::reduce_state(std::vector<int>{9}, ops::Sorted<int>{});
+  auto three = serial::reduce_state(std::vector<int>{3}, ops::Sorted<int>{});
+  nine.combine(ops::Sorted<int>{});
+  nine.combine(three);
+  EXPECT_FALSE(nine.gen());
+}
+
+TEST(Sorted, UnsortednessIsSticky) {
+  auto bad =
+      serial::reduce_state(std::vector<int>{5, 1}, ops::Sorted<int>{});
+  auto good =
+      serial::reduce_state(std::vector<int>{6, 7}, ops::Sorted<int>{});
+  bad.combine(good);
+  EXPECT_FALSE(bad.gen());
+}
+
+// -- Histogram -----------------------------------------------------------------
+
+TEST(Histogram, BinsByEdges) {
+  ops::Histogram<double> h({0.0, 1.0, 2.0, 3.0});
+  for (double x : {0.5, 1.5, 1.7, 2.1, -4.0, 3.0, 99.0}) h.accum(x);
+  const auto counts = h.red_gen();
+  // Interior: [0,1)=1, [1,2)=2, [2,3)=1; underflow 1 (-4), overflow 2
+  // (3.0 lands at the last edge and 99 beyond it).
+  EXPECT_EQ(counts, (std::vector<long>{1, 2, 1, 1, 2}));
+  EXPECT_EQ(h.underflow(), 1);
+  EXPECT_EQ(h.overflow(), 2);
+}
+
+TEST(Histogram, EdgeValuesGoToRightBin) {
+  ops::Histogram<double> h({0.0, 1.0, 2.0});
+  h.accum(1.0);  // exactly on an interior edge -> bin [1, 2)
+  EXPECT_EQ(h.red_gen(), (std::vector<long>{0, 1, 0, 0}));
+}
+
+TEST(Histogram, RequiresSortedEdges) {
+  EXPECT_THROW(ops::Histogram<double>({1.0, 0.0}), rsmpi::ArgumentError);
+  EXPECT_THROW(ops::Histogram<double>({1.0}), rsmpi::ArgumentError);
+}
+
+TEST(Histogram, ScanGenRanksWithinBin) {
+  const std::vector<double> v = {0.1, 0.2, 1.5, 0.3};
+  const auto ranks =
+      serial::scan(v, ops::Histogram<double>({0.0, 1.0, 2.0}));
+  EXPECT_EQ(ranks, (std::vector<long>{1, 2, 1, 3}));
+}
+
+// -- MeanVar ---------------------------------------------------------------------
+
+TEST(MeanVar, MatchesClosedForm) {
+  const std::vector<double> v = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  const auto r = serial::reduce(v, ops::MeanVar{});
+  EXPECT_EQ(r.count, 8);
+  EXPECT_DOUBLE_EQ(r.mean, 5.0);
+  EXPECT_DOUBLE_EQ(r.variance, 4.0);
+}
+
+TEST(MeanVar, CombineEqualsSingleStream) {
+  std::mt19937 rng(3);
+  std::normal_distribution<double> dist(10.0, 2.0);
+  std::vector<double> all(1000);
+  for (auto& x : all) x = dist(rng);
+
+  const auto whole = serial::reduce(all, ops::MeanVar{});
+
+  ops::MeanVar left, right;
+  for (std::size_t i = 0; i < 400; ++i) left.accum(all[i]);
+  for (std::size_t i = 400; i < all.size(); ++i) right.accum(all[i]);
+  left.combine(right);
+  const auto merged = left.gen();
+
+  EXPECT_EQ(merged.count, whole.count);
+  EXPECT_NEAR(merged.mean, whole.mean, 1e-12);
+  EXPECT_NEAR(merged.variance, whole.variance, 1e-9);
+}
+
+TEST(MeanVar, EmptyAndSingleElement) {
+  EXPECT_EQ(serial::reduce(std::vector<double>{}, ops::MeanVar{}).count, 0);
+  const auto one = serial::reduce(std::vector<double>{5.0}, ops::MeanVar{});
+  EXPECT_EQ(one.count, 1);
+  EXPECT_DOUBLE_EQ(one.mean, 5.0);
+  EXPECT_DOUBLE_EQ(one.variance, 0.0);
+}
+
+TEST(MeanVar, CombineWithEmptyIsIdentity) {
+  ops::MeanVar a;
+  a.accum(1.0);
+  a.accum(3.0);
+  ops::MeanVar empty;
+  a.combine(empty);
+  EXPECT_DOUBLE_EQ(a.gen().mean, 2.0);
+  ops::MeanVar b;
+  b.combine(a);
+  EXPECT_DOUBLE_EQ(b.gen().mean, 2.0);
+}
+
+// -- TopBottomK --------------------------------------------------------------------
+
+TEST(TopBottomK, FindsExtremaWithPositions) {
+  std::vector<ops::Located<double>> v;
+  const std::vector<double> data = {0.5, 0.9, 0.1, 0.7, 0.3};
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    v.push_back({data[i], static_cast<long>(i)});
+  }
+  const auto r = serial::reduce(v, ops::TopBottomK<double>(2));
+  ASSERT_EQ(r.largest.size(), 2u);
+  EXPECT_EQ(r.largest[0].index, 1);
+  EXPECT_EQ(r.largest[1].index, 3);
+  ASSERT_EQ(r.smallest.size(), 2u);
+  EXPECT_EQ(r.smallest[0].index, 2);
+  EXPECT_EQ(r.smallest[1].index, 4);
+}
+
+TEST(TopBottomK, TiesResolveToSmallestPosition) {
+  std::vector<ops::Located<double>> v = {
+      {1.0, 5}, {1.0, 2}, {0.0, 9}, {0.0, 1}};
+  const auto r = serial::reduce(v, ops::TopBottomK<double>(1));
+  EXPECT_EQ(r.largest[0].index, 2);
+  EXPECT_EQ(r.smallest[0].index, 1);
+}
+
+TEST(TopBottomK, FewerThanKInputs) {
+  std::vector<ops::Located<double>> v = {{3.0, 0}};
+  const auto r = serial::reduce(v, ops::TopBottomK<double>(10));
+  EXPECT_EQ(r.largest.size(), 1u);
+  EXPECT_EQ(r.smallest.size(), 1u);
+}
+
+TEST(TopBottomK, MatchesPartialSortOracle) {
+  std::mt19937 rng(17);
+  std::uniform_real_distribution<double> dist(0.0, 1.0);
+  std::vector<ops::Located<double>> v(500);
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    v[i] = {dist(rng), static_cast<long>(i)};
+  }
+  const auto r = serial::reduce(v, ops::TopBottomK<double>(10));
+
+  auto byval = v;
+  std::sort(byval.begin(), byval.end(),
+            [](const auto& a, const auto& b) { return a.value < b.value; });
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(r.smallest[static_cast<std::size_t>(i)].index,
+              byval[static_cast<std::size_t>(i)].index);
+    EXPECT_EQ(r.largest[static_cast<std::size_t>(i)].index,
+              byval[byval.size() - 1 - static_cast<std::size_t>(i)].index);
+  }
+}
+
+// -- Concat ------------------------------------------------------------------------
+
+TEST(Concat, ReduceJoinsInOrder) {
+  const std::string s = "parallel";
+  EXPECT_EQ(serial::reduce(s, ops::Concat{}), "parallel");
+}
+
+TEST(Concat, ScanYieldsPrefixes) {
+  const std::string s = "abc";
+  const auto prefixes = serial::scan(s, ops::Concat{});
+  EXPECT_EQ(prefixes,
+            (std::vector<std::string>{"a", "ab", "abc"}));
+  const auto xprefixes = serial::xscan(s, ops::Concat{});
+  EXPECT_EQ(xprefixes, (std::vector<std::string>{"", "a", "ab"}));
+}
+
+}  // namespace

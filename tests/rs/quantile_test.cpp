@@ -1,0 +1,115 @@
+// Tests for the histogram-quantile helper and a cross-module consistency
+// check: the radix sort, the IS bucket sort, and std::sort must agree.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+#include <vector>
+
+#include "coll/gather.hpp"
+#include "mprt/runtime.hpp"
+#include "nas/is.hpp"
+#include "rs/algos/radix_sort.hpp"
+#include "rs/ops/histogram.hpp"
+#include "rs/reduce.hpp"
+#include "rs/serial.hpp"
+
+namespace {
+
+using namespace rsmpi;
+namespace ops = rs::ops;
+
+TEST(HistogramQuantile, UniformDataHitsLinearQuantiles) {
+  // 10k uniform samples on [0, 100) in 100 bins: q-quantile ~ 100q.
+  std::mt19937 rng(5);
+  std::uniform_real_distribution<double> dist(0.0, 100.0);
+  std::vector<double> edges;
+  for (int i = 0; i <= 100; ++i) edges.push_back(i);
+  ops::Histogram<double> h(edges);
+  for (int i = 0; i < 10000; ++i) h.accum(dist(rng));
+  const auto counts = h.red_gen();
+
+  for (const double q : {0.1, 0.25, 0.5, 0.9, 0.99}) {
+    EXPECT_NEAR(ops::histogram_quantile(counts, edges, q), 100.0 * q, 2.0)
+        << "q=" << q;
+  }
+}
+
+TEST(HistogramQuantile, ExtremesClampToEdges) {
+  const std::vector<double> edges = {0.0, 1.0, 2.0};
+  ops::Histogram<double> h(edges);
+  h.accum(0.5);
+  h.accum(1.5);
+  const auto counts = h.red_gen();
+  EXPECT_DOUBLE_EQ(ops::histogram_quantile(counts, edges, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(ops::histogram_quantile(counts, edges, 1.0), 2.0);
+}
+
+TEST(HistogramQuantile, OutliersCountTowardTheEnds) {
+  const std::vector<double> edges = {0.0, 10.0};
+  ops::Histogram<double> h(edges);
+  h.accum(-100.0);  // underflow
+  h.accum(5.0);
+  h.accum(999.0);  // overflow
+  const auto counts = h.red_gen();
+  // The median sample is the in-range 5.0.
+  EXPECT_NEAR(ops::histogram_quantile(counts, edges, 0.5), 5.0, 5.0);
+  EXPECT_DOUBLE_EQ(ops::histogram_quantile(counts, edges, 0.01), 0.0);
+}
+
+TEST(HistogramQuantile, Validation) {
+  const std::vector<double> edges = {0.0, 1.0};
+  const std::vector<long> counts = {1, 0, 0};
+  EXPECT_NO_THROW((void)ops::histogram_quantile(counts, edges, 0.5));
+  EXPECT_THROW((void)ops::histogram_quantile({1, 2}, edges, 0.5),
+               ArgumentError);
+  EXPECT_THROW((void)ops::histogram_quantile(counts, edges, 1.5),
+               ArgumentError);
+  EXPECT_THROW((void)ops::histogram_quantile({0, 0, 0}, edges, 0.5),
+               ArgumentError);
+}
+
+TEST(HistogramQuantile, DistributedMedianPipeline) {
+  // The intended use: reduce a Histogram across ranks, then read the
+  // median locally from the counts.
+  mprt::run(6, [](mprt::Comm& comm) {
+    std::vector<double> edges;
+    for (int i = 0; i <= 50; ++i) edges.push_back(i * 2.0);
+    std::mt19937 rng(11u + static_cast<unsigned>(comm.rank()));
+    std::normal_distribution<double> dist(50.0, 10.0);
+    std::vector<double> samples(5000);
+    for (auto& x : samples) x = dist(rng);
+    const auto counts =
+        rs::reduce(comm, samples, ops::Histogram<double>(edges));
+    const double median = ops::histogram_quantile(counts, edges, 0.5);
+    EXPECT_NEAR(median, 50.0, 1.5);
+  });
+}
+
+// -- Cross-module sort agreement ---------------------------------------------------
+
+TEST(SortAgreement, RadixAndBucketSortAndStdSortAgree) {
+  constexpr nas::IsParams params{1 << 11, 1 << 8};
+  mprt::run(5, [&](mprt::Comm& comm) {
+    const auto keys = nas::is_generate_keys(comm, params);
+
+    // Path 1: the NAS bucket sort.
+    auto bucket_sorted = nas::is_bucket_sort(comm, keys, params);
+    const auto all_bucket = coll::gather<nas::Key>(comm, 0, bucket_sorted);
+
+    // Path 2: the scan-built radix sort (keys are non-negative).
+    std::vector<std::uint32_t> ukeys(keys.begin(), keys.end());
+    const auto radix_sorted = rs::algos::radix_sort(comm, std::move(ukeys));
+    const auto all_radix = coll::gather<std::uint32_t>(comm, 0, radix_sorted);
+
+    if (comm.rank() == 0) {
+      ASSERT_EQ(all_bucket.size(), all_radix.size());
+      for (std::size_t i = 0; i < all_bucket.size(); ++i) {
+        ASSERT_EQ(static_cast<std::uint32_t>(all_bucket[i]), all_radix[i])
+            << "position " << i;
+      }
+    }
+  });
+}
+
+}  // namespace

@@ -1,0 +1,189 @@
+// Tests for distributed run-length encoding, the First/Last operators,
+// and the xscan_state building block.
+#include <gtest/gtest.h>
+
+#include <random>
+#include <vector>
+
+#include "mprt/runtime.hpp"
+#include "rs/algos/rle.hpp"
+#include "rs/ops/firstlast.hpp"
+#include "rs/reduce.hpp"
+#include "rs/scan.hpp"
+#include "rs/serial.hpp"
+
+namespace {
+
+using namespace rsmpi;
+namespace ops = rs::ops;
+using rs::algos::Run;
+
+template <typename T>
+std::vector<T> my_block(const std::vector<T>& all, int p, int rank) {
+  const std::size_t n = all.size();
+  const std::size_t base = n / static_cast<std::size_t>(p);
+  const std::size_t extra = n % static_cast<std::size_t>(p);
+  const std::size_t lo = base * static_cast<std::size_t>(rank) +
+                         std::min<std::size_t>(rank, extra);
+  const std::size_t len = base + (static_cast<std::size_t>(rank) < extra);
+  return {all.begin() + static_cast<std::ptrdiff_t>(lo),
+          all.begin() + static_cast<std::ptrdiff_t>(lo + len)};
+}
+
+std::vector<Run<int>> serial_rle(const std::vector<int>& v) {
+  std::vector<Run<int>> out;
+  for (int x : v) {
+    if (!out.empty() && out.back().value == x) {
+      out.back().length += 1;
+    } else {
+      out.push_back({x, 1});
+    }
+  }
+  return out;
+}
+
+// -- First / Last operators -----------------------------------------------------
+
+TEST(FirstLast, SerialSemantics) {
+  const std::vector<int> v = {4, 7, 9};
+  EXPECT_EQ(rs::serial::reduce(v, ops::First<int>{}),
+            (ops::Maybe<int>{true, 4}));
+  EXPECT_EQ(rs::serial::reduce(v, ops::Last<int>{}),
+            (ops::Maybe<int>{true, 9}));
+  EXPECT_FALSE(rs::serial::reduce(std::vector<int>{}, ops::First<int>{}).has);
+  EXPECT_FALSE(rs::serial::reduce(std::vector<int>{}, ops::Last<int>{}).has);
+}
+
+TEST(FirstLast, CombineSkipsEmptyStates) {
+  ops::Last<int> a;  // empty
+  ops::Last<int> b;
+  b.accum(5);
+  a.combine(b);
+  EXPECT_EQ(a.gen(), (ops::Maybe<int>{true, 5}));
+  ops::Last<int> c;  // empty right operand must not clobber
+  a.combine(c);
+  EXPECT_EQ(a.gen(), (ops::Maybe<int>{true, 5}));
+}
+
+class FirstLastSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(FirstLastSweep, ParallelAcrossEmptyRanks) {
+  const int p = GetParam();
+  const std::vector<int> data = {11, 22};  // most ranks empty at large p
+  mprt::run(p, [&](mprt::Comm& comm) {
+    const auto mine = my_block(data, comm.size(), comm.rank());
+    EXPECT_EQ(rs::reduce(comm, mine, ops::First<int>{}),
+              (ops::Maybe<int>{true, 11}));
+    EXPECT_EQ(rs::reduce(comm, mine, ops::Last<int>{}),
+              (ops::Maybe<int>{true, 22}));
+  });
+}
+
+TEST_P(FirstLastSweep, XscanStateCarriesPrecedingValue) {
+  const int p = GetParam();
+  // Rank r (non-empty) should see the last element of the nearest
+  // non-empty earlier rank.
+  std::vector<int> data(37);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<int>(i) * 3;
+  }
+  mprt::run(p, [&](mprt::Comm& comm) {
+    const auto mine = my_block(data, comm.size(), comm.rank());
+    const auto carry = rs::xscan_state(comm, mine, ops::Last<int>{}).gen();
+    // The element preceding my block globally:
+    std::size_t lo = 0;
+    {
+      const std::size_t n = data.size();
+      const std::size_t base = n / static_cast<std::size_t>(comm.size());
+      const std::size_t extra = n % static_cast<std::size_t>(comm.size());
+      lo = base * static_cast<std::size_t>(comm.rank()) +
+           std::min<std::size_t>(comm.rank(), extra);
+    }
+    if (lo == 0) {
+      EXPECT_FALSE(carry.has);
+    } else {
+      ASSERT_TRUE(carry.has);
+      EXPECT_EQ(carry.value, data[lo - 1]);
+    }
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(RankCounts, FirstLastSweep,
+                         ::testing::Values(1, 2, 3, 5, 8, 16));
+
+// -- run_length_encode -----------------------------------------------------------
+
+class RleSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(RleSweep, MatchesSerialOracle) {
+  const int p = GetParam();
+  std::mt19937 rng(123);
+  std::vector<int> data;
+  // Bursty data: runs of random length 1..9.
+  while (data.size() < 400) {
+    const int v = static_cast<int>(rng() % 5);
+    const std::size_t len = 1 + rng() % 9;
+    for (std::size_t i = 0; i < len; ++i) data.push_back(v);
+  }
+  const auto want = serial_rle(data);
+
+  mprt::run(p, [&](mprt::Comm& comm) {
+    const auto mine = my_block(data, comm.size(), comm.rank());
+    const auto got = rs::algos::run_length_encode<int>(comm, mine);
+    // Each rank holds its block of the run list.
+    EXPECT_EQ(got, my_block(want, comm.size(), comm.rank()));
+  });
+}
+
+TEST_P(RleSweep, RunSpanningManyRanks) {
+  // One giant run across every rank plus a tail: partial-run merging.
+  const int p = GetParam();
+  std::vector<int> data(300, 7);
+  data.push_back(8);
+  const std::vector<rs::algos::Run<int>> want = {{7, 300}, {8, 1}};
+
+  mprt::run(p, [&](mprt::Comm& comm) {
+    const auto mine = my_block(data, comm.size(), comm.rank());
+    const auto got = rs::algos::run_length_encode<int>(comm, mine);
+    EXPECT_EQ(got, my_block(want, comm.size(), comm.rank()));
+  });
+}
+
+TEST_P(RleSweep, AlternatingValuesMakeNRuns) {
+  const int p = GetParam();
+  std::vector<int> data;
+  for (int i = 0; i < 100; ++i) data.push_back(i % 2);
+  const auto want = serial_rle(data);
+  ASSERT_EQ(want.size(), 100u);
+  mprt::run(p, [&](mprt::Comm& comm) {
+    const auto mine = my_block(data, comm.size(), comm.rank());
+    const auto got = rs::algos::run_length_encode<int>(comm, mine);
+    EXPECT_EQ(got, my_block(want, comm.size(), comm.rank()));
+  });
+}
+
+TEST_P(RleSweep, EmptyInput) {
+  const int p = GetParam();
+  mprt::run(p, [](mprt::Comm& comm) {
+    const std::vector<int> nothing;
+    const auto got = rs::algos::run_length_encode<int>(
+        comm, std::span<const int>(nothing));
+    EXPECT_TRUE(got.empty());
+  });
+}
+
+TEST_P(RleSweep, UniqueConsecutiveDropsLengths) {
+  const int p = GetParam();
+  const std::vector<int> data = {1, 1, 2, 2, 2, 3, 1, 1};
+  const std::vector<int> want = {1, 2, 3, 1};
+  mprt::run(p, [&](mprt::Comm& comm) {
+    const auto mine = my_block(data, comm.size(), comm.rank());
+    const auto got = rs::algos::unique_consecutive<int>(comm, mine);
+    EXPECT_EQ(got, my_block(want, comm.size(), comm.rank()));
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(RankCounts, RleSweep,
+                         ::testing::Values(1, 2, 3, 4, 5, 8, 16));
+
+}  // namespace

@@ -1,0 +1,152 @@
+// Property tests for the global-view scan (Listing 3): the parallel scan
+// over block-distributed data must equal the sequential scan over the
+// concatenation, position by position, for every rank count and operator —
+// plus the scan laws relating inclusive, exclusive, and reduction.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "mprt/runtime.hpp"
+#include "rs/ops/ops.hpp"
+#include "rs/scan.hpp"
+#include "rs/serial.hpp"
+
+namespace {
+
+using namespace rsmpi;
+namespace ops = rs::ops;
+
+template <typename T>
+std::vector<T> my_block(const std::vector<T>& all, int p, int rank) {
+  const std::size_t n = all.size();
+  const std::size_t base = n / static_cast<std::size_t>(p);
+  const std::size_t extra = n % static_cast<std::size_t>(p);
+  const std::size_t lo = base * static_cast<std::size_t>(rank) +
+                         std::min<std::size_t>(rank, extra);
+  const std::size_t len = base + (static_cast<std::size_t>(rank) < extra);
+  return {all.begin() + static_cast<std::ptrdiff_t>(lo),
+          all.begin() + static_cast<std::ptrdiff_t>(lo + len)};
+}
+
+/// Runs both scan kinds in parallel and compares this rank's output slice
+/// against the serial oracle's corresponding slice.
+template <typename Op, typename In>
+void expect_scan_matches_serial(int p, const std::vector<In>& data, Op op) {
+  const auto want_incl = rs::serial::scan(data, op);
+  const auto want_excl = rs::serial::xscan(data, op);
+  mprt::run(p, [&](mprt::Comm& comm) {
+    const auto mine = my_block(data, comm.size(), comm.rank());
+    const auto incl = rs::scan(comm, mine, op);
+    const auto excl = rs::xscan(comm, mine, op);
+    const auto want_i = my_block(want_incl, comm.size(), comm.rank());
+    const auto want_x = my_block(want_excl, comm.size(), comm.rank());
+    EXPECT_EQ(incl, want_i) << "inclusive, rank " << comm.rank();
+    EXPECT_EQ(excl, want_x) << "exclusive, rank " << comm.rank();
+  });
+}
+
+class GlobalScanSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(GlobalScanSweep, SumScan) {
+  std::vector<long> data(500);
+  std::mt19937 rng(50);
+  std::uniform_int_distribution<long> dist(-50, 50);
+  for (auto& x : data) x = dist(rng);
+  expect_scan_matches_serial(GetParam(), data, ops::Sum<long>{});
+}
+
+TEST_P(GlobalScanSweep, MinScanIsRunningMinimum) {
+  std::vector<int> data(300);
+  std::mt19937 rng(51);
+  std::uniform_int_distribution<int> dist(-1000, 1000);
+  for (auto& x : data) x = dist(rng);
+  expect_scan_matches_serial(GetParam(), data, ops::Min<int>{});
+}
+
+TEST_P(GlobalScanSweep, CountsScanRanksParticles) {
+  // The paper's §3.1.3 octant ranking, block-distributed.
+  std::vector<int> data;
+  std::mt19937 rng(52);
+  std::uniform_int_distribution<int> dist(0, 7);
+  for (int i = 0; i < 640; ++i) data.push_back(dist(rng));
+  expect_scan_matches_serial(GetParam(), data, ops::Counts(8));
+}
+
+TEST_P(GlobalScanSweep, ConcatScanBuildsPrefixes) {
+  const std::string text = "global-view scans compose";
+  const std::vector<char> data(text.begin(), text.end());
+  expect_scan_matches_serial(GetParam(), data, ops::Concat{});
+}
+
+TEST_P(GlobalScanSweep, EmptyRanksPassPrefixThrough) {
+  const int p = GetParam();
+  const std::vector<int> data = {3, 1};  // most ranks empty for large p
+  expect_scan_matches_serial(p, data, ops::Sum<long>{});
+  expect_scan_matches_serial(p, data, ops::Counts(4));
+}
+
+TEST_P(GlobalScanSweep, PaperExampleSumScan) {
+  // §1: scan of [6,7,6,3,8,2,8,4,8,3] = [6,13,19,22,30,32,40,44,52,55];
+  // exclusive = [0,6,13,19,22,30,32,40,44,52].
+  const int p = GetParam();
+  const std::vector<int> data = {6, 7, 6, 3, 8, 2, 8, 4, 8, 3};
+  const std::vector<long> want_incl = {6, 13, 19, 22, 30, 32, 40, 44, 52, 55};
+  const std::vector<long> want_excl = {0, 6, 13, 19, 22, 30, 32, 40, 44, 52};
+  mprt::run(p, [&](mprt::Comm& comm) {
+    const auto mine = my_block(data, comm.size(), comm.rank());
+    EXPECT_EQ(rs::scan(comm, mine, ops::Sum<long>{}),
+              my_block(want_incl, comm.size(), comm.rank()));
+    EXPECT_EQ(rs::xscan(comm, mine, ops::Sum<long>{}),
+              my_block(want_excl, comm.size(), comm.rank()));
+  });
+}
+
+TEST_P(GlobalScanSweep, ScanLaws) {
+  // inclusive[i] = exclusive[i] + a[i]; last inclusive = reduction;
+  // exclusive[0] = identity.
+  const int p = GetParam();
+  std::vector<long> data(257);
+  std::mt19937 rng(53);
+  std::uniform_int_distribution<long> dist(-9, 9);
+  for (auto& x : data) x = dist(rng);
+
+  mprt::run(p, [&](mprt::Comm& comm) {
+    const auto mine = my_block(data, comm.size(), comm.rank());
+    const auto incl = rs::scan(comm, mine, ops::Sum<long>{});
+    const auto excl = rs::xscan(comm, mine, ops::Sum<long>{});
+    ASSERT_EQ(incl.size(), mine.size());
+    ASSERT_EQ(excl.size(), mine.size());
+    for (std::size_t i = 0; i < mine.size(); ++i) {
+      EXPECT_EQ(incl[i], excl[i] + mine[i]);
+    }
+    if (comm.rank() == 0 && !mine.empty()) {
+      EXPECT_EQ(excl[0], 0);
+    }
+    if (comm.rank() == comm.size() - 1 && !mine.empty()) {
+      const long total = std::accumulate(data.begin(), data.end(), 0L);
+      EXPECT_EQ(incl.back(), total);
+    }
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(RankCounts, GlobalScanSweep,
+                         ::testing::Values(1, 2, 3, 4, 5, 7, 8, 16));
+
+TEST(GlobalScan, MinKScanGivesRunningTopK) {
+  // Scanning with mink yields, at each position, the k smallest values
+  // seen so far — the paper's reduce/scan symmetry on a reduction-style
+  // operator that shares one gen().
+  mprt::run(4, [](mprt::Comm& comm) {
+    std::vector<int> all = {9, 4, 7, 2, 8, 1, 6, 3, 5, 0, 11, 10};
+    const auto mine = my_block(all, comm.size(), comm.rank());
+    const auto got = rs::scan(comm, mine, ops::MinK<int>(3));
+    const auto want_all = rs::serial::scan(all, ops::MinK<int>(3));
+    const auto want = my_block(want_all, comm.size(), comm.rank());
+    EXPECT_EQ(got, want);
+  });
+}
+
+}  // namespace

@@ -1,0 +1,186 @@
+// Tests for segmented_reduce (per-segment results with arbitrary inner
+// operators) and the MajorityVote operator.
+#include <gtest/gtest.h>
+
+#include <random>
+#include <vector>
+
+#include "mprt/runtime.hpp"
+#include "rs/algos/segmented_reduce.hpp"
+#include "rs/ops/ops.hpp"
+#include "rs/reduce.hpp"
+#include "rs/serial.hpp"
+
+namespace {
+
+using namespace rsmpi;
+namespace ops = rs::ops;
+
+template <typename T>
+std::vector<T> my_block(const std::vector<T>& all, int p, int rank) {
+  const std::size_t n = all.size();
+  const std::size_t base = n / static_cast<std::size_t>(p);
+  const std::size_t extra = n % static_cast<std::size_t>(p);
+  const std::size_t lo = base * static_cast<std::size_t>(rank) +
+                         std::min<std::size_t>(rank, extra);
+  const std::size_t len = base + (static_cast<std::size_t>(rank) < extra);
+  return {all.begin() + static_cast<std::ptrdiff_t>(lo),
+          all.begin() + static_cast<std::ptrdiff_t>(lo + len)};
+}
+
+std::vector<ops::Seg<long>> seg_data(const std::vector<long>& values,
+                                     const std::vector<std::size_t>& starts) {
+  std::vector<ops::Seg<long>> out;
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    out.push_back({values[i], std::find(starts.begin(), starts.end(), i) !=
+                                  starts.end()});
+  }
+  return out;
+}
+
+/// Serial oracle: per-segment left-fold with the operator protocol.
+template <typename Op>
+std::vector<rs::reduce_result_t<Op>> serial_segmented(
+    const std::vector<ops::Seg<long>>& data, Op prototype) {
+  std::vector<Op> states;
+  for (const auto& e : data) {
+    if (states.empty() || e.start) states.push_back(prototype);
+    states.back().accum(e.value);
+  }
+  std::vector<rs::reduce_result_t<Op>> out;
+  for (const auto& s : states) out.push_back(rs::red_result(s));
+  return out;
+}
+
+class SegReduceSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(SegReduceSweep, SumsPerSegment) {
+  const int p = GetParam();
+  const auto data = seg_data({1, 2, 3, 4, 5, 6, 7}, {0, 3, 5});
+  const auto want = serial_segmented(data, ops::Sum<long>{});
+  ASSERT_EQ(want, (std::vector<long>{6, 9, 13}));
+
+  mprt::run(p, [&](mprt::Comm& comm) {
+    const auto mine = my_block(data, comm.size(), comm.rank());
+    const auto got = rs::algos::segmented_reduce<ops::Sum<long>, long>(
+        comm, mine, ops::Sum<long>{});
+    EXPECT_EQ(got, my_block(want, comm.size(), comm.rank()));
+  });
+}
+
+TEST_P(SegReduceSweep, RandomSegmentsWithMin) {
+  const int p = GetParam();
+  std::mt19937 rng(77);
+  std::vector<long> values(300);
+  std::vector<std::size_t> starts = {0};
+  for (auto& v : values) v = static_cast<long>(rng() % 1000) - 500;
+  for (std::size_t i = 1; i < values.size(); ++i) {
+    if (rng() % 7 == 0) starts.push_back(i);
+  }
+  const auto data = seg_data(values, starts);
+  const auto want = serial_segmented(data, ops::Min<long>{});
+
+  mprt::run(p, [&](mprt::Comm& comm) {
+    const auto mine = my_block(data, comm.size(), comm.rank());
+    const auto got = rs::algos::segmented_reduce<ops::Min<long>, long>(
+        comm, mine, ops::Min<long>{});
+    EXPECT_EQ(got, my_block(want, comm.size(), comm.rank()));
+  });
+}
+
+TEST_P(SegReduceSweep, HeapStateInnerOperator) {
+  // MinK per segment: serialized partial states with save/load.
+  const int p = GetParam();
+  std::mt19937 rng(78);
+  std::vector<long> values(200);
+  std::vector<std::size_t> starts = {0, 60, 61, 150};
+  for (auto& v : values) v = static_cast<long>(rng() % 10000);
+  const auto data = seg_data(values, starts);
+  const auto want = serial_segmented(data, ops::MinK<long>(3));
+
+  mprt::run(p, [&](mprt::Comm& comm) {
+    const auto mine = my_block(data, comm.size(), comm.rank());
+    const auto got = rs::algos::segmented_reduce<ops::MinK<long>, long>(
+        comm, mine, ops::MinK<long>(3));
+    EXPECT_EQ(got, my_block(want, comm.size(), comm.rank()));
+  });
+}
+
+TEST_P(SegReduceSweep, NonCommutativeInnerOperator) {
+  // Per-segment sortedness: operand order inside segments must hold.
+  const int p = GetParam();
+  std::vector<long> values = {1, 2, 3, 9, 8, 7, 4, 5, 6};
+  const auto data = seg_data(values, {0, 3, 6});
+  const auto want = serial_segmented(data, ops::Sorted<long>{});
+  ASSERT_EQ(want, (std::vector<bool>{true, false, true}));
+
+  mprt::run(p, [&](mprt::Comm& comm) {
+    const auto mine = my_block(data, comm.size(), comm.rank());
+    const auto got = rs::algos::segmented_reduce<ops::Sorted<long>, long>(
+        comm, mine, ops::Sorted<long>{});
+    EXPECT_EQ(got, my_block(want, comm.size(), comm.rank()));
+  });
+}
+
+TEST_P(SegReduceSweep, UnflaggedOpeningSegment) {
+  const int p = GetParam();
+  const auto data = seg_data({5, 6, 7}, {});  // implicit segment 0
+  mprt::run(p, [&](mprt::Comm& comm) {
+    const auto mine = my_block(data, comm.size(), comm.rank());
+    const auto got = rs::algos::segmented_reduce<ops::Sum<long>, long>(
+        comm, mine, ops::Sum<long>{});
+    EXPECT_EQ(got, my_block(std::vector<long>{18}, comm.size(), comm.rank()));
+  });
+}
+
+TEST_P(SegReduceSweep, EmptyInput) {
+  const int p = GetParam();
+  mprt::run(p, [](mprt::Comm& comm) {
+    const std::vector<ops::Seg<long>> nothing;
+    const auto got = rs::algos::segmented_reduce<ops::Sum<long>, long>(
+        comm, std::span<const ops::Seg<long>>(nothing), ops::Sum<long>{});
+    EXPECT_TRUE(got.empty());
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(RankCounts, SegReduceSweep,
+                         ::testing::Values(1, 2, 3, 4, 5, 8, 16));
+
+// -- MajorityVote -----------------------------------------------------------------
+
+TEST(MajorityVote, FindsStrictMajoritySerially) {
+  std::vector<int> v;
+  for (int i = 0; i < 100; ++i) v.push_back(i % 2 == 0 ? 42 : i);
+  v.push_back(42);  // 51 of 101
+  EXPECT_EQ(rs::serial::reduce(v, ops::MajorityVote<int>{}), 42);
+}
+
+class MajoritySweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(MajoritySweep, MajoritySurvivesAnyTree) {
+  const int p = GetParam();
+  std::mt19937 rng(55);
+  std::vector<int> data;
+  for (int i = 0; i < 999; ++i) {
+    data.push_back(i % 5 < 3 ? 7 : static_cast<int>(rng() % 100) + 10);
+  }
+  std::shuffle(data.begin(), data.end(), rng);
+  mprt::run(p, [&](mprt::Comm& comm) {
+    const auto mine = my_block(data, comm.size(), comm.rank());
+    const int candidate =
+        rs::reduce(comm, mine, ops::MajorityVote<int>{});
+    EXPECT_EQ(candidate, 7);
+    // The verification pass the algorithm prescribes.  (A function
+    // pointer rather than a lambda: the operator is serialized between
+    // ranks, so its predicate must be assignable and trivially copyable.)
+    bool (*is7)(int) = [](int x) { return x == 7; };
+    const long count =
+        rs::reduce(comm, mine, ops::CountIf<int, bool (*)(int)>(is7));
+    EXPECT_GT(count * 2, static_cast<long>(data.size()));
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(RankCounts, MajoritySweep,
+                         ::testing::Values(1, 2, 3, 5, 8, 16));
+
+}  // namespace

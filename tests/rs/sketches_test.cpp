@@ -1,0 +1,210 @@
+// Tests for the mergeable-sketch operators.
+//
+// HyperLogLog and Bloom have exactly associative/commutative combines, so
+// parallel must equal serial bit-for-bit.  Misra–Gries merging is order-
+// sensitive (different trees give different — but all valid — summaries),
+// so its parallel tests assert the sketch *guarantees* instead: heavy
+// elements always surface, and reported counts are lower bounds within
+// n/(k+1) of the truth.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <random>
+#include <vector>
+
+#include "mprt/runtime.hpp"
+#include "rs/ops/sketches.hpp"
+#include "rs/reduce.hpp"
+#include "rs/serial.hpp"
+
+namespace {
+
+using namespace rsmpi;
+namespace ops = rs::ops;
+
+template <typename T>
+std::vector<T> my_block(const std::vector<T>& all, int p, int rank) {
+  const std::size_t n = all.size();
+  const std::size_t base = n / static_cast<std::size_t>(p);
+  const std::size_t extra = n % static_cast<std::size_t>(p);
+  const std::size_t lo = base * static_cast<std::size_t>(rank) +
+                         std::min<std::size_t>(rank, extra);
+  const std::size_t len = base + (static_cast<std::size_t>(rank) < extra);
+  return {all.begin() + static_cast<std::ptrdiff_t>(lo),
+          all.begin() + static_cast<std::ptrdiff_t>(lo + len)};
+}
+
+// -- HyperLogLog ---------------------------------------------------------------
+
+TEST(HyperLogLog, EstimatesWithinExpectedError) {
+  for (const long distinct : {100L, 5000L, 100000L}) {
+    std::vector<long> data;
+    for (long i = 0; i < distinct; ++i) {
+      data.push_back(i * 2654435761L);  // distinct values
+      data.push_back(i * 2654435761L);  // each twice: duplicates ignored
+    }
+    const double est =
+        rs::serial::reduce(data, ops::HyperLogLog<long>(12));
+    // Standard error at b=12 is ~1.6%; allow 6 sigma.
+    EXPECT_NEAR(est, static_cast<double>(distinct),
+                static_cast<double>(distinct) * 0.10)
+        << "distinct=" << distinct;
+  }
+}
+
+TEST(HyperLogLog, SmallRangeIsNearlyExact) {
+  std::vector<long> data = {1, 2, 3, 4, 5, 1, 2, 3};
+  const double est = rs::serial::reduce(data, ops::HyperLogLog<long>(10));
+  EXPECT_NEAR(est, 5.0, 0.5);
+}
+
+TEST(HyperLogLog, RejectsBadPrecision) {
+  EXPECT_THROW(ops::HyperLogLog<int>(3), ArgumentError);
+  EXPECT_THROW(ops::HyperLogLog<int>(17), ArgumentError);
+}
+
+class HllSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(HllSweep, ParallelEqualsSerialExactly) {
+  // max-merge is associative and commutative: any tree gives the same
+  // registers, hence the identical estimate.
+  const int p = GetParam();
+  std::mt19937_64 rng(2718);
+  std::vector<long> data(20000);
+  for (auto& x : data) {
+    x = static_cast<long>(rng() % 3000);  // ~3000 distinct
+  }
+  const double want = rs::serial::reduce(data, ops::HyperLogLog<long>(11));
+  mprt::run(p, [&](mprt::Comm& comm) {
+    const auto mine = my_block(data, comm.size(), comm.rank());
+    const double got = rs::reduce(comm, mine, ops::HyperLogLog<long>(11));
+    EXPECT_EQ(got, want);
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(RankCounts, HllSweep,
+                         ::testing::Values(1, 2, 3, 5, 8, 16));
+
+// -- HeavyHitters ----------------------------------------------------------------
+
+TEST(HeavyHitters, FindsTheHeavyElementSerially) {
+  // 40% of the stream is the value 7; k = 4 guarantees anything above
+  // n/5 = 20% survives.
+  std::vector<int> data;
+  std::mt19937 rng(31);
+  for (int i = 0; i < 10000; ++i) {
+    data.push_back(i % 10 < 4 ? 7 : static_cast<int>(rng() % 1000) + 100);
+  }
+  const auto hh = rs::serial::reduce(data, ops::HeavyHitters<int>(4));
+  ASSERT_FALSE(hh.empty());
+  EXPECT_EQ(hh.front().value, 7);
+  // Count is a lower bound within n/(k+1).
+  EXPECT_LE(hh.front().count, 4000);
+  EXPECT_GE(hh.front().count, 4000 - 10000 / 5);
+}
+
+TEST(HeavyHitters, ExactWhenFewDistinctValues) {
+  // With at most k distinct values, counts are exact.
+  std::vector<int> data;
+  for (int i = 0; i < 300; ++i) data.push_back(i % 3);
+  const auto hh = rs::serial::reduce(data, ops::HeavyHitters<int>(5));
+  ASSERT_EQ(hh.size(), 3u);
+  for (const auto& e : hh) EXPECT_EQ(e.count, 100);
+}
+
+class HeavyHitterSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(HeavyHitterSweep, GuaranteesHoldUnderAnyCombineTree) {
+  const int p = GetParam();
+  // Two heavy values (30% and 20%) in a sea of uniques.
+  std::vector<int> data;
+  std::mt19937 rng(41);
+  constexpr int kN = 12000;
+  for (int i = 0; i < kN; ++i) {
+    const int r = i % 10;
+    if (r < 3) {
+      data.push_back(1111);
+    } else if (r < 5) {
+      data.push_back(2222);
+    } else {
+      data.push_back(10000 + i);  // unique noise
+    }
+  }
+  std::shuffle(data.begin(), data.end(), rng);
+
+  constexpr std::size_t kK = 9;  // threshold n/10: both heavies survive
+  mprt::run(p, [&](mprt::Comm& comm) {
+    const auto mine = my_block(data, comm.size(), comm.rank());
+    const auto hh = rs::reduce(comm, mine, ops::HeavyHitters<int>(kK));
+    ASSERT_LE(hh.size(), kK);
+
+    long count1111 = -1, count2222 = -1;
+    for (const auto& e : hh) {
+      if (e.value == 1111) count1111 = e.count;
+      if (e.value == 2222) count2222 = e.count;
+    }
+    // Both heavy values must be present with sound lower bounds.
+    ASSERT_GE(count1111, 0) << "30% element missing";
+    ASSERT_GE(count2222, 0) << "20% element missing";
+    EXPECT_LE(count1111, kN * 3 / 10);
+    EXPECT_GE(count1111, kN * 3 / 10 - kN / (static_cast<int>(kK) + 1));
+    EXPECT_LE(count2222, kN * 2 / 10);
+    EXPECT_GE(count2222, kN * 2 / 10 - kN / (static_cast<int>(kK) + 1));
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(RankCounts, HeavyHitterSweep,
+                         ::testing::Values(1, 2, 3, 5, 8));
+
+// -- BloomFilter -----------------------------------------------------------------
+
+TEST(BloomFilter, NoFalseNegatives) {
+  ops::BloomFilter<long> bf(1 << 12, 4);
+  for (long x = 0; x < 500; ++x) bf.accum(x * 37);
+  for (long x = 0; x < 500; ++x) {
+    EXPECT_TRUE(bf.maybe_contains(x * 37)) << x;
+  }
+}
+
+TEST(BloomFilter, LowFalsePositiveRateWhenSizedRight) {
+  // 500 elements into 4096 bits with 4 hashes: FPR ~ 1.8%.
+  ops::BloomFilter<long> bf(1 << 12, 4);
+  for (long x = 0; x < 500; ++x) bf.accum(x);
+  int fp = 0;
+  constexpr int kProbes = 5000;
+  for (long x = 1'000'000; x < 1'000'000 + kProbes; ++x) {
+    if (bf.maybe_contains(x)) ++fp;
+  }
+  EXPECT_LT(static_cast<double>(fp) / kProbes, 0.05);
+}
+
+class BloomSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(BloomSweep, ParallelUnionEqualsSerialExactly) {
+  const int p = GetParam();
+  std::vector<long> data;
+  for (long i = 0; i < 4000; ++i) data.push_back(i * 7 + 1);
+
+  const auto want =
+      rs::serial::reduce(data, ops::BloomFilter<long>(1 << 13, 3));
+  mprt::run(p, [&](mprt::Comm& comm) {
+    const auto mine = my_block(data, comm.size(), comm.rank());
+    const auto got = rs::reduce(comm, mine, ops::BloomFilter<long>(1 << 13, 3));
+    // Exact equality of the bit arrays, observed through behaviour.
+    EXPECT_DOUBLE_EQ(got.fill_ratio(), want.fill_ratio());
+    for (long i = 0; i < 4000; i += 97) {
+      EXPECT_TRUE(got.maybe_contains(i * 7 + 1));
+    }
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(RankCounts, BloomSweep,
+                         ::testing::Values(1, 2, 3, 5, 8, 16));
+
+TEST(BloomFilter, MismatchedSizesRejected) {
+  ops::BloomFilter<int> a(128, 2), b(256, 2);
+  EXPECT_THROW(a.combine(b), ProtocolError);
+}
+
+}  // namespace

@@ -1,0 +1,55 @@
+// End-to-end smoke test: the quickstart flow on a few ranks.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "rs/rsmpi.hpp"
+
+namespace {
+
+using namespace rsmpi;
+
+TEST(Smoke, GlobalSumAcrossRanks) {
+  constexpr int kRanks = 4;
+  constexpr int kPerRank = 100;
+  mprt::run(kRanks, [&](mprt::Comm& comm) {
+    std::vector<long> mine(kPerRank);
+    std::iota(mine.begin(), mine.end(),
+              static_cast<long>(comm.rank()) * kPerRank);
+    const long total = rs::reduce(comm, mine, rs::ops::Sum<long>{});
+    const long n = kRanks * kPerRank;
+    EXPECT_EQ(total, n * (n - 1) / 2);
+  });
+}
+
+TEST(Smoke, MinKMatchesSerial) {
+  constexpr int kRanks = 3;
+  mprt::run(kRanks, [&](mprt::Comm& comm) {
+    std::vector<int> mine;
+    for (int i = 0; i < 50; ++i) {
+      mine.push_back((comm.rank() * 50 + i) * 7919 % 1000);
+    }
+    const auto mins = rs::reduce(comm, mine, rs::ops::MinK<int>(5));
+    ASSERT_EQ(mins.size(), 5u);
+    EXPECT_TRUE(std::is_sorted(mins.begin(), mins.end()));
+  });
+}
+
+TEST(Smoke, CountsScanPaperExample) {
+  // The paper's §3.1.3 particle example, run on one rank: reducing
+  // [6,7,6,3,8,2,8,4,8,3] over 8 octants.
+  const std::vector<int> octants = {6, 7, 6, 3, 8, 2, 8, 4, 8, 3};
+  std::vector<int> zero_based;
+  for (int x : octants) zero_based.push_back(x - 1);
+
+  const auto counts = rs::serial::reduce(zero_based, rs::ops::Counts(8));
+  const std::vector<long> want_counts = {0, 1, 2, 1, 0, 2, 1, 3};
+  EXPECT_EQ(counts, want_counts);
+
+  const auto ranks = rs::serial::scan(zero_based, rs::ops::Counts(8));
+  const std::vector<long> want_ranks = {1, 1, 2, 1, 1, 1, 2, 1, 3, 2};
+  EXPECT_EQ(ranks, want_ranks);
+}
+
+}  // namespace

@@ -1,0 +1,129 @@
+// Unit tests for the byte archive.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/bytes.hpp"
+#include "util/error.hpp"
+
+namespace {
+
+using rsmpi::ProtocolError;
+using rsmpi::bytes::Reader;
+using rsmpi::bytes::Writer;
+
+TEST(Bytes, ScalarRoundTrip) {
+  Writer w;
+  w.put<int>(42);
+  w.put<double>(3.25);
+  w.put<std::uint8_t>(7);
+
+  Reader r(w.view());
+  EXPECT_EQ(r.get<int>(), 42);
+  EXPECT_EQ(r.get<double>(), 3.25);
+  EXPECT_EQ(r.get<std::uint8_t>(), 7);
+  EXPECT_TRUE(r.exhausted());
+}
+
+TEST(Bytes, VectorRoundTrip) {
+  Writer w;
+  const std::vector<long> values = {1, -2, 3, -4, 5};
+  w.put_vector(values);
+
+  Reader r(w.view());
+  EXPECT_EQ(r.get_vector<long>(), values);
+  EXPECT_TRUE(r.exhausted());
+}
+
+TEST(Bytes, EmptyVectorRoundTrip) {
+  Writer w;
+  w.put_vector(std::vector<int>{});
+  Reader r(w.view());
+  EXPECT_TRUE(r.get_vector<int>().empty());
+  EXPECT_TRUE(r.exhausted());
+}
+
+TEST(Bytes, StringRoundTrip) {
+  Writer w;
+  w.put_string("hello");
+  w.put_string("");
+  Reader r(w.view());
+  EXPECT_EQ(r.get_string(), "hello");
+  EXPECT_EQ(r.get_string(), "");
+  EXPECT_TRUE(r.exhausted());
+}
+
+TEST(Bytes, MixedSequenceRoundTrip) {
+  Writer w;
+  w.put<int>(1);
+  w.put_vector(std::vector<double>{0.5, 1.5});
+  w.put_string("tail");
+
+  Reader r(w.view());
+  EXPECT_EQ(r.get<int>(), 1);
+  EXPECT_EQ(r.get_vector<double>(), (std::vector<double>{0.5, 1.5}));
+  EXPECT_EQ(r.get_string(), "tail");
+}
+
+TEST(Bytes, GetSpanChecksLength) {
+  Writer w;
+  w.put_vector(std::vector<int>{1, 2, 3});
+  std::vector<int> out(2);  // wrong size
+  Reader r(w.view());
+  EXPECT_THROW(r.get_span<int>(out), ProtocolError);
+}
+
+TEST(Bytes, GetSpanExactLength) {
+  Writer w;
+  w.put_vector(std::vector<int>{1, 2, 3});
+  std::vector<int> out(3);
+  Reader r(w.view());
+  r.get_span<int>(out);
+  EXPECT_EQ(out, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Bytes, UnderflowThrows) {
+  Writer w;
+  w.put<std::uint16_t>(1);
+  Reader r(w.view());
+  EXPECT_THROW(r.get<std::uint64_t>(), ProtocolError);
+}
+
+TEST(Bytes, VectorUnderflowThrows) {
+  // A length prefix that promises more data than the payload carries.
+  Writer w;
+  w.put<std::uint64_t>(1000);
+  Reader r(w.view());
+  EXPECT_THROW(r.get_vector<double>(), ProtocolError);
+}
+
+TEST(Bytes, FromBytesRejectsTrailingBytes) {
+  Writer w;
+  w.put<int>(1);
+  w.put<int>(2);
+  EXPECT_THROW(rsmpi::bytes::from_bytes<int>(w.view()), ProtocolError);
+}
+
+TEST(Bytes, RemainingTracksPosition) {
+  Writer w;
+  w.put<int>(1);
+  w.put<int>(2);
+  Reader r(w.view());
+  EXPECT_EQ(r.remaining(), 2 * sizeof(int));
+  (void)r.get<int>();
+  EXPECT_EQ(r.remaining(), sizeof(int));
+  (void)r.get<int>();
+  EXPECT_EQ(r.remaining(), 0u);
+}
+
+TEST(Bytes, TakeMovesBuffer) {
+  Writer w;
+  w.put<int>(99);
+  auto buf = std::move(w).take();
+  EXPECT_EQ(buf.size(), sizeof(int));
+  EXPECT_EQ(rsmpi::bytes::from_bytes<int>(buf), 99);
+}
+
+}  // namespace
