@@ -1,0 +1,138 @@
+#include "coll/nb/progress.hpp"
+
+#include <thread>
+
+namespace rsmpi::coll::nb {
+
+ProgressEngine& ProgressEngine::current() {
+  static thread_local ProgressEngine engine;
+  return engine;
+}
+
+Request ProgressEngine::launch(mprt::Comm& comm,
+                               std::unique_ptr<Operation> op, int first_tag,
+                               int tag_count) {
+  // Advance greedily (polled mode: no modelled waiting is charged at
+  // launch): initial sends are posted here, and operations that need no
+  // communication complete without entering the table.
+  while (!op->done() && op->step(StepMode::kPolled)) {
+  }
+  if (op->done()) return Request{};
+
+  Slot slot;
+  slot.id = next_id_++;
+  slot.op = std::move(op);
+  slot.comm = &comm;
+  slot.pending_id = comm.register_pending_op(first_tag, tag_count);
+  slot.vtime = comm.clock().now();
+  slots_.push_back(std::move(slot));
+  return Request(this, slots_.back().id);
+}
+
+namespace {
+
+/// Repositions a rank clock to an arbitrary virtual time (the clock's own
+/// API only moves forward; reset-then-advance lands exactly on `t`).
+void set_clock(mprt::VirtualClock& clock, double t) {
+  clock.reset();
+  clock.advance(t);
+}
+
+}  // namespace
+
+bool ProgressEngine::poll(StepMode mode) {
+  bool progressed = false;
+  for (auto& slot : slots_) {
+    if (slot.op->done()) continue;
+    auto& clock = slot.comm->clock();
+    if (mode == StepMode::kPolled) {
+      // Advance at the rank's current virtual time — but never step an
+      // operation a blocking test already replayed past this point, or
+      // its timeline would run backwards.
+      if (clock.now() < slot.vtime) continue;
+      if (slot.op->step(mode)) {
+        progressed = true;
+        // Only a step that actually advanced moves the timeline: an empty
+        // poll proves nothing was physically queued, not that virtually
+        // earlier messages won't still need replaying at their arrival
+        // times during a later blocking wait.
+        slot.vtime = clock.now();
+      }
+    } else {
+      // Replay on the operation's own timeline: swap the rank clock to
+      // the operation's last progress point so arrival-time merges (and
+      // compute_section charges and outgoing send stamps) land where a
+      // promptly-polling rank would have put them.
+      const double rank_now = clock.now();
+      set_clock(clock, slot.vtime);
+      if (slot.op->step(mode)) progressed = true;
+      slot.vtime = clock.now();
+      set_clock(clock, rank_now);
+    }
+  }
+  std::erase_if(slots_, [](Slot& slot) {
+    if (!slot.op->done()) return false;
+    // Completion rejoins the rank's timeline: the rank observes the
+    // operation finished no earlier than its modelled finish time.  After
+    // a polled step vtime equals the rank clock and this is a no-op.
+    slot.comm->clock().merge(slot.vtime);
+    slot.comm->complete_pending_op(slot.pending_id);
+    return true;
+  });
+  return progressed;
+}
+
+bool ProgressEngine::is_complete(std::uint64_t id) const {
+  for (const auto& slot : slots_) {
+    if (slot.id == id) return false;
+  }
+  return true;
+}
+
+void ProgressEngine::wait(std::uint64_t id) {
+  while (!is_complete(id)) {
+    // Blocking passes replay operations on their own timelines; the
+    // waited operation's finish time merges into the rank clock when it
+    // retires.  A pass with no progress means another rank is still
+    // working; yield it the core.  Real spin time is never charged.
+    if (!poll(StepMode::kBlocking)) std::this_thread::yield();
+  }
+}
+
+bool Request::done() const {
+  return engine_ == nullptr || engine_->is_complete(id_);
+}
+
+bool Request::test() {
+  if (engine_ == nullptr) return true;
+  // A blocking-mode pass, as in MPI_Test: queued messages are replayed
+  // onto the operation's timeline then and there, so while(!test())
+  // loops make progress even though they never advance the rank clock.
+  engine_->poll(StepMode::kBlocking);
+  return engine_->is_complete(id_);
+}
+
+void Request::wait() {
+  if (engine_ != nullptr) engine_->wait(id_);
+}
+
+void wait_all(std::span<Request> requests) {
+  for (auto& request : requests) request.wait();
+}
+
+int test_any(std::span<Request> requests) {
+  bool polled = false;
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    if (!polled && requests[i].valid()) {
+      (void)requests[i].test();  // one progress pass for the whole batch
+      polled = true;
+      break;
+    }
+  }
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    if (requests[i].done()) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+}  // namespace rsmpi::coll::nb

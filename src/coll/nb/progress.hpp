@@ -1,0 +1,129 @@
+// The per-rank progress engine for nonblocking collectives.
+//
+// Every in-flight nonblocking operation is a state machine (Operation)
+// advanced over the Comm::try_recv_due/try_recv_message primitives:
+// sends are posted eagerly (they never block), receives are polled, and a
+// step that cannot advance simply returns until the next poll.  There are
+// no progress threads — progress happens inside Request::wait/test and at
+// explicit poll() points, which is exactly the MPI guidance of calling
+// MPI_Test inside compute loops to overlap communication with computation.
+//
+// Virtual-clock accounting: every in-flight operation carries its own
+// progress timeline, seeded with the rank clock at launch.  A compute-loop
+// poll() advances operations at the rank's current virtual time, taking
+// only messages whose modelled arrival has already passed (Comm::
+// try_recv_due) — the receive overhead lands on the rank clock, the wire
+// time is already sunk, so overlapped communication is free.  wait()/test()
+// instead *replay* each operation on its own timeline: the rank clock is
+// swapped to the operation's last progress point, messages are taken as
+// they sit in the mailbox (the ordinary arrival-time merge then lands at
+// max(op time, arrival), exactly where a promptly-polling rank would have
+// processed them), and on completion the operation's finish time merges
+// back into the rank clock.  The replay is what makes the modelled
+// critical path independent of real-time thread scheduling: whether a
+// message was physically present at poll time or only showed up during the
+// final wait, it is charged at the same virtual instant.
+//
+// The engine is thread-local: each rank thread owns one, reachable via
+// ProgressEngine::current().  Operations hold references to their Comm and
+// to user buffers; both must outlive the request's completion.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "coll/nb/request.hpp"
+#include "mprt/comm.hpp"
+
+namespace rsmpi::coll::nb {
+
+/// How a progress pass is allowed to treat in-flight messages.
+enum class StepMode {
+  /// Polled progress (compute-loop poll()): take only messages whose
+  /// modelled arrival time has passed on this rank's virtual clock.  A
+  /// message that is physically queued but virtually still in flight stays
+  /// queued, so polling never charges modelled waiting — overlapped
+  /// communication is free on the virtual timeline.
+  kPolled,
+  /// Blocking progress (wait()/test()): the engine replays the operation
+  /// on its own timeline (rank clock swapped to the operation's last
+  /// progress point), taking any queued message; the arrival-time merge
+  /// then charges processing at max(op time, arrival), as if the rank had
+  /// kept polling.  The completion time merges into the rank clock.
+  kBlocking,
+};
+
+/// One in-flight nonblocking collective, advanced as a state machine.
+class Operation {
+ public:
+  virtual ~Operation() = default;
+
+  /// Attempts to advance as far as possible without blocking; returns
+  /// true if any state change occurred (a message taken or sent).
+  virtual bool step(StepMode mode) = 0;
+
+  /// True when the operation has run to completion.
+  [[nodiscard]] virtual bool done() const = 0;
+};
+
+namespace detail {
+
+/// The receive every nonblocking state machine polls with: due-only in
+/// polled mode, take-anything in blocking mode.
+inline std::optional<mprt::Message> nb_recv(mprt::Comm& comm, int source,
+                                            int tag, StepMode mode) {
+  return mode == StepMode::kPolled ? comm.try_recv_due(source, tag)
+                                   : comm.try_recv_message(source, tag);
+}
+
+}  // namespace detail
+
+/// Registry of a rank's pending operations.  One per rank thread.
+class ProgressEngine {
+ public:
+  /// The calling rank thread's engine.
+  static ProgressEngine& current();
+
+  /// Registers an operation and advances it as far as it will go.  If it
+  /// completes immediately (single-rank communicators, lucky timing), the
+  /// returned handle is null and nothing is enqueued.  `first_tag` and
+  /// `tag_count` describe the collective-tag window the operation reserved
+  /// on `comm`; they are recorded in the rank's pending-operation table.
+  Request launch(mprt::Comm& comm, std::unique_ptr<Operation> op,
+                 int first_tag, int tag_count);
+
+  /// Steps every pending operation once and retires the completed ones.
+  /// Returns true if any operation made progress.  Call this from compute
+  /// loops (default kPolled mode) to overlap communication with
+  /// computation; wait/test use kBlocking internally.
+  bool poll(StepMode mode = StepMode::kPolled);
+
+  /// Number of operations still in flight on this engine.
+  [[nodiscard]] std::size_t in_flight() const { return slots_.size(); }
+
+ private:
+  friend class Request;
+
+  struct Slot {
+    std::uint64_t id = 0;
+    std::unique_ptr<Operation> op;
+    mprt::Comm* comm = nullptr;  // for pending-table bookkeeping
+    std::uint64_t pending_id = 0;
+    /// The operation's progress timeline: the virtual time up to which it
+    /// has been advanced.  Polled steps pin it to the rank clock; blocking
+    /// steps replay from it with the rank clock swapped in.
+    double vtime = 0.0;
+  };
+
+  [[nodiscard]] bool is_complete(std::uint64_t id) const;
+  void wait(std::uint64_t id);
+
+  std::vector<Slot> slots_;
+  std::uint64_t next_id_ = 1;
+};
+
+/// Convenience: one progress pass on the calling rank's engine.
+inline bool poll() { return ProgressEngine::current().poll(); }
+
+}  // namespace rsmpi::coll::nb

@@ -1,0 +1,64 @@
+// Request handles for nonblocking collectives (MPI-3 shape).
+//
+// A Request names one in-flight operation owned by the rank's
+// ProgressEngine (coll/nb/progress.hpp).  Handles are small and copyable,
+// like MPI_Request: copies refer to the same operation, and a
+// default-constructed handle is the analogue of MPI_REQUEST_NULL — already
+// complete, wait() is a no-op.  Operations that finish during launch (for
+// example any collective on a single-rank communicator) return a null
+// handle directly.
+//
+// Progress happens only inside wait()/test() and explicit
+// ProgressEngine::poll() calls — there is no progress thread.  All handles
+// of a rank must be used from that rank's thread.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace rsmpi::coll::nb {
+
+class ProgressEngine;
+
+/// Handle to one pending nonblocking operation.
+class Request {
+ public:
+  /// Null handle: refers to no operation and reads as complete.
+  Request() = default;
+
+  /// False for null handles (including requests whose operation completed
+  /// during launch).
+  [[nodiscard]] bool valid() const { return engine_ != nullptr; }
+
+  /// True when the operation has completed.  Does not attempt progress.
+  [[nodiscard]] bool done() const;
+
+  /// Makes one progress pass over the rank's pending operations and
+  /// returns whether this one has completed (MPI_Test).
+  bool test();
+
+  /// Progresses the rank's pending operations until this one completes
+  /// (MPI_Wait).  Never blocks in a mailbox receive, so waiting on one
+  /// operation can never deadlock another that still needs progress.
+  void wait();
+
+ private:
+  friend class ProgressEngine;
+  Request(ProgressEngine* engine, std::uint64_t id)
+      : engine_(engine), id_(id) {}
+
+  ProgressEngine* engine_ = nullptr;
+  std::uint64_t id_ = 0;
+};
+
+/// Waits for every request in the batch (MPI_Waitall).  Waiting on any one
+/// of them progresses all pending operations of the rank, so completion
+/// order does not matter.
+void wait_all(std::span<Request> requests);
+
+/// One progress pass, then returns the index of some completed request, or
+/// -1 if none is complete yet (MPI_Testany).  Null requests count as
+/// complete.
+int test_any(std::span<Request> requests);
+
+}  // namespace rsmpi::coll::nb

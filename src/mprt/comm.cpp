@@ -83,6 +83,8 @@ Message Comm::recv_message(int source, int tag) {
   Message msg = runtime_.mailbox(global_rank_).take(context_, source, tag);
   state_->clock.merge(msg.arrival_vtime_s);
   state_->clock.advance(cost_model().recv_overhead_s);
+  state_->recv_count += 1;
+  state_->recv_bytes += msg.payload.size();
   return msg;
 }
 
@@ -100,6 +102,27 @@ std::optional<Message> Comm::try_recv_message(int source, int tag) {
   if (msg.has_value()) {
     state_->clock.merge(msg->arrival_vtime_s);
     state_->clock.advance(cost_model().recv_overhead_s);
+    state_->recv_count += 1;
+    state_->recv_bytes += msg->payload.size();
+  }
+  return msg;
+}
+
+std::optional<Message> Comm::try_recv_due(int source, int tag) {
+  if (source != kAnySource && (source < 0 || source >= size())) {
+    throw ArgumentError("try_recv_due: source rank " + std::to_string(source) +
+                        " out of range [0, " + std::to_string(size()) + ")");
+  }
+  auto msg = runtime_.mailbox(global_rank_).try_take_due(
+      context_, source, tag, state_->clock.now());
+  if (msg.has_value()) {
+    // arrival <= now by construction, so the merge is a no-op; only the
+    // receive overhead is charged — this is what makes polling between
+    // compute chunks overlap communication with the compute.
+    state_->clock.merge(msg->arrival_vtime_s);
+    state_->clock.advance(cost_model().recv_overhead_s);
+    state_->recv_count += 1;
+    state_->recv_bytes += msg->payload.size();
   }
   return msg;
 }

@@ -12,6 +12,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <limits>
 #include <optional>
 #include <span>
 #include <string>
@@ -28,12 +29,28 @@ namespace rsmpi::mprt {
 
 class Runtime;
 
+/// One outstanding nonblocking operation registered with a rank.  The
+/// progress engine (coll/nb) records each in-flight collective here so the
+/// rank's pending work — and the collective-tag window it reserved — is
+/// inspectable by tests and debuggers.
+struct PendingOp {
+  std::uint64_t id = 0;
+  std::int64_t context = 0;  // communicator the operation runs on
+  int first_tag = 0;         // first tag of the reserved window
+  int tag_count = 0;         // number of consecutive tags reserved
+};
+
 /// Per-rank mutable state shared by every communicator of that rank: the
-/// virtual clock and the send counters.  Owned by the runtime.
+/// virtual clock, the traffic counters, and the pending-operation table.
+/// Owned by the runtime; only touched from the rank's own thread.
 struct RankState {
   VirtualClock clock;
   std::uint64_t sent_count = 0;
   std::uint64_t sent_bytes = 0;
+  std::uint64_t recv_count = 0;
+  std::uint64_t recv_bytes = 0;
+  std::vector<PendingOp> pending_ops;
+  std::uint64_t next_pending_id = 1;
 };
 
 /// Identity/status returned by receives that used wildcards.  `source` is
@@ -104,6 +121,15 @@ class Comm {
   /// Non-blocking receive: takes a matching message if one is queued,
   /// std::nullopt otherwise.  Clock accounting matches recv_message.
   std::optional<Message> try_recv_message(int source, int tag);
+
+  /// Non-blocking receive that only takes a message whose modelled arrival
+  /// time has passed on this rank's virtual clock ("has it arrived *yet*?").
+  /// A message that is physically queued but virtually still in flight is
+  /// left queued and std::nullopt is returned.  This is the receive the
+  /// nonblocking progress engine polls with: it never charges modelled
+  /// waiting, so communication overlapped with compute is free on the
+  /// virtual timeline.
+  std::optional<Message> try_recv_due(int source, int tag);
 
   // -- Typed point-to-point -----------------------------------------------
 
@@ -195,14 +221,71 @@ class Comm {
   /// user point-to-point traffic should stay below it.
   static constexpr int kCollectiveTagBase = 1 << 20;
 
-  /// Returns a fresh tag for one collective invocation.  Because ranks
-  /// execute a communicator's collectives SPMD-style in the same order,
-  /// the n-th collective on every member receives the same tag, isolating
-  /// concurrent wildcard receives of adjacent collectives from each other.
-  int next_collective_tag() {
-    const int tag = kCollectiveTagBase + (collective_seq_ & 0xFFFF);
-    ++collective_seq_;
-    return tag;
+  /// Size of the collective tag window [kCollectiveTagBase, INT_MAX].  The
+  /// sequence wraps only after ~2^31 collectives — long-lived nonblocking
+  /// operations would need that many collectives in flight at once before
+  /// a wildcard receive could alias two of them.  (A previous 16-bit
+  /// window aliased after 65536 collectives; see tag_window_test.)
+  static constexpr std::int64_t kCollectiveTagWindow =
+      static_cast<std::int64_t>(std::numeric_limits<int>::max()) -
+      kCollectiveTagBase + 1;
+
+  /// Reserves `count` consecutive tags for one collective operation and
+  /// returns the first.  Because ranks execute a communicator's
+  /// collectives SPMD-style in the same order, the n-th reservation on
+  /// every member returns the same tags, isolating concurrent wildcard
+  /// receives of adjacent collectives from each other.  A reservation
+  /// never straddles the window's wrap point: if the remaining window is
+  /// too small, every rank skips to the window start together.
+  int reserve_collective_tags(int count) {
+    if (count < 1 || static_cast<std::int64_t>(count) > kCollectiveTagWindow) {
+      throw ArgumentError("reserve_collective_tags: count " +
+                          std::to_string(count) + " outside [1, " +
+                          std::to_string(kCollectiveTagWindow) + "]");
+    }
+    std::int64_t pos = collective_seq_ % kCollectiveTagWindow;
+    if (pos + count > kCollectiveTagWindow) {
+      collective_seq_ += kCollectiveTagWindow - pos;
+      pos = 0;
+    }
+    collective_seq_ += count;
+    return kCollectiveTagBase + static_cast<int>(pos);
+  }
+
+  /// Returns a fresh tag for one collective invocation.
+  int next_collective_tag() { return reserve_collective_tags(1); }
+
+  // -- Pending nonblocking operations -------------------------------------
+
+  /// Registers an in-flight nonblocking operation (and the tag window it
+  /// reserved) in this rank's pending-operation table; returns its id.
+  /// Called by the progress engine, shared across the rank's communicators.
+  std::uint64_t register_pending_op(int first_tag, int tag_count) {
+    const std::uint64_t id = state_->next_pending_id++;
+    state_->pending_ops.push_back({id, context_, first_tag, tag_count});
+    return id;
+  }
+
+  /// Removes a completed operation from the pending table.
+  void complete_pending_op(std::uint64_t id) {
+    auto& ops = state_->pending_ops;
+    for (std::size_t i = 0; i < ops.size(); ++i) {
+      if (ops[i].id == id) {
+        ops.erase(ops.begin() + static_cast<std::ptrdiff_t>(i));
+        return;
+      }
+    }
+  }
+
+  /// Number of nonblocking operations currently in flight on this rank
+  /// (across all of its communicators).
+  [[nodiscard]] std::size_t pending_op_count() const {
+    return state_->pending_ops.size();
+  }
+
+  /// The pending-operation table itself, for tests and debugging.
+  [[nodiscard]] const std::vector<PendingOp>& pending_ops() const {
+    return state_->pending_ops;
   }
 
   // -- Counters (observability; used by tests and benchmarks) -------------
@@ -211,9 +294,17 @@ class Comm {
     return state_->sent_count;
   }
   [[nodiscard]] std::uint64_t bytes_sent() const { return state_->sent_bytes; }
+  [[nodiscard]] std::uint64_t messages_received() const {
+    return state_->recv_count;
+  }
+  [[nodiscard]] std::uint64_t bytes_received() const {
+    return state_->recv_bytes;
+  }
   void reset_counters() {
     state_->sent_count = 0;
     state_->sent_bytes = 0;
+    state_->recv_count = 0;
+    state_->recv_bytes = 0;
   }
 
  private:
@@ -227,7 +318,7 @@ class Comm {
   std::int64_t context_ = 0;
   std::vector<int> group_;  // group rank -> global rank
   int group_rank_ = 0;
-  int collective_seq_ = 0;
+  std::int64_t collective_seq_ = 0;
   int split_seq_ = 0;
 };
 

@@ -55,6 +55,39 @@ std::optional<Message> Mailbox::try_take(std::int64_t context, int source,
   return msg;
 }
 
+std::optional<Message> Mailbox::try_take_due(std::int64_t context, int source,
+                                             int tag, double arrival_cutoff) {
+  std::lock_guard lock(mutex_);
+  if (aborted_) {
+    throw AbortError("mailbox: runtime aborted");
+  }
+  for (std::size_t i = 0; i < queue_.size(); ++i) {
+    const Message& m = queue_[i];
+    const bool ctx_ok = m.context == context;
+    const bool src_ok = (source == kAnySource) || (m.source == source);
+    const bool tag_ok = (tag == kAnyTag) || (m.tag == tag);
+    if (!ctx_ok || !src_ok || !tag_ok) continue;
+    // Non-overtaking: skip if an older message of the same stream is still
+    // queued (it must be received first, due or not).
+    bool blocked = false;
+    for (std::size_t j = 0; j < i; ++j) {
+      const Message& older = queue_[j];
+      if (older.context == m.context && older.source == m.source &&
+          older.tag == m.tag) {
+        blocked = true;
+        break;
+      }
+    }
+    if (blocked) continue;
+    if (m.arrival_vtime_s <= arrival_cutoff) {
+      Message msg = std::move(queue_[i]);
+      queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(i));
+      return msg;
+    }
+  }
+  return std::nullopt;
+}
+
 bool Mailbox::probe(std::int64_t context, int source, int tag) {
   std::lock_guard lock(mutex_);
   return find_match(context, source, tag) != npos;

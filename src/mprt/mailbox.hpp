@@ -34,6 +34,14 @@ class Mailbox {
   /// Non-blocking take; std::nullopt when no queued message matches.
   std::optional<Message> try_take(std::int64_t context, int source, int tag);
 
+  /// Non-blocking take restricted to messages whose modelled arrival time
+  /// is <= `arrival_cutoff` — "has this message arrived yet on the virtual
+  /// timeline?".  Non-overtaking is preserved: a message is only eligible
+  /// if no older message of its own (context, source, tag) stream is still
+  /// queued ahead of it.
+  std::optional<Message> try_take_due(std::int64_t context, int source,
+                                      int tag, double arrival_cutoff);
+
   /// True when a message matching the pattern is queued (MPI_Iprobe).
   [[nodiscard]] bool probe(std::int64_t context, int source, int tag);
 

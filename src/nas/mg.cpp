@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <limits>
+#include <memory>
 #include <ranges>
 
 #include "coll/local_reduce.hpp"
 #include "nas/randlc.hpp"
+#include "rs/async.hpp"
 #include "rs/reduce.hpp"
 
 namespace rsmpi::nas {
@@ -135,6 +137,37 @@ MgCharges mg_zran3_rsmpi(mprt::Comm& comm, const MgGrid& grid,
   for (const auto& c : result.largest) charges.positive.push_back(c.index);
   for (const auto& c : result.smallest) charges.negative.push_back(c.index);
   return charges;
+}
+
+rs::Future<MgCharges> mg_zran3_rsmpi_async(mprt::Comm& comm,
+                                           const MgGrid& grid,
+                                           std::size_t k) {
+  const int plane = grid.nx * grid.ny;
+  const std::int64_t base = static_cast<std::int64_t>(grid.z0) * plane;
+  auto located =
+      std::views::iota(std::size_t{0}, grid.values.size()) |
+      std::views::transform([&grid, plane, base](std::size_t i) {
+        const std::int64_t zl =
+            static_cast<std::int64_t>(i / static_cast<std::size_t>(plane));
+        const std::int64_t gpos =
+            base + zl * plane +
+            static_cast<std::int64_t>(i % static_cast<std::size_t>(plane));
+        return Candidate{grid.values[i], gpos};
+      });
+
+  // The accumulate (the grid traversal) happens inside reduce_async, so
+  // the view over `grid` is not referenced after this call returns.
+  auto inner = std::make_shared<
+      rs::Future<rs::ops::TopBottomKResult<double, std::int64_t>>>(
+      rs::reduce_async(comm, located,
+                       rs::ops::TopBottomK<double, std::int64_t>(k)));
+  return rs::Future<MgCharges>(inner->request(), [inner]() {
+    const auto& result = inner->get();
+    MgCharges charges;
+    for (const auto& c : result.largest) charges.positive.push_back(c.index);
+    for (const auto& c : result.smallest) charges.negative.push_back(c.index);
+    return charges;
+  });
 }
 
 int mg_apply_charges(MgGrid& grid, const MgCharges& charges) {

@@ -18,6 +18,7 @@
 
 #include "mprt/comm.hpp"
 #include "nas/classes.hpp"
+#include "rs/async.hpp"
 #include "rs/ops/topbottomk.hpp"
 
 namespace rsmpi::nas {
@@ -58,6 +59,16 @@ MgCharges mg_zran3_baseline(mprt::Comm& comm, const MgGrid& grid,
 /// grid values.
 MgCharges mg_zran3_rsmpi(mprt::Comm& comm, const MgGrid& grid,
                          std::size_t k = 10);
+
+/// Nonblocking variant of the global-view formulation: the grid traversal
+/// (accumulate) runs immediately, the cross-rank combine proceeds in the
+/// background, and get() on the returned future yields the charges.  Call
+/// coll::nb::poll() between chunks of other work (e.g. filling the next
+/// grid) to overlap the combine with it.  `grid` may be reused or freed as
+/// soon as this returns; `comm` must outlive the future's completion.
+rs::Future<MgCharges> mg_zran3_rsmpi_async(mprt::Comm& comm,
+                                           const MgGrid& grid,
+                                           std::size_t k = 10);
 
 /// Completes ZRAN3: rewrites the slab as {-1, 0, +1} from the charge
 /// positions.  Returns the number of nonzeros written locally (for tests).

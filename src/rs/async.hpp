@@ -1,0 +1,373 @@
+// Asynchronous global-view reductions and scans.
+//
+// rs::reduce_async / rs::scan_async run the accumulate phase immediately
+// (it is local compute) and hand the combine phase — the only part that
+// talks to other ranks — to the rank's nonblocking progress engine
+// (coll/nb).  The caller receives a Future and keeps computing; calling
+// coll::nb::poll() between compute chunks lets the combine tree climb
+// while the rank's virtual clock advances through the compute, so the
+// communication cost overlaps and the modelled critical path shrinks.
+//
+// The state machines here are the nonblocking restatement of
+// rs/state_exchange.hpp: the same binomial / combine-as-available /
+// recursive-doubling schedules over serialized operator states, with every
+// blocking recv_message replaced by a polled nonblocking receive.  Because
+// states travel as tagged messages (not into preallocated buffers),
+// variable-size operator states work exactly as they do in the blocking
+// paths.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <ranges>
+#include <utility>
+#include <vector>
+
+#include "coll/nb/iallreduce.hpp"
+#include "coll/nb/progress.hpp"
+#include "mprt/comm.hpp"
+#include "mprt/topology.hpp"
+#include "rs/op_concepts.hpp"
+#include "rs/reduce.hpp"
+#include "rs/scan.hpp"
+#include "util/error.hpp"
+
+namespace rsmpi::rs {
+
+/// Handle to an asynchronous reduction or scan result.  `get()` waits for
+/// the in-flight combine (making progress on every pending operation of
+/// this rank while it does) and then generates the result; it may be
+/// called once or many times — the result is cached.  The communicator and
+/// the operator state live until the future's last copy is destroyed, but
+/// `get()`/`wait()` must be called before the communicator's rank thread
+/// exits.
+template <typename T>
+class Future {
+ public:
+  Future() = default;
+  Future(coll::nb::Request request, std::function<T()> finalize)
+      : request_(request), finalize_(std::move(finalize)) {}
+
+  /// True if this future was produced by an async call (not default).
+  [[nodiscard]] bool valid() const { return static_cast<bool>(finalize_); }
+
+  /// True when the combine phase has completed (no progress is made).
+  [[nodiscard]] bool done() const { return request_.done(); }
+
+  /// One progress pass; true when the combine phase has completed.
+  bool test() { return request_.test(); }
+
+  /// Blocks (making progress) until the combine phase completes.
+  void wait() { request_.wait(); }
+
+  /// Waits, then generates and caches the result.
+  T& get() {
+    if (!finalize_) {
+      throw ArgumentError("Future::get: future is not valid");
+    }
+    if (!result_.has_value()) {
+      request_.wait();
+      result_.emplace(finalize_());
+    }
+    return *result_;
+  }
+
+  /// The underlying request, for wait_all / test_any batching.
+  [[nodiscard]] coll::nb::Request& request() { return request_; }
+
+ private:
+  coll::nb::Request request_;
+  std::function<T()> finalize_;
+  std::optional<T> result_;
+};
+
+namespace detail {
+
+/// Shared home for the operator state while the combine is in flight.
+/// Owned jointly by the Operation (in the progress engine) and by the
+/// Future's finalize closure, so it survives whichever is dropped first.
+template <typename Op>
+struct AsyncOpState {
+  Op op;
+  Op prototype;
+  AsyncOpState(Op op_, Op prototype_)
+      : op(std::move(op_)), prototype(std::move(prototype_)) {}
+};
+
+/// Nonblocking state_allreduce: reduce serialized operator states to rank
+/// 0 (order-preserving binomial for non-commutative operators,
+/// combine-as-available k-ary tree otherwise), then binomial-broadcast the
+/// finished state.  Combine work is charged through compute_section, as in
+/// the blocking schedules.
+template <Combinable Op>
+class StateAllreduceOp final : public coll::nb::Operation {
+ public:
+  StateAllreduceOp(mprt::Comm& comm, std::shared_ptr<AsyncOpState<Op>> state,
+                   bool commutative, int reduce_tag, int bcast_tag)
+      : comm_(comm),
+        state_(std::move(state)),
+        reduce_tag_(reduce_tag),
+        bcast_tag_(bcast_tag),
+        commutative_(commutative) {
+    const int p = comm.size();
+    const int rank = comm.rank();
+    if (commutative_) {
+      for (int c = kUnorderedArity * rank + 1;
+           c <= kUnorderedArity * rank + kUnorderedArity && c < p; ++c) {
+        ++children_left_;
+      }
+    } else {
+      reduce_steps_ = mprt::topology::binomial_reduce_schedule(rank, p);
+    }
+    bcast_steps_ = mprt::topology::binomial_bcast_schedule(rank, p);
+  }
+
+  bool step(coll::nb::StepMode mode) override {
+    bool progressed = false;
+    const int rank = comm_.rank();
+    while (phase_ != Phase::kDone) {
+      switch (phase_) {
+        case Phase::kReduce: {
+          if (commutative_) {
+            // Fold whichever child's state lands first (§1's
+            // combine-as-available optimization), then hand up.
+            if (children_left_ > 0) {
+              auto msg = coll::nb::detail::nb_recv(comm_, mprt::kAnySource, reduce_tag_, mode);
+              if (!msg.has_value()) return progressed;
+              Op other = load_op(state_->prototype, msg->payload);
+              {
+                auto timer = comm_.compute_section();
+                state_->op.combine(other);
+              }
+              --children_left_;
+              progressed = true;
+              continue;
+            }
+            if (rank != 0) {
+              comm_.send_bytes((rank - 1) / kUnorderedArity, reduce_tag_,
+                               save_op(state_->op));
+              progressed = true;
+            }
+            next_ = 0;
+            phase_ = Phase::kBcast;
+            continue;
+          }
+          if (next_ >= reduce_steps_.size()) {
+            next_ = 0;
+            phase_ = Phase::kBcast;
+            continue;
+          }
+          const auto& s = reduce_steps_[next_];
+          if (s.role == mprt::topology::BinomialStep::Role::kSend) {
+            comm_.send_bytes(s.partner, reduce_tag_, save_op(state_->op));
+          } else {
+            auto msg = coll::nb::detail::nb_recv(comm_, s.partner, reduce_tag_, mode);
+            if (!msg.has_value()) return progressed;
+            Op other = load_op(state_->prototype, msg->payload);
+            auto timer = comm_.compute_section();
+            state_->op.combine(other);
+          }
+          ++next_;
+          progressed = true;
+          continue;
+        }
+        case Phase::kBcast: {
+          if (next_ >= bcast_steps_.size()) {
+            phase_ = Phase::kDone;
+            continue;
+          }
+          const auto& s = bcast_steps_[next_];
+          if (s.role == mprt::topology::BinomialStep::Role::kRecv) {
+            auto msg = coll::nb::detail::nb_recv(comm_, s.partner, bcast_tag_, mode);
+            if (!msg.has_value()) return progressed;
+            state_->op = load_op(state_->prototype, msg->payload);
+          } else {
+            comm_.send_bytes(s.partner, bcast_tag_, save_op(state_->op));
+          }
+          ++next_;
+          progressed = true;
+          continue;
+        }
+        case Phase::kDone:
+          break;
+      }
+    }
+    return progressed;
+  }
+
+  [[nodiscard]] bool done() const override { return phase_ == Phase::kDone; }
+
+ private:
+  enum class Phase { kReduce, kBcast, kDone };
+
+  mprt::Comm& comm_;
+  std::shared_ptr<AsyncOpState<Op>> state_;
+  int reduce_tag_;
+  int bcast_tag_;
+  bool commutative_;
+  int children_left_ = 0;
+  std::vector<mprt::topology::BinomialStep> reduce_steps_;
+  std::vector<mprt::topology::BinomialStep> bcast_steps_;
+  std::size_t next_ = 0;
+  Phase phase_ = Phase::kReduce;
+};
+
+/// Nonblocking state_xscan: the recursive-doubling exclusive scan of
+/// rs/state_exchange.hpp as a polled state machine.  On completion
+/// state->op holds the combination of all lower ranks' input states
+/// (identity on rank 0).
+template <Combinable Op>
+class StateXscanOp final : public coll::nb::Operation {
+ public:
+  StateXscanOp(mprt::Comm& comm, std::shared_ptr<AsyncOpState<Op>> state,
+               int tag)
+      : comm_(comm),
+        state_(std::move(state)),
+        tag_(tag),
+        incl_(state_->op),
+        excl_(state_->prototype) {}
+
+  bool step(coll::nb::StepMode mode) override {
+    bool progressed = false;
+    const int p = comm_.size();
+    const int rank = comm_.rank();
+    while (d_ < p) {
+      if (!sent_) {
+        if (rank + d_ < p) {
+          comm_.send_bytes(rank + d_, tag_, save_op(incl_));
+        }
+        sent_ = true;
+        progressed = true;
+      }
+      if (rank - d_ >= 0) {
+        auto msg = coll::nb::detail::nb_recv(comm_, rank - d_, tag_, mode);
+        if (!msg.has_value()) return progressed;
+        Op received = load_op(state_->prototype, msg->payload);
+        auto timer = comm_.compute_section();
+        Op tmp = received;
+        tmp.combine(incl_);
+        incl_ = std::move(tmp);
+        received.combine(excl_);
+        excl_ = std::move(received);
+      }
+      d_ <<= 1;
+      sent_ = false;
+      progressed = true;
+    }
+    if (!finished_) {
+      state_->op = std::move(excl_);
+      finished_ = true;
+      progressed = true;
+    }
+    return progressed;
+  }
+
+  [[nodiscard]] bool done() const override { return finished_; }
+
+ private:
+  mprt::Comm& comm_;
+  std::shared_ptr<AsyncOpState<Op>> state_;
+  int tag_;
+  Op incl_;   // combination of [max(0, rank-2d+1), rank]
+  Op excl_;   // combination of [max(0, rank-2d+1), rank-1]
+  int d_ = 1;
+  bool sent_ = false;
+  bool finished_ = false;
+};
+
+/// Launches the nonblocking state allreduce for an already-accumulated
+/// operator state; shared by reduce_async and the C bindings.
+template <Combinable Op>
+coll::nb::Request launch_state_allreduce(
+    mprt::Comm& comm, std::shared_ptr<AsyncOpState<Op>> state,
+    bool commutative) {
+  if (comm.size() == 1) return coll::nb::Request{};
+  const int tag = comm.reserve_collective_tags(2);
+  return coll::nb::ProgressEngine::current().launch(
+      comm,
+      std::make_unique<StateAllreduceOp<Op>>(comm, std::move(state),
+                                             commutative, tag, tag + 1),
+      tag, 2);
+}
+
+}  // namespace detail
+
+/// Asynchronous global-view reduction.  Accumulates the local slice now
+/// (local compute, charged to the clock), starts the cross-rank combine in
+/// the background, and returns a future whose get() yields the same value
+/// on every rank as rs::reduce.  Interleave coll::nb::poll() with your
+/// compute to overlap the combine with it.
+///
+///   auto fut = rs::reduce_async(comm, my_slice, ops::MinK<int>(10));
+///   for (auto& chunk : work) { process(chunk); coll::nb::poll(); }
+///   auto mins = fut.get();
+template <typename Op, std::ranges::input_range R>
+  requires ReductionOp<Op, std::ranges::range_value_t<R>>
+Future<reduce_result_t<Op>> reduce_async(mprt::Comm& comm, R&& local, Op op) {
+  const Op prototype = op;
+  detail::accumulate_local(comm, op, std::forward<R>(local));
+  auto state = std::make_shared<detail::AsyncOpState<Op>>(std::move(op),
+                                                          prototype);
+  auto request =
+      detail::launch_state_allreduce(comm, state, op_commutative<Op>());
+  return Future<reduce_result_t<Op>>(
+      request, [state]() { return red_result(state->op); });
+}
+
+/// Asynchronous global-view scan.  Accumulates the local slice now, runs
+/// the cross-rank exclusive scan of states in the background, and replays
+/// the slice at get() to produce this rank's output positions — equal to
+/// rs::scan's.  The local values are copied into the future so the caller
+/// may overwrite the input range while the scan is in flight.
+template <typename Op, std::ranges::forward_range R>
+  requires ScanOp<Op, std::ranges::range_value_t<R>>
+Future<std::vector<scan_result_t<Op, std::ranges::range_value_t<R>>>>
+scan_async(mprt::Comm& comm, R&& local, Op op,
+           ScanKind kind = ScanKind::kInclusive) {
+  using In = std::ranges::range_value_t<R>;
+  using Out = scan_result_t<Op, In>;
+
+  const Op prototype = op;
+  detail::accumulate_local(comm, op, local);
+  auto slice = std::make_shared<std::vector<In>>(std::ranges::begin(local),
+                                                 std::ranges::end(local));
+  auto state = std::make_shared<detail::AsyncOpState<Op>>(std::move(op),
+                                                          prototype);
+
+  coll::nb::Request request;
+  if (comm.size() > 1) {
+    const int tag = comm.reserve_collective_tags(1);
+    request = coll::nb::ProgressEngine::current().launch(
+        comm, std::make_unique<detail::StateXscanOp<Op>>(comm, state, tag),
+        tag, 1);
+  } else {
+    state->op = prototype;  // exclusive prefix of rank 0 is the identity
+  }
+
+  auto finalize = [state, slice, kind, comm = &comm]() {
+    Op replay = state->op;
+    std::vector<Out> out;
+    out.reserve(slice->size());
+    auto timer = comm->compute_section();
+    for (const In& x : *slice) {
+      if (kind == ScanKind::kExclusive) {
+        out.push_back(scan_result(replay, x));
+        replay.accum(x);
+      } else {
+        replay.accum(x);
+        out.push_back(scan_result(replay, x));
+      }
+    }
+    return out;
+  };
+  return Future<std::vector<Out>>(request, std::move(finalize));
+}
+
+/// Waits on every future in the pack (progressing all pending operations).
+template <typename... Ts>
+void wait_all_futures(Future<Ts>&... futures) {
+  (futures.wait(), ...);
+}
+
+}  // namespace rsmpi::rs

@@ -14,6 +14,11 @@
 #include "coll/gather.hpp"
 #include "coll/local_reduce.hpp"
 #include "coll/local_scan.hpp"
+#include "coll/nb/iallreduce.hpp"
+#include "coll/nb/ibarrier.hpp"
+#include "coll/nb/ibcast.hpp"
+#include "coll/nb/progress.hpp"
+#include "coll/nb/request.hpp"
 #include "coll/rabenseifner.hpp"
 #include "dist/block_array.hpp"
 #include "dist/block_matrix.hpp"
@@ -23,6 +28,7 @@
 #include "rs/algos/radix_sort.hpp"
 #include "rs/algos/rle.hpp"
 #include "rsmpi_c/rsmpi_c.hpp"
+#include "rs/async.hpp"
 #include "rs/op_concepts.hpp"
 #include "rs/ops/ops.hpp"
 #include "rs/reduce.hpp"

@@ -32,12 +32,16 @@
 // makes serialization automatic.
 #pragma once
 
+#include <functional>
+#include <memory>
 #include <optional>
 #include <ranges>
+#include <span>
 #include <vector>
 
 #include "mprt/comm.hpp"
 #include "mprt/runtime.hpp"
+#include "rs/async.hpp"
 #include "rs/reduce.hpp"
 #include "rs/scan.hpp"
 
@@ -157,6 +161,76 @@ void RSMPI_Exscan(std::vector<Out>* result, R&& values,
                   mprt::Comm& comm = mprt::this_comm()) {
   *result = rs::scan(comm, std::forward<R>(values), detail::Adapter<COp>{},
                      rs::ScanKind::kExclusive);
+}
+
+// -- Nonblocking variants (MPI-3 shape) -------------------------------------
+
+/// Opaque request handle for the nonblocking RSMPI routines.  A default-
+/// constructed handle is the RSMPI analogue of MPI_REQUEST_NULL: RSMPI_Wait
+/// on it returns immediately and RSMPI_Test reports completion.  Handles
+/// are freed (reset to null) by the Wait/Test that completes them.
+struct RSMPI_Request {
+  coll::nb::Request request;
+  std::function<void()> finalize;
+
+  [[nodiscard]] bool valid() const { return static_cast<bool>(finalize); }
+};
+
+/// RSMPI_Ireduceall: starts the reduction and returns immediately; the
+/// result pointer is written by the RSMPI_Wait/RSMPI_Test that completes
+/// the returned request, so `result` must stay alive until then.
+template <typename COp, std::ranges::input_range R, typename Out>
+RSMPI_Request RSMPI_Ireduceall(Out* result, R&& values,
+                               mprt::Comm& comm = mprt::this_comm()) {
+  auto future = std::make_shared<rs::Future<
+      rs::reduce_result_t<detail::Adapter<COp>>>>(rs::reduce_async(
+      comm, std::forward<R>(values), detail::Adapter<COp>{}));
+  RSMPI_Request req;
+  req.request = future->request();
+  req.finalize = [future, result]() { *result = future->get(); };
+  return req;
+}
+
+/// RSMPI_Iscan: nonblocking inclusive scan; the output vector is written
+/// by the completing Wait/Test.
+template <typename COp, std::ranges::forward_range R, typename Out>
+RSMPI_Request RSMPI_Iscan(std::vector<Out>* result, R&& values,
+                          mprt::Comm& comm = mprt::this_comm()) {
+  using Adapter = detail::Adapter<COp>;
+  using In = typename COp::In;
+  auto future = std::make_shared<
+      rs::Future<std::vector<rs::scan_result_t<Adapter, In>>>>(
+      rs::scan_async(comm, std::forward<R>(values), Adapter{},
+                     rs::ScanKind::kInclusive));
+  RSMPI_Request req;
+  req.request = future->request();
+  req.finalize = [future, result]() { *result = std::move(future->get()); };
+  return req;
+}
+
+/// RSMPI_Wait: blocks (progressing every pending operation on this rank)
+/// until the request completes, writes its result, and nulls the handle.
+inline void RSMPI_Wait(RSMPI_Request* request) {
+  if (!request->valid()) return;
+  request->request.wait();
+  request->finalize();
+  *request = RSMPI_Request{};
+}
+
+/// RSMPI_Test: one progress pass; returns 1 and completes the request (as
+/// RSMPI_Wait would) if it is done, 0 otherwise.  Null handles test as
+/// complete, matching MPI_Test on MPI_REQUEST_NULL.
+inline int RSMPI_Test(RSMPI_Request* request) {
+  if (!request->valid()) return 1;
+  if (!request->request.test()) return 0;
+  request->finalize();
+  *request = RSMPI_Request{};
+  return 1;
+}
+
+/// RSMPI_Waitall over a batch of requests.
+inline void RSMPI_Waitall(std::span<RSMPI_Request> requests) {
+  for (auto& request : requests) RSMPI_Wait(&request);
 }
 
 }  // namespace rsmpi::c_api

@@ -1,0 +1,254 @@
+// Tests for the nonblocking collectives (coll/nb): request handles, the
+// per-rank progress engine, and the ibarrier/ibcast/iallreduce/ireduce
+// state machines — including out-of-order completion and subcommunicators.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <numeric>
+#include <vector>
+
+#include "coll/local_reduce.hpp"
+#include "coll/nb/iallreduce.hpp"
+#include "coll/nb/ibarrier.hpp"
+#include "coll/nb/ibcast.hpp"
+#include "mprt/runtime.hpp"
+#include "tests/coll/test_matrix_op.hpp"
+#include "util/error.hpp"
+
+namespace {
+
+using namespace rsmpi;
+using mprt::Comm;
+
+using SumOp = coll::ElementwiseOp<int, coll::Sum<int>>;
+
+TEST(Ibarrier, CompletesOnEveryRank) {
+  mprt::run(8, [](Comm& comm) {
+    auto req = coll::nb::ibarrier(comm);
+    req.wait();
+    EXPECT_TRUE(req.done());
+    EXPECT_EQ(coll::nb::ProgressEngine::current().in_flight(), 0u);
+  });
+}
+
+TEST(Ibarrier, BackToBackBarriersDoNotCross) {
+  mprt::run(5, [](Comm& comm) {
+    for (int i = 0; i < 4; ++i) {
+      auto req = coll::nb::ibarrier(comm);
+      req.wait();
+    }
+  });
+}
+
+TEST(Ibcast, DeliversRootBuffer) {
+  mprt::run(7, [](Comm& comm) {
+    const int root = 2;
+    std::vector<int> buf(16, 0);
+    if (comm.rank() == root) {
+      std::iota(buf.begin(), buf.end(), 100);
+    }
+    auto req = coll::nb::ibcast_span<int>(comm, root, buf);
+    req.wait();
+    std::vector<int> expected(16);
+    std::iota(expected.begin(), expected.end(), 100);
+    EXPECT_EQ(buf, expected);
+  });
+}
+
+TEST(Ibcast, RejectsBadRoot) {
+  mprt::run(2, [](Comm& comm) {
+    std::vector<int> buf(4, 0);
+    EXPECT_THROW(coll::nb::ibcast_span<int>(comm, 5, buf), ArgumentError);
+  });
+}
+
+TEST(Iallreduce, BinomialMatchesBlocking) {
+  mprt::run(6, [](Comm& comm) {
+    std::vector<int> mine(8);
+    for (std::size_t i = 0; i < mine.size(); ++i) {
+      mine[i] = comm.rank() * 10 + static_cast<int>(i);
+    }
+    std::vector<int> blocking = mine;
+    coll::local_allreduce(comm, std::span<int>(blocking), SumOp{});
+
+    auto req = coll::nb::iallreduce(comm, std::span<int>(mine), SumOp{});
+    req.wait();
+    EXPECT_EQ(mine, blocking);
+  });
+}
+
+TEST(Iallreduce, RabenseifnerMatchesBlocking) {
+  // 6 ranks exercises the non-power-of-two fold/unfold.
+  mprt::run(6, [](Comm& comm) {
+    std::vector<double> mine(10);
+    for (std::size_t i = 0; i < mine.size(); ++i) {
+      mine[i] = comm.rank() + 0.25 * static_cast<double>(i);
+    }
+    std::vector<double> blocking = mine;
+    coll::local_allreduce_rabenseifner(
+        comm, std::span<double>(blocking),
+        coll::ElementwiseOp<double, coll::Sum<double>>{});
+
+    auto req = coll::nb::iallreduce(
+        comm, std::span<double>(mine),
+        coll::ElementwiseOp<double, coll::Sum<double>>{},
+        coll::nb::IAllreduceAlgo::kRabenseifner);
+    req.wait();
+    EXPECT_EQ(mine, blocking);
+  });
+}
+
+TEST(Iallreduce, RabenseifnerRejectsNonCommutative) {
+  mprt::run(4, [](Comm& comm) {
+    auto m = test::rank_matrix(comm.rank());
+    EXPECT_THROW(coll::nb::iallreduce(comm, std::span<std::int64_t>(m),
+                                      test::MatMulOp{},
+                                      coll::nb::IAllreduceAlgo::kRabenseifner),
+                 ArgumentError);
+  });
+}
+
+TEST(Iallreduce, PreservesOrderForNonCommutative) {
+  mprt::run(5, [](Comm& comm) {
+    auto m = test::rank_matrix(comm.rank());
+    auto req =
+        coll::nb::iallreduce(comm, std::span<std::int64_t>(m),
+                             test::MatMulOp{});
+    req.wait();
+    const auto expected = test::ordered_product(comm.size());
+    EXPECT_EQ(m, expected);
+  });
+}
+
+TEST(Ireduce, NonCommutativeToNonzeroRoot) {
+  // Exercises the reduce-to-zero + forward path.
+  mprt::run(6, [](Comm& comm) {
+    const int root = 3;
+    auto m = test::rank_matrix(comm.rank());
+    auto req = coll::nb::ireduce(comm, root, std::span<std::int64_t>(m),
+                                 test::MatMulOp{});
+    req.wait();
+    if (comm.rank() == root) {
+      EXPECT_EQ(m, test::ordered_product(comm.size()));
+    }
+  });
+}
+
+TEST(Ireduce, CommutativeSumAtRoot) {
+  mprt::run(4, [](Comm& comm) {
+    std::array<int, 3> mine = {comm.rank(), 1, 2 * comm.rank()};
+    auto req = coll::nb::ireduce(comm, 2, std::span<int>(mine), SumOp{});
+    req.wait();
+    if (comm.rank() == 2) {
+      const int p = comm.size();
+      EXPECT_EQ(mine[0], p * (p - 1) / 2);
+      EXPECT_EQ(mine[1], p);
+      EXPECT_EQ(mine[2], p * (p - 1));
+    }
+  });
+}
+
+TEST(Ireduce, RejectsBadRoot) {
+  mprt::run(2, [](Comm& comm) {
+    std::array<int, 1> v = {1};
+    EXPECT_THROW(coll::nb::ireduce(comm, -1, std::span<int>(v), SumOp{}),
+                 ArgumentError);
+  });
+}
+
+TEST(Progress, OutOfOrderCompletion) {
+  mprt::run(8, [](Comm& comm) {
+    std::vector<int> a(4, comm.rank());
+    std::vector<int> b(4, 2 * comm.rank() + 1);
+    auto ra = coll::nb::iallreduce(comm, std::span<int>(a), SumOp{});
+    auto rb = coll::nb::iallreduce(comm, std::span<int>(b), SumOp{});
+    // Wait on the second first: the engine must progress both without the
+    // first's messages blocking the second's.
+    rb.wait();
+    ra.wait();
+    const int p = comm.size();
+    EXPECT_EQ(a, std::vector<int>(4, p * (p - 1) / 2));
+    EXPECT_EQ(b, std::vector<int>(4, p * p));
+  });
+}
+
+TEST(Progress, WaitAllAndTestAny) {
+  mprt::run(6, [](Comm& comm) {
+    std::vector<int> a(2, 1);
+    std::vector<int> b(2, 2);
+    std::array<coll::nb::Request, 3> reqs = {
+        coll::nb::iallreduce(comm, std::span<int>(a), SumOp{}),
+        coll::nb::ibarrier(comm),
+        coll::nb::iallreduce(comm, std::span<int>(b), SumOp{}),
+    };
+    int first_done = -1;
+    while (first_done == -1) {
+      first_done = coll::nb::test_any(std::span<coll::nb::Request>(reqs));
+    }
+    EXPECT_GE(first_done, 0);
+    EXPECT_LT(first_done, 3);
+    coll::nb::wait_all(std::span<coll::nb::Request>(reqs));
+    const int p = comm.size();
+    EXPECT_EQ(a, std::vector<int>(2, p));
+    EXPECT_EQ(b, std::vector<int>(2, 2 * p));
+  });
+}
+
+TEST(Progress, NullRequestIsComplete) {
+  coll::nb::Request req;
+  EXPECT_FALSE(req.valid());
+  EXPECT_TRUE(req.done());
+  EXPECT_TRUE(req.test());
+  req.wait();  // must not hang
+}
+
+TEST(Progress, SingleRankCompletesInline) {
+  mprt::run(1, [](Comm& comm) {
+    std::vector<int> v(3, 7);
+    auto req = coll::nb::iallreduce(comm, std::span<int>(v), SumOp{});
+    EXPECT_TRUE(req.done());
+    EXPECT_EQ(v, std::vector<int>(3, 7));
+  });
+}
+
+TEST(Subcomm, OverlappingIallreducesOnSiblings) {
+  // Even and odd ranks form sibling communicators; each subgroup runs its
+  // own iallreduce while one on the parent is also in flight, and ranks
+  // complete the two in opposite orders.
+  mprt::run(8, [](Comm& comm) {
+    Comm sub = comm.split(comm.rank() % 2, comm.rank());
+    std::vector<int> sub_buf(4, comm.rank());
+    std::vector<int> world_buf(4, 1);
+    auto sub_req = coll::nb::iallreduce(sub, std::span<int>(sub_buf),
+                                        SumOp{});
+    auto world_req = coll::nb::iallreduce(comm, std::span<int>(world_buf),
+                                          SumOp{});
+    if (comm.rank() % 2 == 0) {
+      sub_req.wait();
+      world_req.wait();
+    } else {
+      world_req.wait();
+      sub_req.wait();
+    }
+    // Even ranks sum 0+2+4+6, odd ranks 1+3+5+7.
+    const int expected_sub = comm.rank() % 2 == 0 ? 12 : 16;
+    EXPECT_EQ(sub_buf, std::vector<int>(4, expected_sub));
+    EXPECT_EQ(world_buf, std::vector<int>(4, comm.size()));
+  });
+}
+
+TEST(Subcomm, PendingTableTracksInFlightOps) {
+  mprt::run(4, [](Comm& comm) {
+    std::vector<int> v(2, 1);
+    auto req = coll::nb::iallreduce(comm, std::span<int>(v), SumOp{});
+    if (!req.done()) {
+      EXPECT_GE(comm.pending_op_count(), 1u);
+      EXPECT_GE(comm.pending_ops()[0].first_tag, Comm::kCollectiveTagBase);
+      EXPECT_EQ(comm.pending_ops()[0].tag_count, 2);
+    }
+    req.wait();
+    EXPECT_EQ(comm.pending_op_count(), 0u);
+  });
+}
+
+}  // namespace
