@@ -24,7 +24,7 @@ void alltoallv_bytes(mprt::Comm& comm,
     const int from = (rank - k + p) % p;
     comm.send_bytes(to, tag, send[static_cast<std::size_t>(to)]);
     recv[static_cast<std::size_t>(from)] =
-        comm.recv_message(from, tag).payload;
+        comm.recv_message(from, tag).take_payload();
   }
 }
 

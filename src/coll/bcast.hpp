@@ -28,7 +28,7 @@ inline std::vector<std::byte> bcast_bytes(mprt::Comm& comm, int root,
        mprt::topology::binomial_bcast_schedule(vrank, p)) {
     const int partner = (step.partner + root) % p;
     if (step.role == mprt::topology::BinomialStep::Role::kRecv) {
-      data = comm.recv_message(partner, tag).payload;
+      data = comm.recv_message(partner, tag).take_payload();
     } else {
       comm.send_bytes(partner, tag, data);
     }

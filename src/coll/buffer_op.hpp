@@ -66,18 +66,30 @@ struct LocalMinK {
   }
 
   void combine(std::span<T> inout, std::span<const T> in) const {
-    // Merge the two ascending k-vectors, keeping the smallest k in inout.
-    std::vector<T> merged;
-    merged.reserve(inout.size());
-    std::size_t i = 0, j = 0;
-    while (merged.size() < inout.size()) {
-      if (j >= in.size() || (i < inout.size() && inout[i] <= in[j])) {
-        merged.push_back(inout[i++]);
+    // Merge the two ascending k-vectors, keeping the smallest k in inout,
+    // without a scratch buffer: first count how many survivors each
+    // operand contributes (the same comparisons a forward merge would
+    // make), then merge backwards in place — writing position na+nb-1
+    // never clobbers inout[na-1] while anything from `in` remains.
+    const std::size_t k = inout.size();
+    std::size_t na = 0, nb = 0;
+    while (na + nb < k) {
+      if (nb >= in.size() || (na < k && inout[na] <= in[nb])) {
+        ++na;
       } else {
-        merged.push_back(in[j++]);
+        ++nb;
       }
     }
-    std::copy(merged.begin(), merged.end(), inout.begin());
+    std::size_t t = k;
+    while (nb > 0) {
+      --t;
+      if (na > 0 && inout[na - 1] > in[nb - 1]) {
+        inout[t] = inout[--na];
+      } else {
+        inout[t] = in[--nb];
+      }
+    }
+    // inout[0..na) already holds the remaining survivors in order.
   }
 };
 

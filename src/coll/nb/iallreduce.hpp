@@ -84,14 +84,14 @@ class IReduceOp final : public Operation {
           } else {
             auto msg = nb_recv(comm_, partner, reduce_tag_, mode);
             if (!msg.has_value()) return progressed;
-            if (msg->payload.size() != values_.size_bytes()) {
+            if (msg->payload_size() != values_.size_bytes()) {
               throw ProtocolError(
                   "iallreduce: buffer extent differs across ranks");
             }
             std::vector<T> received(values_.size());
             if (!received.empty()) {
-              std::memcpy(received.data(), msg->payload.data(),
-                          msg->payload.size());
+              std::memcpy(received.data(), msg->payload().data(),
+                          msg->payload_size());
             }
             // Receiver is the lower virtual rank: its block is on the left.
             coll::detail::combine_received(op_, values_,
@@ -110,13 +110,13 @@ class IReduceOp final : public Operation {
           } else if (comm_.rank() == root_) {
             auto msg = nb_recv(comm_, 0, second_tag_, mode);
             if (!msg.has_value()) return progressed;
-            if (msg->payload.size() != values_.size_bytes()) {
+            if (msg->payload_size() != values_.size_bytes()) {
               throw ProtocolError(
                   "ireduce: buffer extent differs across ranks");
             }
             if (!values_.empty()) {
-              std::memcpy(values_.data(), msg->payload.data(),
-                          msg->payload.size());
+              std::memcpy(values_.data(), msg->payload().data(),
+                          msg->payload_size());
             }
             phase_ = Phase::kDone;
             progressed = true;
@@ -135,13 +135,13 @@ class IReduceOp final : public Operation {
           if (s.role == mprt::topology::BinomialStep::Role::kRecv) {
             auto msg = nb_recv(comm_, partner, second_tag_, mode);
             if (!msg.has_value()) return progressed;
-            if (msg->payload.size() != values_.size_bytes()) {
+            if (msg->payload_size() != values_.size_bytes()) {
               throw ProtocolError(
                   "iallreduce: buffer extent differs across ranks");
             }
             if (!values_.empty()) {
-              std::memcpy(values_.data(), msg->payload.data(),
-                          msg->payload.size());
+              std::memcpy(values_.data(), msg->payload().data(),
+                          msg->payload_size());
             }
           } else {
             comm_.send_span(partner, second_tag_,
@@ -334,24 +334,24 @@ class IAllreduceRabenseifnerOp final : public Operation {
   }
 
   static void copy_payload(const mprt::Message& msg, std::span<T> out) {
-    if (msg.payload.size() != out.size_bytes()) {
+    if (msg.payload_size() != out.size_bytes()) {
       throw ProtocolError(
           "iallreduce (rabenseifner): buffer extent differs across ranks");
     }
     if (!out.empty()) {
-      std::memcpy(out.data(), msg.payload.data(), msg.payload.size());
+      std::memcpy(out.data(), msg.payload().data(), msg.payload_size());
     }
   }
 
   static std::vector<T> to_values(const mprt::Message& msg,
                                   std::size_t expected) {
-    if (msg.payload.size() != expected * sizeof(T)) {
+    if (msg.payload_size() != expected * sizeof(T)) {
       throw ProtocolError(
           "iallreduce (rabenseifner): buffer extent differs across ranks");
     }
     std::vector<T> out(expected);
     if (!out.empty()) {
-      std::memcpy(out.data(), msg.payload.data(), msg.payload.size());
+      std::memcpy(out.data(), msg.payload().data(), msg.payload_size());
     }
     return out;
   }

@@ -38,12 +38,12 @@ class IBcastOp final : public Operation {
       if (s.role == mprt::topology::BinomialStep::Role::kRecv) {
         auto msg = nb_recv(comm_, partner, tag_, mode);
         if (!msg.has_value()) return progressed;
-        if (msg->payload.size() != buffer_.size()) {
+        if (msg->payload_size() != buffer_.size()) {
           throw ProtocolError("ibcast: buffer extent differs across ranks");
         }
         if (!buffer_.empty()) {
-          std::memcpy(buffer_.data(), msg->payload.data(),
-                      msg->payload.size());
+          std::memcpy(buffer_.data(), msg->payload().data(),
+                      msg->payload_size());
         }
       } else {
         comm_.send_bytes(partner, tag_, buffer_);

@@ -1,0 +1,72 @@
+// Per-rank freelist of payload buffers for the zero-copy message path.
+//
+// A rank acquires a buffer from its own pool before serializing an
+// operator state, the move-based Comm::send_bytes hands the filled buffer
+// to the receiver's mailbox without copying, and the *receiver* releases
+// the buffer into its own pool once the payload is consumed.  Buffers
+// therefore migrate between ranks, but acquire/release are always called
+// from the owning rank's thread (the pool lives in RankState, which is
+// only touched from that thread), so no locking is needed here — the
+// cross-thread handoff is synchronized by the mailbox's mutex.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace rsmpi::mprt {
+
+/// Rank-local LIFO freelist of byte buffers.  Not thread-safe by design;
+/// see the header comment for why that is sound.
+class BufferPool {
+ public:
+  /// Upper bound on retained buffers; beyond it, released buffers are
+  /// dropped (freed) so a burst of traffic cannot pin memory forever.
+  static constexpr std::size_t kMaxPooled = 16;
+
+  struct Stats {
+    std::uint64_t hits = 0;    ///< acquire served from the freelist
+    std::uint64_t misses = 0;  ///< acquire had to heap-allocate
+    std::uint64_t dropped = 0; ///< release discarded (pool full)
+  };
+
+  /// Returns an empty buffer with at least `reserve_bytes` of capacity,
+  /// reusing a pooled allocation when possible.  LIFO reuse keeps the
+  /// hottest (largest, most recently grown) buffer in circulation.
+  std::vector<std::byte> acquire(std::size_t reserve_bytes) {
+    if (!free_.empty()) {
+      std::vector<std::byte> buf = std::move(free_.back());
+      free_.pop_back();
+      ++stats_.hits;
+      buf.clear();
+      buf.reserve(reserve_bytes);
+      return buf;
+    }
+    ++stats_.misses;
+    std::vector<std::byte> buf;
+    buf.reserve(reserve_bytes);
+    return buf;
+  }
+
+  /// Returns a buffer to the freelist for reuse.  Empty buffers (no
+  /// allocation to recycle) and overflow beyond kMaxPooled are dropped.
+  void release(std::vector<std::byte>&& buf) {
+    if (buf.capacity() == 0) return;
+    if (free_.size() >= kMaxPooled) {
+      ++stats_.dropped;
+      return;
+    }
+    free_.push_back(std::move(buf));
+  }
+
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+  [[nodiscard]] std::size_t size() const { return free_.size(); }
+  void reset_stats() { stats_ = Stats{}; }
+
+ private:
+  std::vector<std::vector<std::byte>> free_;
+  Stats stats_;
+};
+
+}  // namespace rsmpi::mprt

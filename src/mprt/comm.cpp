@@ -50,16 +50,52 @@ Comm::Comm(Runtime& runtime, int global_rank, std::int64_t context,
 
 const CostModel& Comm::cost_model() const { return runtime_.cost_model(); }
 
-void Comm::send_bytes(int dest, int tag, std::span<const std::byte> payload) {
-  if (dest < 0 || dest >= size()) {
+namespace {
+
+void check_dest(int dest, int size, int self) {
+  if (dest < 0 || dest >= size) {
     throw ArgumentError("send_bytes: destination rank " +
                         std::to_string(dest) + " out of range [0, " +
-                        std::to_string(size()) + ")");
+                        std::to_string(size) + ")");
   }
-  if (dest == group_rank_) {
+  if (dest == self) {
     throw ArgumentError("send_bytes: self-sends are not supported; "
                         "collectives special-case the local contribution");
   }
+}
+
+}  // namespace
+
+void Comm::send_bytes(int dest, int tag, std::span<const std::byte> payload) {
+  check_dest(dest, size(), group_rank_);
+  const CostModel& m = cost_model();
+  state_->clock.advance(m.send_overhead_s);
+  if (payload.size() > Message::kInlineCapacity) {
+    // The copy into a fresh heap buffer is the cost the move-based
+    // overload exists to avoid; count it, and charge it *before* stamping
+    // the arrival time — the payload cannot hit the wire until copied.
+    state_->payload_allocs += 1;
+    state_->payload_copies += 1;
+    state_->clock.advance(static_cast<double>(payload.size()) *
+                          m.copy_per_byte_s);
+  }
+
+  Message msg;
+  msg.context = context_;
+  msg.source = group_rank_;
+  msg.tag = tag;
+  msg.arrival_vtime_s = state_->clock.now() + m.wire_time(payload.size());
+  if (msg.assign_payload(payload)) {
+    state_->sends_inline += 1;
+  }
+
+  state_->sent_count += 1;
+  state_->sent_bytes += payload.size();
+  runtime_.mailbox(group_[static_cast<std::size_t>(dest)]).put(std::move(msg));
+}
+
+void Comm::send_bytes(int dest, int tag, std::vector<std::byte>&& payload) {
+  check_dest(dest, size(), group_rank_);
   const CostModel& m = cost_model();
   state_->clock.advance(m.send_overhead_s);
 
@@ -68,11 +104,28 @@ void Comm::send_bytes(int dest, int tag, std::span<const std::byte> payload) {
   msg.source = group_rank_;
   msg.tag = tag;
   msg.arrival_vtime_s = state_->clock.now() + m.wire_time(payload.size());
-  msg.payload.assign(payload.begin(), payload.end());
+  const std::size_t nbytes = payload.size();
+  std::vector<std::byte> leftover = msg.adopt_payload(std::move(payload));
+  if (nbytes <= Message::kInlineCapacity) {
+    state_->sends_inline += 1;
+    // The caller's buffer was not adopted; keep its capacity in our pool.
+    state_->pool.release(std::move(leftover));
+  } else {
+    state_->sends_moved += 1;
+  }
 
   state_->sent_count += 1;
-  state_->sent_bytes += payload.size();
+  state_->sent_bytes += nbytes;
   runtime_.mailbox(group_[static_cast<std::size_t>(dest)]).put(std::move(msg));
+}
+
+std::vector<std::byte> Comm::acquire_buffer(std::size_t reserve_bytes) {
+  const std::uint64_t misses_before = state_->pool.stats().misses;
+  std::vector<std::byte> buf = state_->pool.acquire(reserve_bytes);
+  if (state_->pool.stats().misses != misses_before) {
+    state_->payload_allocs += 1;
+  }
+  return buf;
 }
 
 Message Comm::recv_message(int source, int tag) {
@@ -84,7 +137,7 @@ Message Comm::recv_message(int source, int tag) {
   state_->clock.merge(msg.arrival_vtime_s);
   state_->clock.advance(cost_model().recv_overhead_s);
   state_->recv_count += 1;
-  state_->recv_bytes += msg.payload.size();
+  state_->recv_bytes += msg.payload_size();
   return msg;
 }
 
@@ -103,7 +156,7 @@ std::optional<Message> Comm::try_recv_message(int source, int tag) {
     state_->clock.merge(msg->arrival_vtime_s);
     state_->clock.advance(cost_model().recv_overhead_s);
     state_->recv_count += 1;
-    state_->recv_bytes += msg->payload.size();
+    state_->recv_bytes += msg->payload_size();
   }
   return msg;
 }
@@ -122,7 +175,7 @@ std::optional<Message> Comm::try_recv_due(int source, int tag) {
     state_->clock.merge(msg->arrival_vtime_s);
     state_->clock.advance(cost_model().recv_overhead_s);
     state_->recv_count += 1;
-    state_->recv_bytes += msg->payload.size();
+    state_->recv_bytes += msg->payload_size();
   }
   return msg;
 }

@@ -19,6 +19,7 @@
 #include <type_traits>
 #include <vector>
 
+#include "mprt/buffer_pool.hpp"
 #include "mprt/cost_model.hpp"
 #include "mprt/mailbox.hpp"
 #include "mprt/message.hpp"
@@ -49,6 +50,14 @@ struct RankState {
   std::uint64_t sent_bytes = 0;
   std::uint64_t recv_count = 0;
   std::uint64_t recv_bytes = 0;
+  // Combine-phase allocation observability (ISSUE 3): how many payload
+  // buffers this rank heap-allocated, how many payload byte-copies it
+  // made, and how many sends avoided both via move or inline storage.
+  std::uint64_t payload_allocs = 0;  ///< heap buffers allocated for payloads
+  std::uint64_t payload_copies = 0;  ///< sender-side full-payload copies
+  std::uint64_t sends_moved = 0;     ///< sends that adopted the caller's buffer
+  std::uint64_t sends_inline = 0;    ///< sends stored inline (<= 64 B)
+  BufferPool pool;                   ///< recycled payload buffers (rank-local)
   std::vector<PendingOp> pending_ops;
   std::uint64_t next_pending_id = 1;
 };
@@ -107,8 +116,38 @@ class Comm {
   /// Sends a payload to group rank `dest` with `tag`.  Buffered and
   /// non-blocking: returns as soon as the payload is enqueued at the
   /// destination mailbox.  Charges send overhead to this clock and stamps
-  /// the message with its modelled arrival time.
+  /// the message with its modelled arrival time.  This overload *copies*
+  /// the payload (counted in payload_copies; also charged at
+  /// CostModel::copy_per_byte_s when nonzero).
   void send_bytes(int dest, int tag, std::span<const std::byte> payload);
+
+  /// Move-based send: adopts the caller's buffer as the message payload —
+  /// no copy, no allocation (payloads <= Message::kInlineCapacity are
+  /// demoted to inline storage, and the buffer is recycled into this
+  /// rank's pool).  Pair with acquire_buffer() for a fully pooled path.
+  void send_bytes(int dest, int tag, std::vector<std::byte>&& payload);
+
+  // -- Payload buffer pool -------------------------------------------------
+
+  /// An empty buffer with at least `reserve_bytes` capacity from this
+  /// rank's pool (heap-allocating, and counting payload_allocs, on miss).
+  [[nodiscard]] std::vector<std::byte> acquire_buffer(
+      std::size_t reserve_bytes);
+
+  /// Returns a consumed payload's storage to this rank's pool.  The
+  /// canonical receive-side idiom:
+  ///
+  ///   Message msg = comm.recv_message(src, tag);
+  ///   ... combine out of msg.payload() ...
+  ///   comm.recycle_buffer(msg.release_storage());
+  void recycle_buffer(std::vector<std::byte>&& storage) {
+    state_->pool.release(std::move(storage));
+  }
+
+  /// Pool statistics (hits/misses/dropped) for tests and benchmarks.
+  [[nodiscard]] const BufferPool::Stats& pool_stats() const {
+    return state_->pool.stats();
+  }
 
   /// Blocks until a message matching (source, tag) on this communicator
   /// arrives; merges the message's arrival time into this clock and
@@ -146,7 +185,7 @@ class Comm {
   T recv(int source, int tag, RecvStatus* status = nullptr) {
     Message msg = recv_message(source, tag);
     if (status != nullptr) *status = RecvStatus{msg.source, msg.tag};
-    return bytes::from_bytes<T>(msg.payload);
+    return bytes::from_bytes<T>(msg.payload());
   }
 
   /// Sends a contiguous sequence of trivially-copyable values.
@@ -166,15 +205,16 @@ class Comm {
                              RecvStatus* status = nullptr) {
     Message msg = recv_message(source, tag);
     if (status != nullptr) *status = RecvStatus{msg.source, msg.tag};
-    if (msg.payload.size() % sizeof(T) != 0) {
+    const std::span<const std::byte> payload = msg.payload();
+    if (payload.size() % sizeof(T) != 0) {
       throw ProtocolError("recv_vector: payload size " +
-                          std::to_string(msg.payload.size()) +
+                          std::to_string(payload.size()) +
                           " is not a multiple of element size " +
                           std::to_string(sizeof(T)));
     }
-    std::vector<T> out(msg.payload.size() / sizeof(T));
+    std::vector<T> out(payload.size() / sizeof(T));
     if (!out.empty()) {
-      std::memcpy(out.data(), msg.payload.data(), msg.payload.size());
+      std::memcpy(out.data(), payload.data(), payload.size());
     }
     return out;
   }
@@ -184,13 +224,14 @@ class Comm {
     requires std::is_trivially_copyable_v<T>
   void recv_span(int source, int tag, std::span<T> out) {
     Message msg = recv_message(source, tag);
-    if (msg.payload.size() != out.size_bytes()) {
+    const std::span<const std::byte> payload = msg.payload();
+    if (payload.size() != out.size_bytes()) {
       throw ProtocolError("recv_span: expected " +
                           std::to_string(out.size_bytes()) + " bytes, got " +
-                          std::to_string(msg.payload.size()));
+                          std::to_string(payload.size()));
     }
     if (!out.empty()) {
-      std::memcpy(out.data(), msg.payload.data(), msg.payload.size());
+      std::memcpy(out.data(), payload.data(), payload.size());
     }
   }
 
@@ -202,7 +243,7 @@ class Comm {
     auto msg = try_recv_message(source, tag);
     if (!msg.has_value()) return std::nullopt;
     if (status != nullptr) *status = RecvStatus{msg->source, msg->tag};
-    return bytes::from_bytes<T>(msg->payload);
+    return bytes::from_bytes<T>(msg->payload());
   }
 
   /// Combined send+receive with distinct partners, deadlock-free because
@@ -300,11 +341,35 @@ class Comm {
   [[nodiscard]] std::uint64_t bytes_received() const {
     return state_->recv_bytes;
   }
+
+  /// Heap buffers this rank allocated for message payloads (span-based
+  /// sends plus pool misses of acquire_buffer).
+  [[nodiscard]] std::uint64_t payload_allocs() const {
+    return state_->payload_allocs;
+  }
+  /// Full-payload byte copies made on the send side (span-based sends).
+  [[nodiscard]] std::uint64_t payload_copies() const {
+    return state_->payload_copies;
+  }
+  /// Sends that adopted the caller's buffer without copying.
+  [[nodiscard]] std::uint64_t sends_moved() const {
+    return state_->sends_moved;
+  }
+  /// Sends whose payload fit in the message's inline storage.
+  [[nodiscard]] std::uint64_t sends_inline() const {
+    return state_->sends_inline;
+  }
+
   void reset_counters() {
     state_->sent_count = 0;
     state_->sent_bytes = 0;
     state_->recv_count = 0;
     state_->recv_bytes = 0;
+    state_->payload_allocs = 0;
+    state_->payload_copies = 0;
+    state_->sends_moved = 0;
+    state_->sends_inline = 0;
+    state_->pool.reset_stats();
   }
 
  private:

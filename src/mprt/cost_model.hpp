@@ -33,6 +33,11 @@ struct CostModel {
   double latency_s = 10.0e-6;
   /// Transfer time per payload byte (G); default 1 ns/byte = 1 GB/s.
   double per_byte_s = 1.0e-9;
+  /// CPU time charged per byte for a sender-side payload copy (the legacy
+  /// span-based send path; the move-based path never pays it).  Default 0
+  /// keeps the modelled timeline of existing experiments unchanged —
+  /// copies are still *counted* via Comm's stats either way.
+  double copy_per_byte_s = 0.0;
   /// Scale factor applied to measured local compute time.  1.0 charges the
   /// host's real per-thread CPU time; values != 1 let experiments model a
   /// faster or slower processor than the host.

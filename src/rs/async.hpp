@@ -17,6 +17,7 @@
 // paths.
 #pragma once
 
+#include <bit>
 #include <functional>
 #include <memory>
 #include <optional>
@@ -135,18 +136,15 @@ class StateAllreduceOp final : public coll::nb::Operation {
             if (children_left_ > 0) {
               auto msg = coll::nb::detail::nb_recv(comm_, mprt::kAnySource, reduce_tag_, mode);
               if (!msg.has_value()) return progressed;
-              Op other = load_op(state_->prototype, msg->payload);
-              {
-                auto timer = comm_.compute_section();
-                state_->op.combine(other);
-              }
+              combine_received_state(comm_, state_->op, state_->prototype,
+                                     std::move(*msg));
               --children_left_;
               progressed = true;
               continue;
             }
             if (rank != 0) {
-              comm_.send_bytes((rank - 1) / kUnorderedArity, reduce_tag_,
-                               save_op(state_->op));
+              send_state(comm_, (rank - 1) / kUnorderedArity, reduce_tag_,
+                         state_->op);
               progressed = true;
             }
             next_ = 0;
@@ -160,13 +158,12 @@ class StateAllreduceOp final : public coll::nb::Operation {
           }
           const auto& s = reduce_steps_[next_];
           if (s.role == mprt::topology::BinomialStep::Role::kSend) {
-            comm_.send_bytes(s.partner, reduce_tag_, save_op(state_->op));
+            send_state(comm_, s.partner, reduce_tag_, state_->op);
           } else {
             auto msg = coll::nb::detail::nb_recv(comm_, s.partner, reduce_tag_, mode);
             if (!msg.has_value()) return progressed;
-            Op other = load_op(state_->prototype, msg->payload);
-            auto timer = comm_.compute_section();
-            state_->op.combine(other);
+            combine_received_state(comm_, state_->op, state_->prototype,
+                                   std::move(*msg));
           }
           ++next_;
           progressed = true;
@@ -181,9 +178,13 @@ class StateAllreduceOp final : public coll::nb::Operation {
           if (s.role == mprt::topology::BinomialStep::Role::kRecv) {
             auto msg = coll::nb::detail::nb_recv(comm_, s.partner, bcast_tag_, mode);
             if (!msg.has_value()) return progressed;
-            state_->op = load_op(state_->prototype, msg->payload);
+            {
+              auto timer = comm_.compute_section();
+              load_op_into(state_->op, msg->payload());
+            }
+            comm_.recycle_buffer(msg->release_storage());
           } else {
-            comm_.send_bytes(s.partner, bcast_tag_, save_op(state_->op));
+            send_state(comm_, s.partner, bcast_tag_, state_->op);
           }
           ++next_;
           progressed = true;
@@ -213,10 +214,109 @@ class StateAllreduceOp final : public coll::nb::Operation {
   Phase phase_ = Phase::kReduce;
 };
 
-/// Nonblocking state_xscan: the recursive-doubling exclusive scan of
-/// rs/state_exchange.hpp as a polled state machine.  On completion
-/// state->op holds the combination of all lower ranks' input states
-/// (identity on rank 0).
+/// Nonblocking recursive-doubling (butterfly) state allreduce — the
+/// state_allreduce_butterfly schedule of rs/state_exchange.hpp as a polled
+/// state machine.  log p rounds, one tag, no root hotspot; commutative
+/// operators only.
+template <Combinable Op>
+class StateButterflyAllreduceOp final : public coll::nb::Operation {
+ public:
+  StateButterflyAllreduceOp(mprt::Comm& comm,
+                            std::shared_ptr<AsyncOpState<Op>> state, int tag)
+      : comm_(comm),
+        state_(std::move(state)),
+        tag_(tag),
+        p2_(static_cast<int>(
+            std::bit_floor(static_cast<unsigned>(comm.size())))) {}
+
+  bool step(coll::nb::StepMode mode) override {
+    bool progressed = false;
+    const int p = comm_.size();
+    const int rank = comm_.rank();
+    while (phase_ != Phase::kDone) {
+      switch (phase_) {
+        case Phase::kFoldIn: {
+          if (rank >= p2_) {
+            // Outside the butterfly: deposit the local state, then wait
+            // for the finished result.
+            send_state(comm_, rank - p2_, tag_, state_->op);
+            phase_ = Phase::kAwaitResult;
+            progressed = true;
+            continue;
+          }
+          if (rank + p2_ < p) {
+            auto msg = coll::nb::detail::nb_recv(comm_, rank + p2_, tag_, mode);
+            if (!msg.has_value()) return progressed;
+            combine_received_state(comm_, state_->op, state_->prototype,
+                                   std::move(*msg));
+            progressed = true;
+          }
+          phase_ = Phase::kExchange;
+          continue;
+        }
+        case Phase::kExchange: {
+          if (d_ >= p2_) {
+            if (rank + p2_ < p) {
+              send_state(comm_, rank + p2_, tag_, state_->op);
+              progressed = true;
+            }
+            phase_ = Phase::kDone;
+            continue;
+          }
+          const int partner = rank ^ d_;
+          if (!sent_) {
+            send_state(comm_, partner, tag_, state_->op);
+            sent_ = true;
+            progressed = true;
+          }
+          auto msg = coll::nb::detail::nb_recv(comm_, partner, tag_, mode);
+          if (!msg.has_value()) return progressed;
+          combine_received_state(comm_, state_->op, state_->prototype,
+                                 std::move(*msg));
+          d_ <<= 1;
+          sent_ = false;
+          progressed = true;
+          continue;
+        }
+        case Phase::kAwaitResult: {
+          auto msg = coll::nb::detail::nb_recv(comm_, rank - p2_, tag_, mode);
+          if (!msg.has_value()) return progressed;
+          {
+            auto timer = comm_.compute_section();
+            load_op_into(state_->op, msg->payload());
+          }
+          comm_.recycle_buffer(msg->release_storage());
+          phase_ = Phase::kDone;
+          progressed = true;
+          continue;
+        }
+        case Phase::kDone:
+          break;
+      }
+    }
+    return progressed;
+  }
+
+  [[nodiscard]] bool done() const override { return phase_ == Phase::kDone; }
+
+ private:
+  enum class Phase { kFoldIn, kExchange, kAwaitResult, kDone };
+
+  mprt::Comm& comm_;
+  std::shared_ptr<AsyncOpState<Op>> state_;
+  int tag_;
+  int p2_;
+  int d_ = 1;
+  bool sent_ = false;
+  Phase phase_ = Phase::kFoldIn;
+};
+
+/// Nonblocking state_xscan: the deferred-prefix recursive-doubling
+/// exclusive scan of rs/state_exchange.hpp as a polled state machine.  On
+/// completion state->op holds the combination of all lower ranks' input
+/// states (identity on rank 0).  Only the forwarded window is combined
+/// inside the doubling loop; parked partials fold into the exclusive
+/// prefix after the last send.
 template <Combinable Op>
 class StateXscanOp final : public coll::nb::Operation {
  public:
@@ -225,8 +325,7 @@ class StateXscanOp final : public coll::nb::Operation {
       : comm_(comm),
         state_(std::move(state)),
         tag_(tag),
-        incl_(state_->op),
-        excl_(state_->prototype) {}
+        window_(state_->op) {}
 
   bool step(coll::nb::StepMode mode) override {
     bool progressed = false;
@@ -235,7 +334,7 @@ class StateXscanOp final : public coll::nb::Operation {
     while (d_ < p) {
       if (!sent_) {
         if (rank + d_ < p) {
-          comm_.send_bytes(rank + d_, tag_, save_op(incl_));
+          send_state(comm_, rank + d_, tag_, window_);
         }
         sent_ = true;
         progressed = true;
@@ -243,20 +342,31 @@ class StateXscanOp final : public coll::nb::Operation {
       if (rank - d_ >= 0) {
         auto msg = coll::nb::detail::nb_recv(comm_, rank - d_, tag_, mode);
         if (!msg.has_value()) return progressed;
-        Op received = load_op(state_->prototype, msg->payload);
-        auto timer = comm_.compute_section();
-        Op tmp = received;
-        tmp.combine(incl_);
-        incl_ = std::move(tmp);
-        received.combine(excl_);
-        excl_ = std::move(received);
+        deferred_.push_back(std::move(*msg));
+        if (rank + 2 * d_ < p) {
+          // Window still feeds a later send: one combine on the critical
+          // path, window = received (+) window.
+          Op received = load_op(state_->prototype, deferred_.back().payload());
+          auto timer = comm_.compute_section();
+          received.combine(window_);
+          window_ = std::move(received);
+        }
       }
       d_ <<= 1;
       sent_ = false;
       progressed = true;
     }
     if (!finished_) {
-      state_->op = std::move(excl_);
+      Op excl = state_->prototype;
+      for (auto& msg : deferred_) {
+        Op received = load_op(state_->prototype, msg.payload());
+        comm_.recycle_buffer(msg.release_storage());
+        auto timer = comm_.compute_section();
+        received.combine(excl);
+        excl = std::move(received);
+      }
+      deferred_.clear();
+      state_->op = std::move(excl);
       finished_ = true;
       progressed = true;
     }
@@ -269,25 +379,36 @@ class StateXscanOp final : public coll::nb::Operation {
   mprt::Comm& comm_;
   std::shared_ptr<AsyncOpState<Op>> state_;
   int tag_;
-  Op incl_;   // combination of [max(0, rank-2d+1), rank]
-  Op excl_;   // combination of [max(0, rank-2d+1), rank-1]
+  Op window_;  // combination of [max(0, rank-2d+1), rank]
+  std::vector<mprt::Message> deferred_;  // step-d messages, ascending d
   int d_ = 1;
   bool sent_ = false;
   bool finished_ = false;
 };
 
 /// Launches the nonblocking state allreduce for an already-accumulated
-/// operator state; shared by reduce_async and the C bindings.
+/// operator state; shared by reduce_async and the C bindings.  Commutative
+/// operators get the single-tag butterfly; non-commutative ones the
+/// order-preserving binomial reduce + bcast (two tags).
 template <Combinable Op>
 coll::nb::Request launch_state_allreduce(
     mprt::Comm& comm, std::shared_ptr<AsyncOpState<Op>> state,
     bool commutative) {
   if (comm.size() == 1) return coll::nb::Request{};
+  if (commutative) {
+    const int tag = comm.reserve_collective_tags(1);
+    return coll::nb::ProgressEngine::current().launch(
+        comm,
+        std::make_unique<StateButterflyAllreduceOp<Op>>(comm, std::move(state),
+                                                        tag),
+        tag, 1);
+  }
   const int tag = comm.reserve_collective_tags(2);
   return coll::nb::ProgressEngine::current().launch(
       comm,
       std::make_unique<StateAllreduceOp<Op>>(comm, std::move(state),
-                                             commutative, tag, tag + 1),
+                                             /*commutative=*/false, tag,
+                                             tag + 1),
       tag, 2);
 }
 

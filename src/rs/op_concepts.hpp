@@ -28,6 +28,7 @@
 
 #include <concepts>
 #include <cstring>
+#include <span>
 #include <type_traits>
 #include <utility>
 
@@ -62,6 +63,38 @@ concept HasSaveLoad = requires(const Op cop, Op op, bytes::Writer& w,
   cop.save(w);
   op.load(r);
 };
+
+// -- Optional zero-copy serialization hooks (ISSUE 3) -----------------------
+//
+// Operators may additionally provide any of:
+//
+//   * `save_into(bytes::Writer&)`  — serialize into a caller-supplied
+//     (typically pooled) writer; detected in preference to save();
+//   * `load_from(bytes::Reader&)`  — overwrite *this* operator's state in
+//     place from a reader, reusing existing heap capacity instead of
+//     constructing a fresh operator;
+//   * `combine_from_bytes(span)`   — fold a serialized peer state directly
+//     out of a receive buffer: this (+) decode(bytes), with zero
+//     intermediate Op construction.  The span is byte-aligned only; use
+//     bytes::load_unaligned for element access.
+//
+// All three are optional; the helpers below fall back to save/load (or
+// memcpy for trivially copyable operators), so the hooks are a pure
+// optimization, never a requirement.
+
+template <typename Op>
+concept HasSaveInto = requires(const Op op, bytes::Writer& w) {
+  op.save_into(w);
+};
+
+template <typename Op>
+concept HasLoadFrom = requires(Op op, bytes::Reader& r) { op.load_from(r); };
+
+template <typename Op>
+concept HasCombineFromBytes =
+    requires(Op op, std::span<const std::byte> data) {
+      op.combine_from_bytes(data);
+    };
 
 /// A complete reduction operator over input type In: accumulable,
 /// combinable, copyable (for identity cloning), able to generate a
@@ -132,44 +165,80 @@ template <typename Op, typename In>
 using scan_result_t =
     decltype(scan_result(std::declval<const Op&>(), std::declval<const In&>()));
 
-/// Serializes an operator's state.
+/// Serializes an operator's state into a caller-supplied writer (which may
+/// wrap a pooled buffer).  Preference order: save_into > save > memcpy of
+/// the trivially-copyable representation.
 template <typename Op>
-[[nodiscard]] std::vector<std::byte> save_op(const Op& op) {
-  if constexpr (HasSaveLoad<Op>) {
-    bytes::Writer w;
+void save_op_into(const Op& op, bytes::Writer& w) {
+  if constexpr (HasSaveInto<Op>) {
+    op.save_into(w);
+  } else if constexpr (HasSaveLoad<Op>) {
     op.save(w);
-    return std::move(w).take();
   } else {
     static_assert(std::is_trivially_copyable_v<Op>,
                   "operator must be trivially copyable or provide save/load");
-    return bytes::to_bytes(op);
+    w.put(op);
   }
+}
+
+/// Overwrites `op`'s state in place from serialized bytes.  Preference
+/// order: load_from > load > memcpy.  `op` must already carry the right
+/// constructor parameters (callers copy the prototype once and reuse it).
+template <typename Op>
+void load_op_into(Op& op, std::span<const std::byte> data) {
+  if constexpr (HasLoadFrom<Op>) {
+    bytes::Reader r(data);
+    op.load_from(r);
+    if (!r.exhausted()) {
+      throw ProtocolError("load_op: trailing bytes after operator state");
+    }
+  } else if constexpr (HasSaveLoad<Op>) {
+    bytes::Reader r(data);
+    op.load(r);
+    if (!r.exhausted()) {
+      throw ProtocolError("load_op: trailing bytes after operator state");
+    }
+  } else {
+    static_assert(std::is_trivially_copyable_v<Op>,
+                  "operator must be trivially copyable or provide save/load");
+    if (data.size() != sizeof(Op)) {
+      throw ProtocolError("load_op: operator state has wrong size");
+    }
+    std::memcpy(static_cast<void*>(&op), data.data(), sizeof(Op));
+  }
+}
+
+/// Folds a serialized peer state into `op`: op = op (+) decode(data).
+/// Uses the operator's combine_from_bytes hook when present (combining
+/// straight out of the receive buffer); otherwise materializes a temporary
+/// operator from the prototype and combines it.
+template <typename Op>
+void combine_op_from_bytes(Op& op, const Op& prototype,
+                           std::span<const std::byte> data) {
+  if constexpr (HasCombineFromBytes<Op>) {
+    op.combine_from_bytes(data);
+  } else {
+    Op other(prototype);
+    load_op_into(other, data);
+    op.combine(other);
+  }
+}
+
+/// Serializes an operator's state.
+template <typename Op>
+[[nodiscard]] std::vector<std::byte> save_op(const Op& op) {
+  bytes::Writer w;
+  save_op_into(op, w);
+  return std::move(w).take();
 }
 
 /// Reconstructs an operator's state from bytes.  `prototype` supplies
 /// constructor parameters (it is copied, then overwritten by load).
 template <typename Op>
 [[nodiscard]] Op load_op(const Op& prototype, std::span<const std::byte> data) {
-  if constexpr (HasSaveLoad<Op>) {
-    Op op(prototype);
-    bytes::Reader r(data);
-    op.load(r);
-    if (!r.exhausted()) {
-      throw ProtocolError("load_op: trailing bytes after operator state");
-    }
-    return op;
-  } else {
-    // Copy the prototype, then overwrite its bytes: legal for trivially
-    // copyable types and — unlike from_bytes — does not require the
-    // operator to be default-constructible (e.g. CountIf carries its
-    // predicate as a constructor argument).
-    if (data.size() != sizeof(Op)) {
-      throw ProtocolError("load_op: operator state has wrong size");
-    }
-    Op op(prototype);
-    std::memcpy(static_cast<void*>(&op), data.data(), sizeof(Op));
-    return op;
-  }
+  Op op(prototype);
+  load_op_into(op, data);
+  return op;
 }
 
 }  // namespace rsmpi::rs

@@ -5,6 +5,8 @@
 // exclusive/inclusive distinction.
 #pragma once
 
+#include <cstddef>
+#include <span>
 #include <string>
 
 #include "util/bytes.hpp"
@@ -23,6 +25,18 @@ class Concat {
 
   void save(bytes::Writer& w) const { w.put_string(s_); }
   void load(bytes::Reader& r) { s_ = r.get_string(); }
+
+  /// Zero-copy combine: appends the peer's characters straight out of the
+  /// receive buffer (no intermediate Concat or string construction).
+  void combine_from_bytes(std::span<const std::byte> data) {
+    bytes::Reader r(data);
+    const auto n = r.get<std::uint64_t>();
+    const auto raw = r.get_raw(n);
+    if (!r.exhausted()) {
+      throw ProtocolError("Concat: trailing bytes after operator state");
+    }
+    s_.append(reinterpret_cast<const char*>(raw.data()), raw.size());
+  }
 
  private:
   std::string s_;

@@ -13,6 +13,8 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
+#include <span>
 #include <vector>
 
 #include "util/bytes.hpp"
@@ -63,6 +65,21 @@ class Counts {
       throw ProtocolError("Counts: state arrived with mismatched size");
     }
     v_ = std::move(v);
+  }
+
+  /// Zero-copy combine: folds a peer's serialized occupancies straight out
+  /// of the receive buffer (no intermediate Counts construction).
+  void combine_from_bytes(std::span<const std::byte> data) {
+    bytes::Reader r(data);
+    std::uint64_t n = 0;
+    const auto raw = r.get_counted_raw<long>(&n);
+    if (n != v_.size() || !r.exhausted()) {
+      throw ProtocolError("Counts: mismatched bucket counts in combine");
+    }
+    const std::byte* p = raw.data();
+    for (std::size_t i = 0; i < v_.size(); ++i, p += sizeof(long)) {
+      v_[i] += bytes::load_unaligned<long>(p);
+    }
   }
 
  private:

@@ -5,6 +5,10 @@
 #pragma once
 
 #include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <span>
 #include <vector>
 
 #include "util/bytes.hpp"
@@ -62,6 +66,31 @@ class Histogram {
       throw ProtocolError("Histogram: state arrived with mismatched size");
     }
     counts_ = std::move(v);
+  }
+
+  // Zero-copy hooks (same wire format as save/load): serialize into a
+  // pooled writer, overwrite the occupancy vector in place, and fold a
+  // peer's serialized occupancies straight out of the receive buffer.
+  void save_into(bytes::Writer& w) const { w.put_vector(counts_); }
+  void load_from(bytes::Reader& r) {
+    std::uint64_t n = 0;
+    const auto raw = r.get_counted_raw<long>(&n);
+    if (n != counts_.size()) {
+      throw ProtocolError("Histogram: state arrived with mismatched size");
+    }
+    if (!raw.empty()) std::memcpy(counts_.data(), raw.data(), raw.size());
+  }
+  void combine_from_bytes(std::span<const std::byte> data) {
+    bytes::Reader r(data);
+    std::uint64_t n = 0;
+    const auto raw = r.get_counted_raw<long>(&n);
+    if (n != counts_.size() || !r.exhausted()) {
+      throw ProtocolError("Histogram: mismatched bin counts in combine");
+    }
+    const std::byte* p = raw.data();
+    for (std::size_t i = 0; i < counts_.size(); ++i, p += sizeof(long)) {
+      counts_[i] += bytes::load_unaligned<long>(p);
+    }
   }
 
  private:

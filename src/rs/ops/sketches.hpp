@@ -11,9 +11,11 @@
 #include <algorithm>
 #include <bit>
 #include <cmath>
+#include <cstddef>
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <span>
 #include <vector>
 
 #include "util/bytes.hpp"
@@ -100,6 +102,21 @@ class HyperLogLog {
       throw ProtocolError("HyperLogLog: state arrived with wrong size");
     }
     registers_ = std::move(v);
+  }
+
+  /// Zero-copy combine: register-wise max straight out of the receive
+  /// buffer (byte-sized registers need no alignment handling).
+  void combine_from_bytes(std::span<const std::byte> data) {
+    bytes::Reader r(data);
+    std::uint64_t n = 0;
+    const auto raw = r.get_counted_raw<std::uint8_t>(&n);
+    if (n != registers_.size() || !r.exhausted()) {
+      throw ProtocolError("HyperLogLog: mismatched precision in combine");
+    }
+    for (std::size_t i = 0; i < registers_.size(); ++i) {
+      registers_[i] =
+          std::max(registers_[i], static_cast<std::uint8_t>(raw[i]));
+    }
   }
 
  private:
@@ -264,6 +281,21 @@ class BloomFilter {
       throw ProtocolError("BloomFilter: state arrived with wrong size");
     }
     words_ = std::move(v);
+  }
+
+  /// Zero-copy combine: bitwise OR straight out of the receive buffer
+  /// (words read unaligned).
+  void combine_from_bytes(std::span<const std::byte> data) {
+    bytes::Reader r(data);
+    std::uint64_t n = 0;
+    const auto raw = r.get_counted_raw<std::uint64_t>(&n);
+    if (n != words_.size() || !r.exhausted()) {
+      throw ProtocolError("BloomFilter: mismatched size in combine");
+    }
+    const std::byte* p = raw.data();
+    for (std::size_t i = 0; i < words_.size(); ++i, p += sizeof(std::uint64_t)) {
+      words_[i] |= bytes::load_unaligned<std::uint64_t>(p);
+    }
   }
 
  private:

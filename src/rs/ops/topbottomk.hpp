@@ -11,6 +11,9 @@
 #pragma once
 
 #include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <span>
 #include <vector>
 
 #include "rs/ops/mini.hpp"
@@ -66,6 +69,27 @@ class TopBottomK {
     smallest_ = r.get_vector<Element>();
     if (largest_.size() > k_ || smallest_.size() > k_) {
       throw ProtocolError("TopBottomK: state arrived with more than k items");
+    }
+  }
+
+  /// Zero-copy combine: inserts the peer's candidates straight out of the
+  /// receive buffer (elements read unaligned; no intermediate operator).
+  void combine_from_bytes(std::span<const std::byte> data) {
+    bytes::Reader r(data);
+    std::uint64_t nl = 0;
+    const auto raw_l = r.get_counted_raw<Element>(&nl);
+    std::uint64_t ns = 0;
+    const auto raw_s = r.get_counted_raw<Element>(&ns);
+    if (nl > k_ || ns > k_ || !r.exhausted()) {
+      throw ProtocolError("TopBottomK: state arrived with more than k items");
+    }
+    for (std::uint64_t i = 0; i < nl; ++i) {
+      insert_largest(bytes::load_unaligned<Element>(raw_l.data() +
+                                                    i * sizeof(Element)));
+    }
+    for (std::uint64_t i = 0; i < ns; ++i) {
+      insert_smallest(bytes::load_unaligned<Element>(raw_s.data() +
+                                                     i * sizeof(Element)));
     }
   }
 

@@ -101,9 +101,11 @@ std::optional<reduce_result_t<Op>> reduce_root(mprt::Comm& comm, int root,
     if (root != 0) {
       const int tag = comm.next_collective_tag();
       if (comm.rank() == 0) {
-        comm.send_bytes(root, tag, save_op(op));
+        detail::send_state(comm, root, tag, op);
       } else if (comm.rank() == root) {
-        op = load_op(prototype, comm.recv_message(0, tag).payload);
+        auto msg = comm.recv_message(0, tag);
+        load_op_into(op, msg.payload());
+        comm.recycle_buffer(msg.release_storage());
       }
     }
   }

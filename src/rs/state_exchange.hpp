@@ -3,11 +3,22 @@
 //
 // These routines are the LOCAL_REDUCE / LOCAL_XSCAN of Listings 2–3,
 // specialized to a single variable-size operator state per rank instead of
-// a fixed value buffer.  The same three schedules as src/coll are offered:
-// order-preserving binomial (non-commutative safe), combine-as-available
-// k-ary tree (commutative only), and linear baselines.
+// a fixed value buffer.  Schedules offered: order-preserving binomial
+// (non-commutative safe), combine-as-available k-ary tree (commutative
+// only), recursive-doubling butterfly allreduce (commutative only), and a
+// deferred-prefix exclusive scan.
+//
+// The hot path is zero-copy end to end (ISSUE 3): states are serialized
+// into pooled buffers (Comm::acquire_buffer), handed to the receiver by
+// move (no sender-side copy), folded straight out of the receive buffer
+// (combine_op_from_bytes — no intermediate Op when the operator provides
+// combine_from_bytes), and the receive buffer is recycled into the
+// receiving rank's pool.
 #pragma once
 
+#include <algorithm>
+#include <bit>
+#include <utility>
 #include <vector>
 
 #include "coll/bcast.hpp"
@@ -20,6 +31,28 @@ namespace rsmpi::rs::detail {
 
 inline constexpr int kUnorderedArity = 4;
 
+/// Serializes `op` into a pooled buffer and move-sends it: after warm-up
+/// the whole send path performs zero heap allocations and zero payload
+/// copies (small states travel inline in the Message itself).
+template <Combinable Op>
+void send_state(mprt::Comm& comm, int dest, int tag, const Op& op) {
+  bytes::Writer w(comm.acquire_buffer(0));
+  save_op_into(op, w);
+  comm.send_bytes(dest, tag, std::move(w).take());
+}
+
+/// Folds a received serialized state into `op` (op = op (+) decode) and
+/// recycles the receive buffer into this rank's pool.
+template <Combinable Op>
+void combine_received_state(mprt::Comm& comm, Op& op, const Op& prototype,
+                            mprt::Message&& msg) {
+  {
+    auto timer = comm.compute_section();
+    combine_op_from_bytes(op, prototype, msg.payload());
+  }
+  comm.recycle_buffer(msg.release_storage());
+}
+
 /// Binomial-tree reduction of operator states to rank 0, preserving rank
 /// order so non-commutative combines see (earlier ranks) (+) (later ranks).
 template <Combinable Op>
@@ -29,12 +62,10 @@ void state_reduce_binomial(mprt::Comm& comm, Op& op, const Op& prototype) {
   const int rank = comm.rank();
   for (const auto& step : mprt::topology::binomial_reduce_schedule(rank, p)) {
     if (step.role == mprt::topology::BinomialStep::Role::kSend) {
-      comm.send_bytes(step.partner, tag, save_op(op));
+      send_state(comm, step.partner, tag, op);
     } else {
-      const auto msg = comm.recv_message(step.partner, tag);
-      Op other = load_op(prototype, msg.payload);
-      auto timer = comm.compute_section();
-      op.combine(other);
+      auto msg = comm.recv_message(step.partner, tag);
+      combine_received_state(comm, op, prototype, std::move(msg));
     }
   }
 }
@@ -46,18 +77,16 @@ void state_reduce_unordered(mprt::Comm& comm, Op& op, const Op& prototype,
   const int p = comm.size();
   const int tag = comm.next_collective_tag();
   const int rank = comm.rank();
-  int num_children = 0;
-  for (int c = arity * rank + 1; c <= arity * rank + arity && c < p; ++c) {
-    ++num_children;
-  }
+  // Children of node r are arity*r+1 .. arity*r+arity, clipped to [0, p).
+  const int first_child = arity * rank + 1;
+  const int num_children =
+      first_child >= p ? 0 : std::min(arity, p - first_child);
   for (int i = 0; i < num_children; ++i) {
-    const auto msg = comm.recv_message(mprt::kAnySource, tag);
-    Op other = load_op(prototype, msg.payload);
-    auto timer = comm.compute_section();
-    op.combine(other);
+    auto msg = comm.recv_message(mprt::kAnySource, tag);
+    combine_received_state(comm, op, prototype, std::move(msg));
   }
   if (rank != 0) {
-    comm.send_bytes((rank - 1) / arity, tag, save_op(op));
+    send_state(comm, (rank - 1) / arity, tag, op);
   }
 }
 
@@ -75,26 +104,85 @@ void state_reduce_to_zero(mprt::Comm& comm, Op& op, const Op& prototype,
   }
 }
 
-/// Reduce to rank 0, then broadcast the finished state to all ranks.
+/// Legacy allreduce shape: reduce to rank 0, then broadcast the finished
+/// state.  2·log p rounds with rank 0 as a bandwidth hotspot; kept as the
+/// only order-preserving option (non-commutative operators) and as the
+/// baseline the butterfly is benchmarked against.
 template <Combinable Op>
-void state_allreduce(mprt::Comm& comm, Op& op, const Op& prototype,
-                     bool commutative = op_commutative<Op>()) {
+void state_allreduce_reduce_bcast(mprt::Comm& comm, Op& op,
+                                  const Op& prototype,
+                                  bool commutative = op_commutative<Op>()) {
   if (comm.size() == 1) return;
   state_reduce_to_zero(comm, op, prototype, commutative);
   auto state = comm.rank() == 0 ? save_op(op) : std::vector<std::byte>{};
   state = coll::bcast_bytes(comm, 0, state);
   if (comm.rank() != 0) {
-    op = load_op(prototype, state);
+    load_op_into(op, state);
   }
 }
 
-/// Recursive-doubling exclusive scan of operator states across ranks: on
-/// return `op` holds the combination of all lower ranks' input states
-/// (identity, i.e. a copy of `prototype`, on rank 0).  Valid for
-/// non-commutative operators — every prepend joins contiguous rank
-/// intervals in order (see coll/local_scan.hpp for the invariant).
+/// Recursive-doubling (butterfly) allreduce: log p rounds, every rank
+/// sends and receives once per round, no root hotspot.  Requires
+/// commutativity — in round d, rank r folds partner r^d's partial on the
+/// right regardless of which side of r it sits on.  Non-powers-of-two are
+/// folded in Rabenseifner-style: the trailing p - 2^k ranks deposit their
+/// state into a butterfly member first and receive the finished result
+/// back at the end (2 extra rounds for those ranks only).
 template <Combinable Op>
-void state_xscan(mprt::Comm& comm, Op& op, const Op& prototype) {
+void state_allreduce_butterfly(mprt::Comm& comm, Op& op, const Op& prototype) {
+  const int p = comm.size();
+  if (p == 1) return;
+  const int tag = comm.next_collective_tag();
+  const int rank = comm.rank();
+  const int p2 =
+      static_cast<int>(std::bit_floor(static_cast<unsigned>(p)));
+
+  if (rank >= p2) {
+    // Outside the butterfly: contribute, then receive the final state.
+    send_state(comm, rank - p2, tag, op);
+    auto msg = comm.recv_message(rank - p2, tag);
+    {
+      auto timer = comm.compute_section();
+      load_op_into(op, msg.payload());
+    }
+    comm.recycle_buffer(msg.release_storage());
+    return;
+  }
+  if (rank + p2 < p) {
+    auto msg = comm.recv_message(rank + p2, tag);
+    combine_received_state(comm, op, prototype, std::move(msg));
+  }
+  for (int d = 1; d < p2; d <<= 1) {
+    const int partner = rank ^ d;
+    send_state(comm, partner, tag, op);
+    auto msg = comm.recv_message(partner, tag);
+    combine_received_state(comm, op, prototype, std::move(msg));
+  }
+  if (rank + p2 < p) {
+    send_state(comm, rank + p2, tag, op);
+  }
+}
+
+/// Allreduce dispatch: butterfly for commutative operators (log p rounds),
+/// order-preserving reduce+bcast otherwise.  The override is used by the
+/// ablation benchmarks and by tests pinning a specific schedule.
+template <Combinable Op>
+void state_allreduce(mprt::Comm& comm, Op& op, const Op& prototype,
+                     bool commutative = op_commutative<Op>()) {
+  if (comm.size() == 1) return;
+  if (commutative) {
+    state_allreduce_butterfly(comm, op, prototype);
+  } else {
+    state_allreduce_reduce_bcast(comm, op, prototype, /*commutative=*/false);
+  }
+}
+
+/// Legacy recursive-doubling exclusive scan: maintains the inclusive
+/// window *and* the exclusive prefix eagerly, paying two combines per
+/// doubling step on the critical path.  Kept as the baseline the deferred
+/// formulation below is tested and benchmarked against.
+template <Combinable Op>
+void state_xscan_eager(mprt::Comm& comm, Op& op, const Op& prototype) {
   const int p = comm.size();
   const int rank = comm.rank();
   if (p == 1) {
@@ -107,11 +195,12 @@ void state_xscan(mprt::Comm& comm, Op& op, const Op& prototype) {
   Op excl = prototype;   // combination of [max(0, rank-2d+1), rank-1]
   for (int d = 1; d < p; d <<= 1) {
     if (rank + d < p) {
-      comm.send_bytes(rank + d, tag, save_op(incl));
+      send_state(comm, rank + d, tag, incl);
     }
     if (rank - d >= 0) {
-      const auto msg = comm.recv_message(rank - d, tag);
-      Op received = load_op(prototype, msg.payload);
+      auto msg = comm.recv_message(rank - d, tag);
+      Op received = load_op(prototype, msg.payload());
+      comm.recycle_buffer(msg.release_storage());
       auto timer = comm.compute_section();
       Op tmp = received;
       tmp.combine(incl);
@@ -119,6 +208,64 @@ void state_xscan(mprt::Comm& comm, Op& op, const Op& prototype) {
       received.combine(excl);
       excl = std::move(received);
     }
+  }
+  op = std::move(excl);
+}
+
+/// Round- and computation-efficient exclusive scan of operator states: on
+/// return `op` holds the combination of all lower ranks' input states
+/// (identity, i.e. a copy of `prototype`, on rank 0).  Valid for
+/// non-commutative operators — every prepend joins contiguous rank
+/// intervals in order.
+///
+/// Only the forwarded *window* (the inclusive combination of the most
+/// recent 2d ranks) is maintained on the critical path — one combine per
+/// doubling step, and none at all once the rank has made its last send
+/// (rank + 2d >= p).  Received partials are parked unparsed and folded
+/// into the exclusive prefix after the last send, off the chain of
+/// combines downstream ranks are waiting on.  The fold replays the eager
+/// variant's bracketing exactly, so results are bit-identical to
+/// state_xscan_eager for every operator, including non-commutative and
+/// floating-point ones.
+template <Combinable Op>
+void state_xscan(mprt::Comm& comm, Op& op, const Op& prototype) {
+  const int p = comm.size();
+  const int rank = comm.rank();
+  if (p == 1) {
+    op = prototype;
+    return;
+  }
+  const int tag = comm.next_collective_tag();
+
+  Op window = op;  // combination of [max(0, rank-2d+1), rank]
+  std::vector<mprt::Message> deferred;  // step-d messages, ascending d
+  for (int d = 1; d < p; d <<= 1) {
+    if (rank + d < p) {
+      send_state(comm, rank + d, tag, window);
+    }
+    if (rank - d >= 0) {
+      deferred.push_back(comm.recv_message(rank - d, tag));
+      if (rank + 2 * d < p) {
+        // The window is only needed while there are sends left; update it
+        // with the single on-critical-path combine: window = recv (+) window.
+        Op received = load_op(prototype, deferred.back().payload());
+        auto timer = comm.compute_section();
+        received.combine(window);
+        window = std::move(received);
+      }
+    }
+  }
+
+  // Off the critical path: fold the parked partials into the exclusive
+  // prefix, prepending in ascending-d order (each message covers the
+  // interval immediately left of everything folded so far).
+  Op excl = prototype;
+  for (auto& msg : deferred) {
+    Op received = load_op(prototype, msg.payload());
+    comm.recycle_buffer(msg.release_storage());
+    auto timer = comm.compute_section();
+    received.combine(excl);
+    excl = std::move(received);
   }
   op = std::move(excl);
 }

@@ -7,11 +7,20 @@
 // the process (ranks are threads of one virtual machine), so no
 // byte-swapping or versioning is needed — only bounds safety, which Reader
 // enforces on every extraction.
+//
+// Zero-copy support: a Writer can be constructed over a recycled buffer
+// (keeping its capacity) and `reset()` between uses, so a tree reduction
+// serializes into the same allocation on every hop.  A Reader can hand out
+// borrowed views (`get_raw`, `get_counted_raw`) so operators may combine
+// directly out of a receive buffer without materializing vectors; since
+// the view is byte-addressed and possibly unaligned, elements are read
+// with `load_unaligned`.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
 #include <cstring>
+#include <limits>
 #include <span>
 #include <string>
 #include <type_traits>
@@ -21,10 +30,31 @@
 
 namespace rsmpi::bytes {
 
+/// Reads one T from a possibly-unaligned byte position.  Companion to the
+/// borrowed views below: a span handed out by Reader::get_counted_raw has
+/// byte alignment only.
+template <typename T>
+  requires std::is_trivially_copyable_v<T>
+[[nodiscard]] T load_unaligned(const std::byte* p) {
+  T value;
+  std::memcpy(&value, p, sizeof(T));
+  return value;
+}
+
 /// Appends trivially-copyable values and sized sequences to a byte buffer.
 class Writer {
  public:
   Writer() = default;
+
+  /// Builds a writer over a recycled buffer: contents are cleared but the
+  /// capacity is kept, so serializing into a pooled buffer allocates only
+  /// if the state outgrew it.
+  explicit Writer(std::vector<std::byte>&& storage) : buf_(std::move(storage)) {
+    buf_.clear();
+  }
+
+  /// Clears the contents for reuse without releasing the allocation.
+  void reset() { buf_.clear(); }
 
   /// Serialize one trivially-copyable value.
   template <typename T>
@@ -74,7 +104,9 @@ class Writer {
 };
 
 /// Extracts values from a byte buffer written by Writer.  Every extraction
-/// is bounds-checked and throws ProtocolError on underflow.
+/// is bounds-checked and throws ProtocolError on underflow; length
+/// prefixes are validated with overflow-checked arithmetic so a corrupted
+/// count cannot wrap the bounds check.
 class Reader {
  public:
   explicit Reader(std::span<const std::byte> data) : data_(data) {}
@@ -93,12 +125,13 @@ class Reader {
     requires std::is_trivially_copyable_v<T>
   std::vector<T> get_vector() {
     const auto n = get<std::uint64_t>();
-    require(n * sizeof(T));
+    const std::size_t nbytes = checked_extent(n, sizeof(T));
+    require(nbytes);
     std::vector<T> out(n);
     if (n > 0) {
-      std::memcpy(out.data(), data_.data() + pos_, n * sizeof(T));
+      std::memcpy(out.data(), data_.data() + pos_, nbytes);
     }
-    pos_ += n * sizeof(T);
+    pos_ += nbytes;
     return out;
   }
 
@@ -113,11 +146,12 @@ class Reader {
                           std::to_string(n) + ", want " +
                           std::to_string(out.size()) + ")");
     }
-    require(n * sizeof(T));
+    const std::size_t nbytes = checked_extent(n, sizeof(T));
+    require(nbytes);
     if (n > 0) {
-      std::memcpy(out.data(), data_.data() + pos_, n * sizeof(T));
+      std::memcpy(out.data(), data_.data() + pos_, nbytes);
     }
-    pos_ += n * sizeof(T);
+    pos_ += nbytes;
   }
 
   std::string get_string() {
@@ -128,10 +162,44 @@ class Reader {
     return s;
   }
 
+  /// Borrows `nbytes` raw bytes from the archive without copying.  The
+  /// view is valid only while the underlying payload is alive.
+  [[nodiscard]] std::span<const std::byte> get_raw(std::size_t nbytes) {
+    require(nbytes);
+    const std::span<const std::byte> view = data_.subspan(pos_, nbytes);
+    pos_ += nbytes;
+    return view;
+  }
+
+  /// Reads a length prefix, then borrows the element bytes without
+  /// copying.  Elements have byte alignment only — extract them with
+  /// load_unaligned, never by reinterpret_cast.
+  template <typename T>
+    requires std::is_trivially_copyable_v<T>
+  [[nodiscard]] std::span<const std::byte> get_counted_raw(
+      std::uint64_t* count_out = nullptr) {
+    const auto n = get<std::uint64_t>();
+    if (count_out != nullptr) *count_out = n;
+    return get_raw(checked_extent(n, sizeof(T)));
+  }
+
   [[nodiscard]] std::size_t remaining() const { return data_.size() - pos_; }
   [[nodiscard]] bool exhausted() const { return remaining() == 0; }
 
  private:
+  /// n * elem_size with overflow detection: a hostile length prefix such
+  /// as 2^61 with 8-byte elements would wrap the product and slip past
+  /// require() into a huge resize.
+  static std::size_t checked_extent(std::uint64_t n, std::size_t elem_size) {
+    if (elem_size != 0 &&
+        n > std::numeric_limits<std::size_t>::max() / elem_size) {
+      throw ProtocolError(
+          "bytes::Reader: sequence extent overflows (count " +
+          std::to_string(n) + " x " + std::to_string(elem_size) + " bytes)");
+    }
+    return static_cast<std::size_t>(n) * elem_size;
+  }
+
   void require(std::size_t n) const {
     if (data_.size() - pos_ < n) {
       throw ProtocolError("bytes::Reader: payload underflow (need " +

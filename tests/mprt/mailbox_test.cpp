@@ -2,7 +2,11 @@
 // contexts), ordering, and abort.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstddef>
+#include <span>
 #include <thread>
+#include <vector>
 
 #include "mprt/mailbox.hpp"
 #include "util/error.hpp"
@@ -23,7 +27,7 @@ Message make_msg(int source, int tag, std::byte marker = std::byte{0},
   m.context = context;
   m.source = source;
   m.tag = tag;
-  m.payload = {marker};
+  m.assign_payload(std::span<const std::byte>(&marker, 1));
   return m;
 }
 
@@ -64,7 +68,7 @@ TEST(Mailbox, DoubleWildcardTakesOldest) {
   mb.put(make_msg(1, 1, std::byte{0xA}));
   mb.put(make_msg(2, 2, std::byte{0xB}));
   const Message m = mb.take(kWorld, kAnySource, kAnyTag);
-  EXPECT_EQ(m.payload[0], std::byte{0xA});
+  EXPECT_EQ(m.payload()[0], std::byte{0xA});
 }
 
 TEST(Mailbox, ContextIsolatesCommunicators) {
@@ -74,9 +78,9 @@ TEST(Mailbox, ContextIsolatesCommunicators) {
   mb.put(make_msg(0, 5, std::byte{0xA}, /*context=*/111));
   mb.put(make_msg(0, 5, std::byte{0xB}, /*context=*/222));
   const Message m222 = mb.take(222, kAnySource, kAnyTag);
-  EXPECT_EQ(m222.payload[0], std::byte{0xB});
+  EXPECT_EQ(m222.payload()[0], std::byte{0xB});
   const Message m111 = mb.take(111, 0, 5);
-  EXPECT_EQ(m111.payload[0], std::byte{0xA});
+  EXPECT_EQ(m111.payload()[0], std::byte{0xA});
 }
 
 TEST(Mailbox, ProbeRespectsContext) {
@@ -92,9 +96,9 @@ TEST(Mailbox, FifoPerSourceTagPair) {
   mb.put(make_msg(1, 5, std::byte{1}));
   mb.put(make_msg(1, 5, std::byte{2}));
   mb.put(make_msg(1, 5, std::byte{3}));
-  EXPECT_EQ(mb.take(kWorld, 1, 5).payload[0], std::byte{1});
-  EXPECT_EQ(mb.take(kWorld, 1, 5).payload[0], std::byte{2});
-  EXPECT_EQ(mb.take(kWorld, 1, 5).payload[0], std::byte{3});
+  EXPECT_EQ(mb.take(kWorld, 1, 5).payload()[0], std::byte{1});
+  EXPECT_EQ(mb.take(kWorld, 1, 5).payload()[0], std::byte{2});
+  EXPECT_EQ(mb.take(kWorld, 1, 5).payload()[0], std::byte{3});
 }
 
 TEST(Mailbox, TryTakeReturnsNulloptWhenEmpty) {
@@ -138,6 +142,73 @@ TEST(Mailbox, AbortedTryTakeThrows) {
   Mailbox mb;
   mb.abort();
   EXPECT_THROW(mb.try_take(kWorld, 0, 0), AbortError);
+}
+
+// -- Message payload storage (inline vs heap) -------------------------------
+
+std::vector<std::byte> pattern_bytes(std::size_t n) {
+  std::vector<std::byte> v(n);
+  for (std::size_t i = 0; i < n; ++i) v[i] = std::byte(i & 0xFF);
+  return v;
+}
+
+TEST(MessagePayload, SmallPayloadIsStoredInline) {
+  Message m;
+  const auto data = pattern_bytes(Message::kInlineCapacity);
+  EXPECT_TRUE(m.assign_payload(data));
+  EXPECT_TRUE(m.payload_inline());
+  EXPECT_EQ(m.payload_size(), data.size());
+  EXPECT_TRUE(std::equal(data.begin(), data.end(), m.payload().begin()));
+  // No heap buffer to recycle from an inline payload.
+  EXPECT_EQ(m.release_storage().capacity(), 0u);
+}
+
+TEST(MessagePayload, LargePayloadUsesHeap) {
+  Message m;
+  const auto data = pattern_bytes(Message::kInlineCapacity + 1);
+  EXPECT_FALSE(m.assign_payload(data));
+  EXPECT_FALSE(m.payload_inline());
+  EXPECT_EQ(m.payload_size(), data.size());
+  EXPECT_TRUE(std::equal(data.begin(), data.end(), m.payload().begin()));
+}
+
+TEST(MessagePayload, AdoptLargeBufferDoesNotCopy) {
+  Message m;
+  auto data = pattern_bytes(1024);
+  const std::byte* storage = data.data();
+  auto leftover = m.adopt_payload(std::move(data));
+  EXPECT_TRUE(leftover.empty());  // buffer was adopted
+  EXPECT_FALSE(m.payload_inline());
+  EXPECT_EQ(m.payload().data(), storage);  // same allocation, no copy
+  // take_payload moves the same allocation back out.
+  auto out = m.take_payload();
+  EXPECT_EQ(out.data(), storage);
+}
+
+TEST(MessagePayload, AdoptSmallBufferReturnsItForReuse) {
+  Message m;
+  auto data = pattern_bytes(8);
+  data.reserve(256);
+  auto leftover = m.adopt_payload(std::move(data));
+  EXPECT_TRUE(m.payload_inline());
+  EXPECT_EQ(m.payload_size(), 8u);
+  // The caller gets its (capacity-bearing) buffer back for recycling.
+  EXPECT_GE(leftover.capacity(), 256u);
+}
+
+TEST(MessagePayload, InlinePayloadSurvivesMailboxTransit) {
+  Mailbox mb;
+  Message m;
+  m.context = kWorld;
+  m.source = 3;
+  m.tag = 9;
+  const auto data = pattern_bytes(16);
+  m.assign_payload(data);
+  mb.put(std::move(m));
+  Message got = mb.take(kWorld, 3, 9);
+  EXPECT_TRUE(got.payload_inline());
+  ASSERT_EQ(got.payload_size(), 16u);
+  EXPECT_TRUE(std::equal(data.begin(), data.end(), got.payload().begin()));
 }
 
 }  // namespace

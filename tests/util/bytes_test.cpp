@@ -126,4 +126,78 @@ TEST(Bytes, TakeMovesBuffer) {
   EXPECT_EQ(rsmpi::bytes::from_bytes<int>(buf), 99);
 }
 
+TEST(Bytes, CorruptedLengthPrefixCannotWrapBoundsCheck) {
+  // Regression: a hostile 64-bit count n with n * sizeof(T) overflowing
+  // size_t (e.g. n = 2^61, sizeof(double) = 8 -> product 2^64 == 0) used
+  // to slip past the bounds check and reach a huge resize.  Both
+  // extraction paths must reject it with ProtocolError instead.
+  Writer w;
+  w.put<std::uint64_t>(std::uint64_t{1} << 61);  // corrupted length prefix
+  w.put<double>(1.0);                            // a few bytes of "payload"
+  {
+    Reader r(w.view());
+    EXPECT_THROW((void)r.get_vector<double>(), ProtocolError);
+  }
+  {
+    Reader r(w.view());
+    std::vector<double> out(std::size_t{1} << 20);
+    // Length mismatch fires only if the extent check doesn't wrap first;
+    // either way the huge prefix must throw, never memcpy.
+    EXPECT_THROW(r.get_span<double>(out), ProtocolError);
+  }
+  // A count that wraps to a *small* in-bounds product is the dangerous
+  // case for get_span: n != out.size() would not save us if n wrapped to
+  // out.size().  (2^61 + 1) * 8 == 8 (mod 2^64): one double available.
+  {
+    Writer w2;
+    w2.put<std::uint64_t>((std::uint64_t{1} << 61) + 1);
+    w2.put<double>(42.0);
+    Reader r(w2.view());
+    std::vector<double> out(1);
+    EXPECT_THROW(r.get_span<double>(out), ProtocolError);
+  }
+}
+
+TEST(Bytes, WriterOverRecycledBufferKeepsCapacity) {
+  std::vector<std::byte> recycled(1024);
+  const std::size_t cap = recycled.capacity();
+  Writer w(std::move(recycled));
+  EXPECT_EQ(w.size(), 0u);  // contents cleared...
+  w.put<int>(7);
+  auto buf = std::move(w).take();
+  EXPECT_GE(buf.capacity(), cap);  // ...but the allocation was kept
+  EXPECT_EQ(rsmpi::bytes::from_bytes<int>(buf), 7);
+}
+
+TEST(Bytes, ResetClearsContentWithoutFreeing) {
+  Writer w;
+  w.put<std::uint64_t>(1);
+  w.put<std::uint64_t>(2);
+  const auto* before = w.view().data();
+  w.reset();
+  EXPECT_EQ(w.size(), 0u);
+  w.put<std::uint64_t>(3);
+  EXPECT_EQ(w.view().data(), before);  // same allocation reused
+}
+
+TEST(Bytes, GetRawBorrowsWithoutCopying) {
+  Writer w;
+  w.put_vector(std::vector<long>{10, 20, 30});
+  Reader r(w.view());
+  std::uint64_t n = 0;
+  const auto raw = r.get_counted_raw<long>(&n);
+  EXPECT_EQ(n, 3u);
+  EXPECT_EQ(raw.size(), 3 * sizeof(long));
+  EXPECT_EQ(raw.data(), w.view().data() + sizeof(std::uint64_t));  // borrowed
+  EXPECT_EQ(rsmpi::bytes::load_unaligned<long>(raw.data() + sizeof(long)), 20);
+  EXPECT_TRUE(r.exhausted());
+}
+
+TEST(Bytes, GetCountedRawRejectsOverflowingCount) {
+  Writer w;
+  w.put<std::uint64_t>(std::uint64_t{1} << 61);
+  Reader r(w.view());
+  EXPECT_THROW((void)r.get_counted_raw<double>(), ProtocolError);
+}
+
 }  // namespace
