@@ -1,0 +1,103 @@
+// Micro-benchmark for the ISSUE 4 fault-injection layer: what does the
+// chaos hook cost when it is (a) compiled in but disabled — the common
+// case, every production run — and (b) enabled with a benign plan?
+//
+// Two measurements per configuration:
+//   wall_ms    host milliseconds for the whole run (harness overhead)
+//   vtime_s    modelled critical path (virtual cost of injected faults)
+//
+// The disabled case must sit within noise of the seed runtime: the send
+// path tests one pointer (Runtime::chaos() == nullptr) and the mailbox
+// dedup only engages when sequence gaps or duplicates appear.  --smoke
+// runs a small configuration for CI.
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "mprt/runtime.hpp"
+#include "mprt/sim.hpp"
+#include "rs/ops/counts.hpp"
+#include "rs/reduce.hpp"
+
+namespace {
+
+using namespace rsmpi;
+using mprt::Comm;
+using mprt::SimConfig;
+
+struct Sample {
+  double wall_ms = 0.0;
+  double vtime_s = 0.0;
+  std::uint64_t duplicates = 0;
+};
+
+Sample measure(int p, int rounds, std::size_t buckets, const SimConfig& sim) {
+  const auto t0 = std::chrono::steady_clock::now();
+  Sample s;
+  const auto rr = mprt::run(
+      p,
+      [&](Comm& comm) {
+        std::vector<int> mine;
+        for (std::size_t i = 0; i < buckets; ++i) {
+          mine.push_back(static_cast<int>((comm.rank() + i) % buckets));
+        }
+        for (int round = 0; round < rounds; ++round) {
+          rs::reduce(comm, mine, rs::ops::Counts(buckets));
+        }
+      },
+      mprt::CostModel{}, sim);
+  const auto t1 = std::chrono::steady_clock::now();
+  s.wall_ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
+  s.vtime_s = rr.makespan_s;
+  s.duplicates = rr.sim.duplicated;
+  return s;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool smoke =
+      argc > 1 && std::strcmp(argv[1], "--smoke") == 0;
+  const int p = smoke ? 4 : 8;
+  const int rounds = smoke ? 20 : 200;
+  const std::size_t buckets = smoke ? 64 : 1024;
+  const int reps = smoke ? 2 : 5;
+
+  SimConfig off;  // disabled: the production configuration
+
+  SimConfig benign;
+  benign.seed = 1;
+  benign.delay_prob = 0.3;
+  benign.max_extra_delay_s = 1e-5;
+  benign.duplicate_prob = 0.3;
+  benign.reorder_prob = 0.3;
+  benign.max_compute_skew_s = 5e-6;
+
+  std::printf("{\n  \"bench\": \"micro_sim_overhead\", \"p\": %d, "
+              "\"rounds\": %d, \"buckets\": %zu,\n  \"configs\": [\n",
+              p, rounds, buckets);
+  const struct {
+    const char* name;
+    const SimConfig* sim;
+  } configs[] = {{"chaos-off", &off}, {"chaos-benign", &benign}};
+  for (std::size_t i = 0; i < 2; ++i) {
+    Sample best;
+    best.wall_ms = 1e300;
+    for (int r = 0; r < reps; ++r) {
+      const Sample s = measure(p, rounds, buckets, *configs[i].sim);
+      if (s.wall_ms < best.wall_ms) best = s;
+    }
+    std::printf("    {\"name\": \"%s\", \"wall_ms\": %.3f, "
+                "\"vtime_s\": %.6f, \"duplicates\": %llu}%s\n",
+                configs[i].name, best.wall_ms, best.vtime_s,
+                static_cast<unsigned long long>(best.duplicates),
+                i == 0 ? "," : "");
+    std::fprintf(stderr, "%-14s wall %8.2f ms   vtime %10.6f s   dup %llu\n",
+                 configs[i].name, best.wall_ms, best.vtime_s,
+                 static_cast<unsigned long long>(best.duplicates));
+  }
+  std::printf("  ]\n}\n");
+  return 0;
+}

@@ -1,6 +1,7 @@
 #include "mprt/comm.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <numeric>
 
 #include "mprt/runtime.hpp"
@@ -66,8 +67,36 @@ void check_dest(int dest, int size, int self) {
 
 }  // namespace
 
+void Comm::chaos_pre_send() {
+  if (ChaosController* chaos = runtime_.chaos()) {
+    // May throw RankKilledError; the skew models this rank computing
+    // slower than its peers, shifting every downstream arrival.
+    state_->clock.advance(chaos->pre_send(global_rank_));
+  }
+}
+
+void Comm::deliver(int dest, Message&& msg) {
+  msg.seq = state_->next_seq++;
+  Mailbox& box = runtime_.mailbox(group_[static_cast<std::size_t>(dest)]);
+  ChaosController* chaos = runtime_.chaos();
+  if (chaos == nullptr) {
+    box.put(std::move(msg));
+    return;
+  }
+  DeliveryFault fault = chaos->on_message(global_rank_);
+  msg.arrival_vtime_s += fault.extra_delay_s;
+  if (fault.drop) return;
+  if (fault.duplicate) {
+    Message copy = msg;
+    copy.arrival_vtime_s += fault.duplicate_delay_s;
+    box.put(std::move(copy));
+  }
+  box.put(std::move(msg), fault.reorder_front);
+}
+
 void Comm::send_bytes(int dest, int tag, std::span<const std::byte> payload) {
   check_dest(dest, size(), group_rank_);
+  chaos_pre_send();
   const CostModel& m = cost_model();
   state_->clock.advance(m.send_overhead_s);
   if (payload.size() > Message::kInlineCapacity) {
@@ -91,11 +120,12 @@ void Comm::send_bytes(int dest, int tag, std::span<const std::byte> payload) {
 
   state_->sent_count += 1;
   state_->sent_bytes += payload.size();
-  runtime_.mailbox(group_[static_cast<std::size_t>(dest)]).put(std::move(msg));
+  deliver(dest, std::move(msg));
 }
 
 void Comm::send_bytes(int dest, int tag, std::vector<std::byte>&& payload) {
   check_dest(dest, size(), group_rank_);
+  chaos_pre_send();
   const CostModel& m = cost_model();
   state_->clock.advance(m.send_overhead_s);
 
@@ -116,7 +146,7 @@ void Comm::send_bytes(int dest, int tag, std::vector<std::byte>&& payload) {
 
   state_->sent_count += 1;
   state_->sent_bytes += nbytes;
-  runtime_.mailbox(group_[static_cast<std::size_t>(dest)]).put(std::move(msg));
+  deliver(dest, std::move(msg));
 }
 
 std::vector<std::byte> Comm::acquire_buffer(std::size_t reserve_bytes) {
@@ -128,17 +158,51 @@ std::vector<std::byte> Comm::acquire_buffer(std::size_t reserve_bytes) {
   return buf;
 }
 
+Message Comm::take_blocking(int source, int tag) {
+  Mailbox& box = runtime_.mailbox(global_rank_);
+  const std::optional<RecvDeadline>& deadline = state_->recv_deadline;
+  if (!deadline.has_value()) return box.take(context_, source, tag);
+
+  // Wait in slices that grow by the backoff factor and sum to the total
+  // budget: slice0 * (1 + b + b^2 + ...) = timeout.  Expiring slices are
+  // counted so tests can see the retries happen.
+  const int retries = std::max(1, deadline->retries);
+  const double b = std::max(1.0, deadline->backoff);
+  double slice = b == 1.0 ? deadline->timeout_s / retries
+                          : deadline->timeout_s * (b - 1.0) /
+                                (std::pow(b, retries) - 1.0);
+  for (int attempt = 0; attempt < retries; ++attempt) {
+    auto msg = box.take_for(context_, source, tag, slice);
+    if (msg.has_value()) return std::move(*msg);
+    state_->recv_retry_count += 1;
+    slice *= b;
+  }
+  throw TimeoutError(
+      "recv: no message from " +
+      (source == kAnySource ? std::string("any source")
+                            : "rank " + std::to_string(source)) +
+      (tag == kAnyTag ? std::string(", any tag")
+                      : ", tag " + std::to_string(tag)) +
+      " within " + std::to_string(deadline->timeout_s) + "s (" +
+      std::to_string(retries) + " backoff slices); message dropped or "
+      "sender stalled");
+}
+
 Message Comm::recv_message(int source, int tag) {
   if (source != kAnySource && (source < 0 || source >= size())) {
     throw ArgumentError("recv_message: source rank " + std::to_string(source) +
                         " out of range [0, " + std::to_string(size()) + ")");
   }
-  Message msg = runtime_.mailbox(global_rank_).take(context_, source, tag);
+  Message msg = take_blocking(source, tag);
   state_->clock.merge(msg.arrival_vtime_s);
   state_->clock.advance(cost_model().recv_overhead_s);
   state_->recv_count += 1;
   state_->recv_bytes += msg.payload_size();
   return msg;
+}
+
+std::uint64_t Comm::duplicates_suppressed() const {
+  return runtime_.mailbox(global_rank_).duplicates_suppressed();
 }
 
 bool Comm::probe(int source, int tag) {

@@ -41,11 +41,30 @@ struct PendingOp {
   int tag_count = 0;         // number of consecutive tags reserved
 };
 
+/// Bounded-wait policy for blocking receives.  When set on a rank, every
+/// blocking recv waits in `retries` slices whose lengths grow by `backoff`
+/// and sum to `timeout_s`; if no matching message arrives within the
+/// budget the receive throws TimeoutError instead of hanging — the
+/// recovery path for messages a fault plan dropped.  All times are real
+/// (wall-clock) seconds: a rank blocked in recv makes no virtual progress,
+/// so the deadline must come from the host clock.
+struct RecvDeadline {
+  double timeout_s = 1.0;
+  int retries = 4;
+  double backoff = 2.0;
+};
+
 /// Per-rank mutable state shared by every communicator of that rank: the
 /// virtual clock, the traffic counters, and the pending-operation table.
 /// Owned by the runtime; only touched from the rank's own thread.
 struct RankState {
   VirtualClock clock;
+  /// Next send sequence number; stamped on every outgoing message.  One
+  /// counter per rank is enough for per-stream monotonicity because a
+  /// rank's sends are sequential.
+  std::uint64_t next_seq = 1;
+  std::optional<RecvDeadline> recv_deadline;
+  std::uint64_t recv_retry_count = 0;  ///< deadline slices that expired
   std::uint64_t sent_count = 0;
   std::uint64_t sent_bytes = 0;
   std::uint64_t recv_count = 0;
@@ -149,9 +168,33 @@ class Comm {
     return state_->pool.stats();
   }
 
+  // -- Receive deadlines ---------------------------------------------------
+
+  /// Installs (or clears, with std::nullopt) a bounded-wait policy for
+  /// this rank's blocking receives.  Shared by all of the rank's
+  /// communicators, like the clock: a rank has one patience.
+  void set_recv_deadline(std::optional<RecvDeadline> deadline) {
+    state_->recv_deadline = std::move(deadline);
+  }
+  [[nodiscard]] const std::optional<RecvDeadline>& recv_deadline() const {
+    return state_->recv_deadline;
+  }
+  /// Deadline slices that expired and were retried (observability).
+  [[nodiscard]] std::uint64_t recv_retries() const {
+    return state_->recv_retry_count;
+  }
+
+  /// Duplicate deliveries this rank's mailbox suppressed via sequence
+  /// numbers (observability; nonzero only under fault plans or manual
+  /// duplicate injection).
+  [[nodiscard]] std::uint64_t duplicates_suppressed() const;
+
   /// Blocks until a message matching (source, tag) on this communicator
   /// arrives; merges the message's arrival time into this clock and
   /// charges receive overhead.  Wildcards kAnySource/kAnyTag are allowed.
+  /// With a RecvDeadline installed, waits with retry/backoff and throws
+  /// TimeoutError when the budget is exhausted; throws PeerLostError if a
+  /// rank of the machine exited while this one was waiting.
   Message recv_message(int source, int tag);
 
   /// True when a matching message is already queued (non-blocking probe).
@@ -376,6 +419,19 @@ class Comm {
   /// Subcommunicator constructor; used by split().
   Comm(Runtime& runtime, int global_rank, std::int64_t context,
        std::vector<int> group, int group_rank);
+
+  /// Chaos hook at the top of every send: charges fault-plan compute skew
+  /// and throws RankKilledError at the configured kill point.  No-op
+  /// without a fault plan.
+  void chaos_pre_send();
+
+  /// Stamps the sequence number and enqueues `msg` at `dest`'s mailbox,
+  /// applying the fault plan (drop/duplicate/delay/reorder) when active.
+  void deliver(int dest, Message&& msg);
+
+  /// The blocking take behind recv_message: plain blocking wait, or
+  /// retry/backoff slices under the rank's RecvDeadline.
+  Message take_blocking(int source, int tag);
 
   Runtime& runtime_;
   RankState* state_;

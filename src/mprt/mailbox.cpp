@@ -1,96 +1,171 @@
 #include "mprt/mailbox.hpp"
 
+#include <chrono>
+#include <string>
+
 #include "util/error.hpp"
 
 namespace rsmpi::mprt {
 
-void Mailbox::put(Message msg) {
+namespace {
+
+bool matches(const Message& m, std::int64_t context, int source, int tag) {
+  return m.context == context &&
+         ((source == kAnySource) || (m.source == source)) &&
+         ((tag == kAnyTag) || (m.tag == tag));
+}
+
+/// True when queued message `a` (at index ia) must be delivered before
+/// `b` (at index ib) of the same stream: by sequence number when both are
+/// sequenced, by queue position otherwise (legacy unsequenced messages).
+bool precedes(const Message& a, std::size_t ia, const Message& b,
+              std::size_t ib) {
+  if (a.seq != 0 && b.seq != 0) return a.seq < b.seq;
+  return ia < ib;
+}
+
+}  // namespace
+
+void Mailbox::put(Message msg, bool front) {
   {
     std::lock_guard lock(mutex_);
-    queue_.push_back(std::move(msg));
+    if (front) {
+      queue_.push_front(std::move(msg));
+    } else {
+      queue_.push_back(std::move(msg));
+    }
   }
   // notify_all rather than notify_one: only the owner blocks in take(), but
   // it may be woken spuriously by non-matching messages and must re-check.
   cv_.notify_all();
 }
 
-std::size_t Mailbox::find_match(std::int64_t context, int source,
-                                int tag) const {
+std::size_t Mailbox::select_locked(std::int64_t context, int source, int tag,
+                                   const double* arrival_cutoff) {
   for (std::size_t i = 0; i < queue_.size(); ++i) {
     const Message& m = queue_[i];
-    const bool ctx_ok = m.context == context;
-    const bool src_ok = (source == kAnySource) || (m.source == source);
-    const bool tag_ok = (tag == kAnyTag) || (m.tag == tag);
-    if (ctx_ok && src_ok && tag_ok) return i;
-  }
-  return npos;
-}
-
-Message Mailbox::take(std::int64_t context, int source, int tag) {
-  std::unique_lock lock(mutex_);
-  std::size_t idx;
-  cv_.wait(lock, [&] {
-    if (aborted_) return true;
-    idx = find_match(context, source, tag);
-    return idx != npos;
-  });
-  if (aborted_) {
-    throw AbortError("mailbox: runtime aborted while waiting for message");
-  }
-  Message msg = std::move(queue_[idx]);
-  queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(idx));
-  return msg;
-}
-
-std::optional<Message> Mailbox::try_take(std::int64_t context, int source,
-                                         int tag) {
-  std::lock_guard lock(mutex_);
-  if (aborted_) {
-    throw AbortError("mailbox: runtime aborted");
-  }
-  const std::size_t idx = find_match(context, source, tag);
-  if (idx == npos) return std::nullopt;
-  Message msg = std::move(queue_[idx]);
-  queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(idx));
-  return msg;
-}
-
-std::optional<Message> Mailbox::try_take_due(std::int64_t context, int source,
-                                             int tag, double arrival_cutoff) {
-  std::lock_guard lock(mutex_);
-  if (aborted_) {
-    throw AbortError("mailbox: runtime aborted");
-  }
-  for (std::size_t i = 0; i < queue_.size(); ++i) {
-    const Message& m = queue_[i];
-    const bool ctx_ok = m.context == context;
-    const bool src_ok = (source == kAnySource) || (m.source == source);
-    const bool tag_ok = (tag == kAnyTag) || (m.tag == tag);
-    if (!ctx_ok || !src_ok || !tag_ok) continue;
-    // Non-overtaking: skip if an older message of the same stream is still
-    // queued (it must be received first, due or not).
+    if (!matches(m, context, source, tag)) continue;
+    // A duplicate of an already-delivered sequence number is purged on
+    // sight — at-most-once delivery — and the scan restarts because the
+    // erase shifted indices.
+    if (m.seq != 0) {
+      const auto it = delivered_.find({m.context, m.source, m.tag});
+      if (it != delivered_.end() && m.seq <= it->second) {
+        queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(i));
+        ++duplicates_suppressed_;
+        i = npos;  // restart (loop increment wraps npos to 0)
+        continue;
+      }
+    }
+    // Non-overtaking: the message is only eligible if it is the head of
+    // its stream — no other queued message of the stream precedes it.
     bool blocked = false;
-    for (std::size_t j = 0; j < i; ++j) {
-      const Message& older = queue_[j];
-      if (older.context == m.context && older.source == m.source &&
-          older.tag == m.tag) {
+    for (std::size_t j = 0; j < queue_.size(); ++j) {
+      if (j == i) continue;
+      const Message& other = queue_[j];
+      if (other.context == m.context && other.source == m.source &&
+          other.tag == m.tag && precedes(other, j, m, i)) {
         blocked = true;
         break;
       }
     }
     if (blocked) continue;
-    if (m.arrival_vtime_s <= arrival_cutoff) {
-      Message msg = std::move(queue_[i]);
-      queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(i));
-      return msg;
+    // Due-only mode: a stream whose head is still virtually in flight
+    // yields nothing (a later same-stream message may not overtake it).
+    if (arrival_cutoff != nullptr && m.arrival_vtime_s > *arrival_cutoff) {
+      continue;
     }
+    return i;
   }
-  return std::nullopt;
+  return npos;
+}
+
+Message Mailbox::remove_locked(std::size_t idx) {
+  Message msg = std::move(queue_[idx]);
+  queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(idx));
+  if (msg.seq != 0) {
+    std::uint64_t& mark = delivered_[{msg.context, msg.source, msg.tag}];
+    if (msg.seq > mark) mark = msg.seq;
+  }
+  return msg;
+}
+
+void Mailbox::throw_if_dead_locked(bool have_match) const {
+  if (aborted_) {
+    throw AbortError("mailbox: runtime aborted while waiting for message");
+  }
+  if (!have_match && lost_peer_ >= 0) {
+    throw PeerLostError("mailbox: rank " + std::to_string(lost_peer_) +
+                        " exited while this rank was waiting for a message");
+  }
+}
+
+Message Mailbox::take(std::int64_t context, int source, int tag) {
+  std::unique_lock lock(mutex_);
+  std::size_t idx = npos;
+  cv_.wait(lock, [&] {
+    if (aborted_ || lost_peer_ >= 0) return true;
+    idx = select_locked(context, source, tag, nullptr);
+    return idx != npos;
+  });
+  if (aborted_ || lost_peer_ >= 0) {
+    // One last look: a match that is already queued is still deliverable
+    // even when a (different) peer died.
+    idx = aborted_ ? npos : select_locked(context, source, tag, nullptr);
+    throw_if_dead_locked(idx != npos);
+  }
+  return remove_locked(idx);
+}
+
+std::optional<Message> Mailbox::take_for(std::int64_t context, int source,
+                                         int tag, double timeout_s) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                            std::chrono::duration<double>(timeout_s));
+  std::unique_lock lock(mutex_);
+  std::size_t idx = npos;
+  const bool matched = cv_.wait_until(lock, deadline, [&] {
+    if (aborted_ || lost_peer_ >= 0) return true;
+    idx = select_locked(context, source, tag, nullptr);
+    return idx != npos;
+  });
+  if (aborted_ || lost_peer_ >= 0) {
+    idx = aborted_ ? npos : select_locked(context, source, tag, nullptr);
+    throw_if_dead_locked(idx != npos);
+    return remove_locked(idx);
+  }
+  if (!matched) return std::nullopt;
+  return remove_locked(idx);
+}
+
+std::optional<Message> Mailbox::try_take(std::int64_t context, int source,
+                                         int tag) {
+  std::lock_guard lock(mutex_);
+  const std::size_t idx = select_locked(context, source, tag, nullptr);
+  throw_if_dead_locked(idx != npos);
+  if (idx == npos) return std::nullopt;
+  return remove_locked(idx);
+}
+
+std::optional<Message> Mailbox::try_take_due(std::int64_t context, int source,
+                                             int tag, double arrival_cutoff) {
+  std::lock_guard lock(mutex_);
+  const std::size_t idx =
+      select_locked(context, source, tag, &arrival_cutoff);
+  // Due-only polling must not throw PeerLostError on an empty poll: the
+  // blocking wait that follows the poll loop surfaces it (an in-flight but
+  // not-yet-due message is a normal condition, a lost peer is not — but
+  // the poller cannot tell them apart, the waiter can).
+  if (aborted_) {
+    throw AbortError("mailbox: runtime aborted while waiting for message");
+  }
+  if (idx == npos) return std::nullopt;
+  return remove_locked(idx);
 }
 
 bool Mailbox::probe(std::int64_t context, int source, int tag) {
   std::lock_guard lock(mutex_);
-  return find_match(context, source, tag) != npos;
+  return select_locked(context, source, tag, nullptr) != npos;
 }
 
 std::size_t Mailbox::pending() const {
@@ -98,10 +173,23 @@ std::size_t Mailbox::pending() const {
   return queue_.size();
 }
 
+std::uint64_t Mailbox::duplicates_suppressed() const {
+  std::lock_guard lock(mutex_);
+  return duplicates_suppressed_;
+}
+
 void Mailbox::abort() {
   {
     std::lock_guard lock(mutex_);
     aborted_ = true;
+  }
+  cv_.notify_all();
+}
+
+void Mailbox::notify_peer_lost(int global_rank) {
+  {
+    std::lock_guard lock(mutex_);
+    lost_peer_ = global_rank;
   }
   cv_.notify_all();
 }

@@ -3,9 +3,11 @@
 #pragma once
 
 #include <condition_variable>
+#include <cstdint>
 #include <deque>
 #include <mutex>
 #include <optional>
+#include <unordered_map>
 
 #include "mprt/message.hpp"
 
@@ -16,6 +18,14 @@ namespace rsmpi::mprt {
 /// per-(source, tag) FIFO order: `take` always returns the *oldest* queued
 /// message that satisfies the pattern, so two same-tag messages from the
 /// same sender are received in send order (the MPI non-overtaking rule).
+///
+/// "Oldest" is defined by Message::seq, not by queue position: a fault
+/// plan (mprt/sim.hpp) may physically enqueue messages out of order or
+/// enqueue the same message twice, and the sequence numbers let every
+/// receive path — blocking take, try_take, and the due-only try_take_due
+/// the async progress engine polls with — agree on one delivery order and
+/// deliver each sequence number at most once (duplicates are counted and
+/// discarded against a per-stream watermark).
 class Mailbox {
  public:
   Mailbox() = default;
@@ -23,13 +33,23 @@ class Mailbox {
   Mailbox& operator=(const Mailbox&) = delete;
 
   /// Enqueues a message; wakes the owner if it is blocked in take().
-  void put(Message msg);
+  /// `front` enqueues at the head instead of the tail — the fault plans'
+  /// physical-reorder injection (delivery order is unaffected for
+  /// sequenced messages, which is the property the harness verifies).
+  void put(Message msg, bool front = false);
 
   /// Blocks until a message matching (context, source, tag) is available
   /// and removes it.  Source and tag may be wildcards
   /// (kAnySource/kAnyTag); the context is always exact.  Throws AbortError
-  /// if the runtime is aborted while waiting.
+  /// if the runtime is aborted, and PeerLostError if a rank of the machine
+  /// exited, while waiting.
   Message take(std::int64_t context, int source, int tag);
+
+  /// Bounded-wait take: like take(), but gives up and returns std::nullopt
+  /// after `timeout_s` seconds of real time without a match.  Comm layers
+  /// retry/backoff (RecvDeadline) on top of this primitive.
+  std::optional<Message> take_for(std::int64_t context, int source, int tag,
+                                  double timeout_s);
 
   /// Non-blocking take; std::nullopt when no queued message matches.
   std::optional<Message> try_take(std::int64_t context, int source, int tag);
@@ -37,33 +57,76 @@ class Mailbox {
   /// Non-blocking take restricted to messages whose modelled arrival time
   /// is <= `arrival_cutoff` — "has this message arrived yet on the virtual
   /// timeline?".  Non-overtaking is preserved: a message is only eligible
-  /// if no older message of its own (context, source, tag) stream is still
-  /// queued ahead of it.
+  /// if no older (lower-sequence) message of its own (context, source,
+  /// tag) stream is still queued.
   std::optional<Message> try_take_due(std::int64_t context, int source,
                                       int tag, double arrival_cutoff);
 
   /// True when a message matching the pattern is queued (MPI_Iprobe).
+  /// Stale duplicates are purged first so probe never reports a message
+  /// take would refuse to deliver.
   [[nodiscard]] bool probe(std::int64_t context, int source, int tag);
 
   /// Number of queued (unmatched) messages; primarily for tests.
   [[nodiscard]] std::size_t pending() const;
+
+  /// Duplicate deliveries discarded by sequence-number suppression.
+  [[nodiscard]] std::uint64_t duplicates_suppressed() const;
 
   /// Puts the mailbox into the aborted state: all current and future
   /// blocking takes throw AbortError.  Used for fail-fast teardown when a
   /// sibling rank throws.
   void abort();
 
+  /// Records that global rank `global_rank` has exited.  Receives that
+  /// find no matching message then throw PeerLostError instead of
+  /// blocking forever on a sender that will never send; already-queued
+  /// messages remain deliverable.
+  void notify_peer_lost(int global_rank);
+
  private:
-  /// Index of oldest matching message, or npos.  Caller holds the lock.
-  [[nodiscard]] std::size_t find_match(std::int64_t context, int source,
-                                       int tag) const;
+  /// Sender-stream identity; the unit of ordering and deduplication.
+  struct StreamKey {
+    std::int64_t context;
+    int source;
+    int tag;
+    bool operator==(const StreamKey&) const = default;
+  };
+  struct StreamKeyHash {
+    std::size_t operator()(const StreamKey& k) const {
+      std::uint64_t h = static_cast<std::uint64_t>(k.context) * 0x9E3779B97F4A7C15ULL;
+      h ^= (static_cast<std::uint64_t>(static_cast<std::uint32_t>(k.source)) << 32) |
+           static_cast<std::uint64_t>(static_cast<std::uint32_t>(k.tag));
+      h *= 0xC2B2AE3D27D4EB4FULL;
+      return static_cast<std::size_t>(h ^ (h >> 29));
+    }
+  };
+
+  /// Index of the oldest eligible message matching the pattern, after
+  /// purging already-delivered duplicates; npos when none.  With
+  /// `arrival_cutoff`, a stream whose head has not virtually arrived is
+  /// skipped entirely (non-overtaking).  Caller holds the lock.
+  [[nodiscard]] std::size_t select_locked(std::int64_t context, int source,
+                                          int tag,
+                                          const double* arrival_cutoff);
+
+  /// Removes index `idx` from the queue, advancing its stream's delivered
+  /// watermark.  Caller holds the lock.
+  Message remove_locked(std::size_t idx);
+
+  /// Throws if the mailbox is aborted (always) or a peer is lost (when the
+  /// caller found no deliverable message).  Caller holds the lock.
+  void throw_if_dead_locked(bool have_match) const;
 
   static constexpr std::size_t npos = static_cast<std::size_t>(-1);
 
   mutable std::mutex mutex_;
   std::condition_variable cv_;
   std::deque<Message> queue_;
+  std::unordered_map<StreamKey, std::uint64_t, StreamKeyHash> delivered_;
+  std::uint64_t duplicates_suppressed_ = 0;
   bool aborted_ = false;
+  int lost_peer_ = -1;  // global rank that exited, or -1
 };
 
 }  // namespace rsmpi::mprt

@@ -41,6 +41,15 @@ class Message {
   int source = 0;
   int tag = 0;
   double arrival_vtime_s = 0.0;
+  /// Per-sender sequence number (strictly increasing along every
+  /// (context, source, tag) stream because a rank's sends are sequential).
+  /// The mailbox orders same-stream receives by it and suppresses
+  /// duplicates against a per-stream watermark, so physically reordered or
+  /// duplicated deliveries — injected by a fault plan, or arising from the
+  /// async engine's replay — are invisible above the mailbox.  0 means
+  /// "unsequenced" (messages built directly in tests): those keep the
+  /// legacy queue-position order and bypass duplicate suppression.
+  std::uint64_t seq = 0;
 
   Message() = default;
 

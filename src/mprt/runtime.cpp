@@ -25,7 +25,8 @@ Comm& this_comm() {
   return *t_current_comm;
 }
 
-Runtime::Runtime(int num_ranks, CostModel model) : model_(model) {
+Runtime::Runtime(int num_ranks, CostModel model, SimConfig sim)
+    : model_(model) {
   if (num_ranks < 1) {
     throw ArgumentError("Runtime: need at least one rank, got " +
                         std::to_string(num_ranks));
@@ -35,6 +36,9 @@ Runtime::Runtime(int num_ranks, CostModel model) : model_(model) {
     mailboxes_.push_back(std::make_unique<Mailbox>());
   }
   states_.resize(static_cast<std::size_t>(num_ranks));
+  if (sim.enabled()) {
+    chaos_ = std::make_unique<ChaosController>(sim, num_ranks);
+  }
 }
 
 Mailbox& Runtime::mailbox(int global_rank) {
@@ -49,9 +53,13 @@ void Runtime::abort_all() {
   for (auto& mb : mailboxes_) mb->abort();
 }
 
+void Runtime::notify_peer_lost(int global_rank) {
+  for (auto& mb : mailboxes_) mb->notify_peer_lost(global_rank);
+}
+
 RunResult run(int num_ranks, const std::function<void(Comm&)>& body,
-              const CostModel& model) {
-  Runtime runtime(num_ranks, model);
+              const CostModel& model, const SimConfig& sim) {
+  Runtime runtime(num_ranks, model, sim);
 
   std::vector<std::unique_ptr<Comm>> comms;
   comms.reserve(static_cast<std::size_t>(num_ranks));
@@ -68,6 +76,12 @@ RunResult run(int num_ranks, const std::function<void(Comm&)>& body,
       try {
         CurrentCommGuard guard(*comms[static_cast<std::size_t>(r)]);
         body(*comms[static_cast<std::size_t>(r)]);
+      } catch (const RankKilledError&) {
+        // A fault-plan kill is a modelled failure, not a teardown: peers
+        // get the typed PeerLostError (and may handle it and continue)
+        // rather than the indiscriminate abort.
+        errors[static_cast<std::size_t>(r)] = std::current_exception();
+        runtime.notify_peer_lost(r);
       } catch (...) {
         errors[static_cast<std::size_t>(r)] = std::current_exception();
         runtime.abort_all();
@@ -77,21 +91,23 @@ RunResult run(int num_ranks, const std::function<void(Comm&)>& body,
   for (auto& t : threads) t.join();
 
   // Rethrow the first real (non-cascade) failure, preferring low ranks so
-  // the reported error is deterministic.  AbortError on a rank is only a
-  // symptom of some other rank's failure; surface it only if nothing else
-  // threw (which would indicate a stray abort).
-  std::exception_ptr abort_only;
+  // the reported error is deterministic.  AbortError/PeerLostError on a
+  // rank is only a symptom of some other rank's failure; surface one only
+  // if nothing else threw (which would indicate a stray abort).
+  std::exception_ptr symptom_only;
   for (const auto& e : errors) {
     if (!e) continue;
     try {
       std::rethrow_exception(e);
     } catch (const AbortError&) {
-      if (!abort_only) abort_only = e;
+      if (!symptom_only) symptom_only = e;
+    } catch (const PeerLostError&) {
+      if (!symptom_only) symptom_only = e;
     } catch (...) {
       std::rethrow_exception(e);
     }
   }
-  if (abort_only) std::rethrow_exception(abort_only);
+  if (symptom_only) std::rethrow_exception(symptom_only);
 
   RunResult result;
   result.rank_times_s.reserve(static_cast<std::size_t>(num_ranks));
@@ -102,6 +118,10 @@ RunResult run(int num_ranks, const std::function<void(Comm&)>& body,
     if (t > result.makespan_s) result.makespan_s = t;
     result.total_messages += s.sent_count;
     result.total_bytes += s.sent_bytes;
+    result.duplicates_suppressed += runtime.mailbox(r).duplicates_suppressed();
+  }
+  if (ChaosController* chaos = runtime.chaos()) {
+    result.sim = chaos->stats();
   }
   return result;
 }

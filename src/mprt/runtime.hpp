@@ -8,18 +8,24 @@
 #include "mprt/comm.hpp"
 #include "mprt/cost_model.hpp"
 #include "mprt/mailbox.hpp"
+#include "mprt/sim.hpp"
 
 namespace rsmpi::mprt {
 
 /// Owns the shared state of one parallel execution: mailboxes, per-rank
-/// clocks/counters, and the cost model.  Created internally by run(); user
-/// code only sees Comm.
+/// clocks/counters, the cost model, and (when a fault plan is active) the
+/// chaos controller.  Created internally by run(); user code only sees
+/// Comm.
 class Runtime {
  public:
-  Runtime(int num_ranks, CostModel model);
+  Runtime(int num_ranks, CostModel model, SimConfig sim = SimConfig{});
 
   [[nodiscard]] int size() const { return static_cast<int>(mailboxes_.size()); }
   [[nodiscard]] const CostModel& cost_model() const { return model_; }
+
+  /// The run's fault driver, or nullptr when no fault plan is active (the
+  /// common case — send/receive paths skip the chaos layer on one branch).
+  [[nodiscard]] ChaosController* chaos() { return chaos_.get(); }
 
   [[nodiscard]] Mailbox& mailbox(int global_rank);
   [[nodiscard]] RankState& rank_state(int global_rank);
@@ -28,10 +34,16 @@ class Runtime {
   /// AbortError so a single throwing rank cannot deadlock the machine.
   void abort_all();
 
+  /// Records that `global_rank`'s thread has exited (fault-plan kill).
+  /// Every mailbox is poisoned so receives that would block forever on the
+  /// dead rank throw PeerLostError — a typed error, not a hang.
+  void notify_peer_lost(int global_rank);
+
  private:
   std::vector<std::unique_ptr<Mailbox>> mailboxes_;
   std::vector<RankState> states_;
   CostModel model_;
+  std::unique_ptr<ChaosController> chaos_;
 };
 
 /// Result of one parallel execution.
@@ -44,13 +56,22 @@ struct RunResult {
   /// Total messages / payload bytes sent by all ranks.
   std::uint64_t total_messages = 0;
   std::uint64_t total_bytes = 0;
+  /// Fault-injection statistics (all zero when no fault plan was active).
+  SimStats sim;
+  /// Duplicate deliveries suppressed by mailbox sequence numbers, summed
+  /// over ranks.
+  std::uint64_t duplicates_suppressed = 0;
 };
 
 /// Runs `body` on `num_ranks` ranks, each a thread with its own world
 /// Comm, and joins them.  If any rank throws, the runtime aborts the
 /// others and rethrows the lowest-ranked exception in the caller.
+/// Passing a SimConfig activates deterministic fault injection
+/// (mprt/sim.hpp) for the duration of the run; every decision derives
+/// from the config's seed, so failures replay exactly.
 RunResult run(int num_ranks, const std::function<void(Comm&)>& body,
-              const CostModel& model = CostModel{});
+              const CostModel& model = CostModel{},
+              const SimConfig& sim = SimConfig{});
 
 /// The calling thread's world communicator, set for the duration of its
 /// run() body — the analogue of MPI_COMM_WORLD being implicitly

@@ -165,6 +165,17 @@ void RSMPI_Exscan(std::vector<Out>* result, R&& values,
 
 // -- Nonblocking variants (MPI-3 shape) -------------------------------------
 
+/// Status codes returned by RSMPI_Wait/RSMPI_Test, MPI_SUCCESS-style.  A
+/// non-success code means the collective could not complete: the request
+/// handle is freed, the result pointer is left unwritten, and the rank may
+/// handle the failure (e.g. a peer killed by a fault plan) instead of
+/// hanging or unwinding.
+inline constexpr int RSMPI_SUCCESS = 0;
+/// A RecvDeadline expired while the operation was waiting for a message.
+inline constexpr int RSMPI_ERR_TIMEOUT = 1;
+/// A rank of the machine exited while the operation needed it.
+inline constexpr int RSMPI_ERR_PEER_LOST = 2;
+
 /// Opaque request handle for the nonblocking RSMPI routines.  A default-
 /// constructed handle is the RSMPI analogue of MPI_REQUEST_NULL: RSMPI_Wait
 /// on it returns immediately and RSMPI_Test reports completion.  Handles
@@ -209,28 +220,59 @@ RSMPI_Request RSMPI_Iscan(std::vector<Out>* result, R&& values,
 }
 
 /// RSMPI_Wait: blocks (progressing every pending operation on this rank)
-/// until the request completes, writes its result, and nulls the handle.
-inline void RSMPI_Wait(RSMPI_Request* request) {
-  if (!request->valid()) return;
-  request->request.wait();
-  request->finalize();
+/// until the request completes, writes its result, nulls the handle, and
+/// returns RSMPI_SUCCESS.  A timeout or lost peer frees the handle and
+/// returns the matching error code instead of propagating the exception —
+/// the MPI convention of surfacing failures as status codes.
+inline int RSMPI_Wait(RSMPI_Request* request) {
+  if (!request->valid()) return RSMPI_SUCCESS;
+  try {
+    request->request.wait();
+    request->finalize();
+  } catch (const TimeoutError&) {
+    *request = RSMPI_Request{};
+    return RSMPI_ERR_TIMEOUT;
+  } catch (const PeerLostError&) {
+    *request = RSMPI_Request{};
+    return RSMPI_ERR_PEER_LOST;
+  }
   *request = RSMPI_Request{};
+  return RSMPI_SUCCESS;
 }
 
 /// RSMPI_Test: one progress pass; returns 1 and completes the request (as
 /// RSMPI_Wait would) if it is done, 0 otherwise.  Null handles test as
-/// complete, matching MPI_Test on MPI_REQUEST_NULL.
-inline int RSMPI_Test(RSMPI_Request* request) {
+/// complete, matching MPI_Test on MPI_REQUEST_NULL.  When `status` is
+/// non-null it receives RSMPI_SUCCESS or the error code; a failed request
+/// reports complete (flag 1) with the code, and the handle is freed.
+inline int RSMPI_Test(RSMPI_Request* request, int* status = nullptr) {
+  if (status != nullptr) *status = RSMPI_SUCCESS;
   if (!request->valid()) return 1;
-  if (!request->request.test()) return 0;
-  request->finalize();
+  try {
+    if (!request->request.test()) return 0;
+    request->finalize();
+  } catch (const TimeoutError&) {
+    *request = RSMPI_Request{};
+    if (status != nullptr) *status = RSMPI_ERR_TIMEOUT;
+    return 1;
+  } catch (const PeerLostError&) {
+    *request = RSMPI_Request{};
+    if (status != nullptr) *status = RSMPI_ERR_PEER_LOST;
+    return 1;
+  }
   *request = RSMPI_Request{};
   return 1;
 }
 
-/// RSMPI_Waitall over a batch of requests.
-inline void RSMPI_Waitall(std::span<RSMPI_Request> requests) {
-  for (auto& request : requests) RSMPI_Wait(&request);
+/// RSMPI_Waitall over a batch of requests; returns the first non-success
+/// status (every request is waited and freed regardless).
+inline int RSMPI_Waitall(std::span<RSMPI_Request> requests) {
+  int status = RSMPI_SUCCESS;
+  for (auto& request : requests) {
+    const int s = RSMPI_Wait(&request);
+    if (status == RSMPI_SUCCESS) status = s;
+  }
+  return status;
 }
 
 }  // namespace rsmpi::c_api

@@ -34,4 +34,29 @@ class ProtocolError : public Error {
   explicit ProtocolError(const std::string& what) : Error(what) {}
 };
 
+/// Raised by a blocking receive whose RecvDeadline expired before a
+/// matching message arrived (e.g. because a fault plan dropped it).  The
+/// receive has consumed nothing; the caller may retry or give up.
+class TimeoutError : public Error {
+ public:
+  explicit TimeoutError(const std::string& what) : Error(what) {}
+};
+
+/// Raised by a receive path when a rank of the machine has exited (killed
+/// by a fault plan, or crashed) while this rank would otherwise block
+/// forever waiting for it.  Surfaced through the C API as
+/// RSMPI_ERR_PEER_LOST rather than a hang.
+class PeerLostError : public Error {
+ public:
+  explicit PeerLostError(const std::string& what) : Error(what) {}
+};
+
+/// Thrown inside a rank body when the fault plan kills that rank
+/// mid-collective.  The runtime converts it into PeerLostError on every
+/// sibling rank and rethrows it to run()'s caller as the root cause.
+class RankKilledError : public Error {
+ public:
+  explicit RankKilledError(const std::string& what) : Error(what) {}
+};
+
 }  // namespace rsmpi

@@ -1,0 +1,215 @@
+// Fuzzing of the operator serialization hooks (ISSUE 4, satellite 4):
+// save_into / load_from / combine_from_bytes (and the save/load fallbacks)
+// against truncated and corrupted wire bytes.  The contract under attack:
+// a malformed buffer must either load to *some* valid state or throw a
+// typed rsmpi::Error — never read out of bounds, never crash, never
+// propagate a foreign exception type.  bytes::Reader's bounds checks
+// (checked_extent, get_raw) are the mechanism; this suite is the proof.
+//
+// Every mutation is seeded through SimRng, so a failing (operator, seed)
+// pair replays exactly.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "mprt/sim.hpp"
+#include "rs/op_concepts.hpp"
+#include "rs/ops/concat.hpp"
+#include "rs/ops/counts.hpp"
+#include "rs/ops/histogram.hpp"
+#include "rs/ops/mink.hpp"
+#include "rs/ops/sketches.hpp"
+#include "rs/ops/topbottomk.hpp"
+#include "util/error.hpp"
+
+namespace {
+
+using namespace rsmpi;
+using mprt::SimRng;
+namespace ops = rs::ops;
+
+/// Attempts one load; returns true when it was rejected with a typed
+/// Error.  Any other exception type (or a crash) fails the test.
+template <typename Op>
+bool load_rejected(const Op& prototype, std::span<const std::byte> data) {
+  Op victim(prototype);
+  try {
+    rs::load_op_into(victim, data);
+    return false;
+  } catch (const Error&) {
+    return true;
+  }
+}
+
+template <typename Op>
+bool combine_rejected(const Op& prototype,
+                      std::span<const std::byte> data) {
+  Op victim(prototype);
+  try {
+    rs::combine_op_from_bytes(victim, prototype, data);
+    return false;
+  } catch (const Error&) {
+    return true;
+  }
+}
+
+/// The shared torture routine: round-trip must be exact, every truncation
+/// length must be absorbed (valid load or typed Error), and seeded byte
+/// corruption must never escape the Error taxonomy.
+template <typename Op, typename Check>
+void fuzz_operator(const char* name, const Op& prototype, const Op& filled,
+                   Check equivalent) {
+  const std::vector<std::byte> wire = rs::save_op(filled);
+  ASSERT_FALSE(wire.empty()) << name;
+
+  // Round trip through load and through combine-with-identity.
+  {
+    Op loaded(prototype);
+    rs::load_op_into(loaded, wire);
+    EXPECT_TRUE(equivalent(loaded, filled)) << name << ": load round trip";
+    Op combined(prototype);
+    rs::combine_op_from_bytes(combined, prototype, wire);
+    EXPECT_TRUE(equivalent(combined, filled)) << name << ": combine round trip";
+  }
+
+  // Truncation at every length, including zero.  Exhaustive: truncation is
+  // exactly what a short read off the wire produces.
+  for (std::size_t len = 0; len < wire.size(); ++len) {
+    const std::span<const std::byte> cut(wire.data(), len);
+    (void)load_rejected(prototype, cut);     // must not crash / read OOB
+    (void)combine_rejected(prototype, cut);  // ditto
+  }
+  // A truncated buffer can never silently load as the full state.
+  {
+    Op half(prototype);
+    bool loaded_clean = false;
+    try {
+      rs::load_op_into(half, {wire.data(), wire.size() / 2});
+      loaded_clean = true;
+    } catch (const Error&) {
+    }
+    if (loaded_clean) {
+      EXPECT_FALSE(equivalent(half, filled))
+          << name << ": half a buffer reproduced the full state";
+    }
+  }
+
+  // Extension: trailing garbage must be rejected, not ignored.
+  {
+    std::vector<std::byte> extended = wire;
+    extended.push_back(std::byte{0x5A});
+    EXPECT_TRUE(load_rejected(prototype, extended))
+        << name << ": trailing bytes accepted";
+  }
+
+  // Seeded corruption: flip 1..4 bytes anywhere (length prefixes
+  // included — the interesting mutations are huge or mismatched counts).
+  SimRng rng(mprt::splitmix64(0xF0220000ull ^ wire.size()));
+  for (int trial = 0; trial < 256; ++trial) {
+    std::vector<std::byte> mutated = wire;
+    const int flips = 1 + static_cast<int>(rng.below(4));
+    for (int f = 0; f < flips; ++f) {
+      const auto pos = static_cast<std::size_t>(rng.below(mutated.size()));
+      mutated[pos] ^= static_cast<std::byte>(1 + rng.below(255));
+    }
+    (void)load_rejected(prototype, mutated);
+    (void)combine_rejected(prototype, mutated);
+  }
+}
+
+TEST(SerializationFuzz, Counts) {
+  ops::Counts filled(16);
+  for (int i = 0; i < 64; ++i) filled.accum(i % 16);
+  fuzz_operator("Counts", ops::Counts(16), filled,
+                [](const ops::Counts& a, const ops::Counts& b) {
+                  return a.red_gen() == b.red_gen();
+                });
+}
+
+TEST(SerializationFuzz, Concat) {
+  ops::Concat filled;
+  for (const char c : std::string("the quick brown fox")) filled.accum(c);
+  fuzz_operator("Concat", ops::Concat{}, filled,
+                [](const ops::Concat& a, const ops::Concat& b) {
+                  return a.gen() == b.gen();
+                });
+}
+
+TEST(SerializationFuzz, Histogram) {
+  ops::Histogram<int> filled({0, 10, 20, 30});
+  for (int i = -5; i < 40; ++i) filled.accum(i);
+  fuzz_operator("Histogram", ops::Histogram<int>({0, 10, 20, 30}), filled,
+                [](const ops::Histogram<int>& a, const ops::Histogram<int>& b) {
+                  return a.red_gen() == b.red_gen();
+                });
+}
+
+TEST(SerializationFuzz, MinK) {
+  ops::MinK<int> filled(5);
+  for (int i = 0; i < 40; ++i) filled.accum((i * 37) % 101);
+  fuzz_operator("MinK", ops::MinK<int>(5), filled,
+                [](const ops::MinK<int>& a, const ops::MinK<int>& b) {
+                  return a.gen() == b.gen();
+                });
+}
+
+TEST(SerializationFuzz, TopBottomK) {
+  ops::TopBottomK<double> filled(4);
+  for (int i = 0; i < 32; ++i) {
+    filled.accum({static_cast<double>((i * 29) % 83), i});
+  }
+  fuzz_operator(
+      "TopBottomK", ops::TopBottomK<double>(4), filled,
+      [](const ops::TopBottomK<double>& a, const ops::TopBottomK<double>& b) {
+        const auto ra = a.gen();
+        const auto rb = b.gen();
+        return ra.largest.size() == rb.largest.size() &&
+               ra.smallest.size() == rb.smallest.size();
+      });
+}
+
+TEST(SerializationFuzz, HyperLogLog) {
+  ops::HyperLogLog<long> filled(6);
+  for (long i = 0; i < 500; ++i) filled.accum(i * 7919);
+  fuzz_operator("HyperLogLog", ops::HyperLogLog<long>(6), filled,
+                [](const ops::HyperLogLog<long>& a,
+                   const ops::HyperLogLog<long>& b) {
+                  return a.gen() == b.gen();
+                });
+}
+
+TEST(SerializationFuzz, BloomFilter) {
+  ops::BloomFilter<long> filled(256, 3);
+  for (long i = 0; i < 100; ++i) filled.accum(i * 31);
+  fuzz_operator("BloomFilter", ops::BloomFilter<long>(256, 3), filled,
+                [&](const ops::BloomFilter<long>& a,
+                    const ops::BloomFilter<long>& b) {
+                  for (long i = 0; i < 100; ++i) {
+                    if (a.maybe_contains(i * 31) != b.maybe_contains(i * 31)) {
+                      return false;
+                    }
+                  }
+                  return true;
+                });
+}
+
+// A state arriving under the wrong prototype (mismatched constructor
+// parameters) is a protocol violation the load hooks must catch — the
+// cross-operator analogue of corruption.
+TEST(SerializationFuzz, MismatchedPrototypeIsRejected) {
+  ops::Counts eight(8);
+  for (int i = 0; i < 8; ++i) eight.accum(i);
+  const auto wire = rs::save_op(eight);
+  EXPECT_TRUE(load_rejected(ops::Counts(4), wire));
+  EXPECT_TRUE(combine_rejected(ops::Counts(4), wire));
+
+  ops::Histogram<int> coarse({0, 50, 100});
+  coarse.accum(25);
+  EXPECT_TRUE(load_rejected(ops::Histogram<int>({0, 10, 20, 30, 40}),
+                            rs::save_op(coarse)));
+}
+
+}  // namespace
