@@ -29,9 +29,13 @@ namespace rsmpi::coll {
 namespace detail {
 
 /// Element index where chunk `c` of `chunks` begins in a buffer of n
-/// elements (monotone, exactly covering [0, n)).
+/// elements (monotone, exactly covering [0, n)).  The product n * c can
+/// exceed 64 bits for large element counts, so it is computed in 128-bit
+/// arithmetic.
 inline std::size_t chunk_start(std::size_t n, int chunks, int c) {
-  return n * static_cast<std::size_t>(c) / static_cast<std::size_t>(chunks);
+  return static_cast<std::size_t>(static_cast<unsigned __int128>(n) *
+                                  static_cast<unsigned>(c) /
+                                  static_cast<unsigned>(chunks));
 }
 
 }  // namespace detail

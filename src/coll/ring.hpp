@@ -1,0 +1,205 @@
+// Bandwidth-optimal ring allreduce over partitionable operator states
+// (ISSUE 5).
+//
+// The whole-state schedules in rs/state_exchange.hpp ship the full
+// serialized state on every hop, so their critical path scales as
+// O(log p · n) bytes.  When the operator models the partitionable-state
+// hooks (rs/op_concepts.hpp), the state can instead be cut into p chunks
+// that reduce-scatter around a ring and reassemble with an allgather:
+// every rank moves 2·(p−1)/p·n bytes regardless of p — the bandwidth-
+// optimal volume — at the price of 2·(p−1) latency terms.  A chunked
+// Rabenseifner variant (recursive halving + recursive doubling over the
+// same hooks) trades most of that latency back at power-of-two rank
+// counts; the schedule autotuner in state_exchange.hpp picks between
+// them from the cost model.
+//
+// Both schedules require a commutative operator: chunks are folded in
+// pair/ring order, not rank order.  Chunk boundaries come from
+// coll::detail::chunk_start, so extents smaller than the rank count
+// degenerate gracefully to empty segments.  Segment messages carry the
+// raw save_part bytes with no framing — both ends derive the element
+// range from the schedule step, and the hooks validate sizes.
+#pragma once
+
+#include <cstddef>
+#include <utility>
+
+#include "coll/rabenseifner.hpp"
+#include "mprt/comm.hpp"
+#include "mprt/topology.hpp"
+#include "rs/op_concepts.hpp"
+
+namespace rsmpi::rs::detail {
+
+/// Serializes the element range [lo, hi) of `op` into a pooled buffer and
+/// move-sends it: the segmented analogue of send_state, zero-copy after
+/// warm-up (and, with the size-class pool bins, reusing segment-sized
+/// buffers rather than cannibalizing whole-state ones).
+template <PartitionableState Op>
+void send_state_part(mprt::Comm& comm, int dest, int tag, const Op& op,
+                     std::size_t lo, std::size_t hi) {
+  bytes::Writer w(comm.acquire_buffer(op.part_bytes(lo, hi)));
+  op.save_part(lo, hi, w);
+  comm.send_bytes(dest, tag, std::move(w).take());
+}
+
+/// Folds a received segment into [lo, hi) of `op` and recycles the buffer.
+template <PartitionableState Op>
+void combine_part_received(mprt::Comm& comm, Op& op, std::size_t lo,
+                           std::size_t hi, mprt::Message&& msg) {
+  {
+    auto timer = comm.compute_section();
+    op.combine_part(lo, hi, msg.payload());
+  }
+  comm.recycle_buffer(msg.release_storage());
+}
+
+/// Overwrites [lo, hi) of `op` from a received segment (allgather phase).
+template <PartitionableState Op>
+void load_part_received(mprt::Comm& comm, Op& op, std::size_t lo,
+                        std::size_t hi, mprt::Message&& msg) {
+  {
+    auto timer = comm.compute_section();
+    op.load_part(lo, hi, msg.payload());
+  }
+  comm.recycle_buffer(msg.release_storage());
+}
+
+/// Ring allreduce: reduce-scatter (p−1 steps, each rank combines one
+/// incoming chunk per step) followed by allgather (p−1 steps circulating
+/// the finished chunks).  Works for any p, power of two or not; requires
+/// commutativity.  Per-rank traffic is 2·(p−1)/p·n bytes.
+template <Combinable Op>
+  requires PartitionableState<Op>
+void state_allreduce_ring(mprt::Comm& comm, Op& op) {
+  const int p = comm.size();
+  if (p == 1) return;
+  const int tag = comm.next_collective_tag();
+  const int rank = comm.rank();
+  const std::size_t n = op.part_extent();
+  const int next = (rank + 1) % p;
+  const int prev = (rank + p - 1) % p;
+  const auto bounds = [&](int c) {
+    const int cc = ((c % p) + p) % p;
+    return std::pair{coll::detail::chunk_start(n, p, cc),
+                     coll::detail::chunk_start(n, p, cc + 1)};
+  };
+
+  // Reduce-scatter: in step s, rank r sends chunk (r − s) mod p downstream
+  // and folds incoming chunk (r − s − 1) mod p.  After p − 1 steps, rank r
+  // holds the fully reduced chunk (r + 1) mod p.
+  for (int s = 0; s < p - 1; ++s) {
+    const auto [slo, shi] = bounds(rank - s);
+    send_state_part(comm, next, tag, op, slo, shi);
+    const auto [rlo, rhi] = bounds(rank - s - 1);
+    auto msg = comm.recv_message(prev, tag);
+    combine_part_received(comm, op, rlo, rhi, std::move(msg));
+  }
+
+  // Allgather: circulate the finished chunks once more around the ring,
+  // each rank overwriting the chunk it receives.
+  for (int s = 0; s < p - 1; ++s) {
+    const auto [slo, shi] = bounds(rank + 1 - s);
+    send_state_part(comm, next, tag, op, slo, shi);
+    const auto [rlo, rhi] = bounds(rank - s);
+    auto msg = comm.recv_message(prev, tag);
+    load_part_received(comm, op, rlo, rhi, std::move(msg));
+  }
+}
+
+/// Chunked Rabenseifner allreduce over partitionable state: recursive-
+/// halving reduce-scatter + recursive-doubling allgather, the state-level
+/// restatement of coll::local_allreduce_rabenseifner.  2·log2(p) latency
+/// terms with the same 2·(1 − 1/p)·n bandwidth as the ring — the usual
+/// winner at power-of-two rank counts.  Non-powers-of-two fold the
+/// remainder ranks into even neighbours first (whole-state, MPICH-style)
+/// and hand them the finished state last, which costs two full-state hops;
+/// at large n the ring overtakes it there.  Commutative operators only.
+template <Combinable Op>
+  requires PartitionableState<Op>
+void state_allreduce_rabenseifner(mprt::Comm& comm, Op& op,
+                                  const Op& prototype) {
+  const int p = comm.size();
+  if (p == 1) return;
+  const int tag = comm.next_collective_tag();
+  const int rank = comm.rank();
+  const std::size_t n = op.part_extent();
+  const int pof2 = 1 << mprt::topology::floor_log2(p);
+  const int rem = p - pof2;
+
+  // Fold the remainder: the first 2·rem ranks pair up; odds deposit their
+  // whole state with the even neighbour and sit out until the end.
+  int vrank;  // rank within the power-of-two core, or folded away
+  if (rank < 2 * rem) {
+    if (rank % 2 == 1) {
+      {
+        bytes::Writer w(comm.acquire_buffer(0));
+        save_op_into(op, w);
+        comm.send_bytes(rank - 1, tag, std::move(w).take());
+      }
+      auto msg = comm.recv_message(rank - 1, tag);
+      {
+        auto timer = comm.compute_section();
+        load_op_into(op, msg.payload());
+      }
+      comm.recycle_buffer(msg.release_storage());
+      return;
+    }
+    auto msg = comm.recv_message(rank + 1, tag);
+    {
+      auto timer = comm.compute_section();
+      combine_op_from_bytes(op, prototype, msg.payload());
+    }
+    comm.recycle_buffer(msg.release_storage());
+    vrank = rank / 2;
+  } else {
+    vrank = rank - rem;
+  }
+  const auto real_rank = [&](int vr) { return vr < rem ? 2 * vr : vr + rem; };
+  const auto start = [&](int c) { return coll::detail::chunk_start(n, pof2, c); };
+
+  // Phase 1: recursive-halving reduce-scatter.  Invariant: this rank holds
+  // the partial reduction of chunk range [lo, hi), containing chunk vrank.
+  int lo = 0, hi = pof2;
+  for (int dist = pof2 / 2; dist >= 1; dist /= 2) {
+    const int partner = vrank ^ dist;
+    const int mid = (lo + hi) / 2;
+    const bool keep_low = vrank < mid;
+    const int send_lo = keep_low ? mid : lo;
+    const int send_hi = keep_low ? hi : mid;
+    const int keep_lo = keep_low ? lo : mid;
+    const int keep_hi = keep_low ? mid : hi;
+
+    send_state_part(comm, real_rank(partner), tag, op, start(send_lo),
+                    start(send_hi));
+    auto msg = comm.recv_message(real_rank(partner), tag);
+    combine_part_received(comm, op, start(keep_lo), start(keep_hi),
+                          std::move(msg));
+    lo = keep_lo;
+    hi = keep_hi;
+  }
+
+  // Phase 2: recursive-doubling allgather.  Invariant: this rank holds the
+  // *final* values of the aligned chunk range [lo, hi) of width dist.
+  for (int dist = 1; dist < pof2; dist *= 2) {
+    const int partner = vrank ^ dist;
+    send_state_part(comm, real_rank(partner), tag, op, start(lo), start(hi));
+    const int block = 2 * dist;
+    const int base = (vrank / block) * block;
+    const int plo = (lo == base) ? base + dist : base;
+    const int phi = plo + dist;
+    auto msg = comm.recv_message(real_rank(partner), tag);
+    load_part_received(comm, op, start(plo), start(phi), std::move(msg));
+    lo = base;
+    hi = base + block;
+  }
+
+  // Hand the folded-away odd neighbour its finished state.
+  if (rank < 2 * rem) {
+    bytes::Writer w(comm.acquire_buffer(0));
+    save_op_into(op, w);
+    comm.send_bytes(rank + 1, tag, std::move(w).take());
+  }
+}
+
+}  // namespace rsmpi::rs::detail

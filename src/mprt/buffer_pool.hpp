@@ -8,6 +8,16 @@
 // from the owning rank's thread (the pool lives in RankState, which is
 // only touched from that thread), so no locking is needed here — the
 // cross-thread handoff is synchronized by the mailbox's mutex.
+//
+// Segmented schedules (ISSUE 5) circulate many small chunk buffers next
+// to occasional whole-state ones, so the pool keeps size-class bins
+// (powers of two from 1 KiB to 256 KiB) besides the generic LIFO
+// freelist: a segment-sized acquire is served from its own bin instead of
+// cannibalizing a pooled whole-state buffer and forcing the next
+// whole-state send to reallocate.  Acquire never misses while *anything*
+// is pooled — it falls back from the exact bin to larger bins, the
+// generic freelist, and finally any nonempty bin — preserving the
+// zero-alloc steady state the warm-path tests pin down.
 #pragma once
 
 #include <cstddef>
@@ -17,31 +27,63 @@
 
 namespace rsmpi::mprt {
 
-/// Rank-local LIFO freelist of byte buffers.  Not thread-safe by design;
-/// see the header comment for why that is sound.
+/// Rank-local freelist of byte buffers, binned by capacity.  Not
+/// thread-safe by design; see the header comment for why that is sound.
 class BufferPool {
  public:
-  /// Upper bound on retained buffers; beyond it, released buffers are
-  /// dropped (freed) so a burst of traffic cannot pin memory forever.
+  /// Upper bound on retained generic (over-256-KiB or unclassed) buffers;
+  /// beyond it, released buffers are dropped (freed) so a burst of
+  /// traffic cannot pin memory forever.
   static constexpr std::size_t kMaxPooled = 16;
+  /// Upper bound on retained buffers per size-class bin.
+  static constexpr std::size_t kMaxPerClass = 8;
+  /// Size-class c covers capacities in (kClassMinBytes << (c-1),
+  /// kClassMinBytes << c]; class 0 covers [0, kClassMinBytes].
+  static constexpr std::size_t kClassMinBytes = 1024;
+  static constexpr std::size_t kClassMaxBytes = 256 * 1024;
+  static constexpr std::size_t kNumClasses = 9;  // 1K, 2K, ..., 256K
 
   struct Stats {
-    std::uint64_t hits = 0;    ///< acquire served from the freelist
+    std::uint64_t hits = 0;    ///< acquire served from the pool
     std::uint64_t misses = 0;  ///< acquire had to heap-allocate
     std::uint64_t dropped = 0; ///< release discarded (pool full)
+    /// Acquires with a known size served from that size's own bin — the
+    /// segment-buffer recycling the pipelined/ring schedules rely on.
+    /// A subset of `hits`.
+    std::uint64_t segments_reused = 0;
   };
 
   /// Returns an empty buffer with at least `reserve_bytes` of capacity,
-  /// reusing a pooled allocation when possible.  LIFO reuse keeps the
-  /// hottest (largest, most recently grown) buffer in circulation.
+  /// reusing a pooled allocation when possible.  LIFO reuse within each
+  /// bin keeps the hottest buffer in circulation.
   std::vector<std::byte> acquire(std::size_t reserve_bytes) {
-    if (!free_.empty()) {
-      std::vector<std::byte> buf = std::move(free_.back());
-      free_.pop_back();
+    // Exact bin first: a right-sized buffer, counted as a segment reuse
+    // when the caller asked for a definite size.
+    const std::size_t cls = class_of(reserve_bytes);
+    if (cls < kNumClasses && !bins_[cls].empty()) {
       ++stats_.hits;
-      buf.clear();
-      buf.reserve(reserve_bytes);
-      return buf;
+      if (reserve_bytes > 0) ++stats_.segments_reused;
+      return take_from(bins_[cls], reserve_bytes);
+    }
+    // Larger bins next (ascending, tightest fit): already big enough.
+    for (std::size_t c = cls + 1; c < kNumClasses; ++c) {
+      if (!bins_[c].empty()) {
+        ++stats_.hits;
+        return take_from(bins_[c], reserve_bytes);
+      }
+    }
+    // Generic freelist (whole-state sized buffers live here).
+    if (!free_.empty()) {
+      ++stats_.hits;
+      return take_from(free_, reserve_bytes);
+    }
+    // Any pooled allocation beats a heap allocation: scan the smaller
+    // bins, largest first (reserve will grow the buffer in place).
+    for (std::size_t c = cls < kNumClasses ? cls : kNumClasses; c-- > 0;) {
+      if (!bins_[c].empty()) {
+        ++stats_.hits;
+        return take_from(bins_[c], reserve_bytes);
+      }
     }
     ++stats_.misses;
     std::vector<std::byte> buf;
@@ -49,10 +91,21 @@ class BufferPool {
     return buf;
   }
 
-  /// Returns a buffer to the freelist for reuse.  Empty buffers (no
-  /// allocation to recycle) and overflow beyond kMaxPooled are dropped.
+  /// Returns a buffer to its size-class bin (or the generic freelist for
+  /// large buffers) for reuse.  Empty buffers (no allocation to recycle)
+  /// and overflow beyond the bin caps are dropped.
   void release(std::vector<std::byte>&& buf) {
-    if (buf.capacity() == 0) return;
+    const std::size_t cap = buf.capacity();
+    if (cap == 0) return;
+    if (cap <= kClassMaxBytes) {
+      auto& bin = bins_[class_of(cap)];
+      if (bin.size() >= kMaxPerClass) {
+        ++stats_.dropped;
+        return;
+      }
+      bin.push_back(std::move(buf));
+      return;
+    }
     if (free_.size() >= kMaxPooled) {
       ++stats_.dropped;
       return;
@@ -61,11 +114,36 @@ class BufferPool {
   }
 
   [[nodiscard]] const Stats& stats() const { return stats_; }
-  [[nodiscard]] std::size_t size() const { return free_.size(); }
+  [[nodiscard]] std::size_t size() const {
+    std::size_t n = free_.size();
+    for (const auto& bin : bins_) n += bin.size();
+    return n;
+  }
   void reset_stats() { stats_ = Stats{}; }
 
  private:
+  /// Size class covering `bytes`, or kNumClasses for over-kClassMaxBytes.
+  [[nodiscard]] static std::size_t class_of(std::size_t bytes) {
+    std::size_t cap = kClassMinBytes;
+    std::size_t c = 0;
+    while (bytes > cap && c < kNumClasses) {
+      cap <<= 1;
+      ++c;
+    }
+    return c;
+  }
+
+  static std::vector<std::byte> take_from(
+      std::vector<std::vector<std::byte>>& list, std::size_t reserve_bytes) {
+    std::vector<std::byte> buf = std::move(list.back());
+    list.pop_back();
+    buf.clear();
+    buf.reserve(reserve_bytes);
+    return buf;
+  }
+
   std::vector<std::vector<std::byte>> free_;
+  std::vector<std::vector<std::byte>> bins_[kNumClasses];
   Stats stats_;
 };
 

@@ -97,6 +97,119 @@ struct CostModel {
   }
 };
 
+/// Closed-form critical-path predictions for the state-allreduce schedules
+/// (ISSUE 5).  Each formula counts the modelled hops on the longest
+/// dependency chain of the schedule, with hop(b) = o_s + L + b·G + o_r —
+/// exactly what a rank's virtual clock accrues for one send/recv pair when
+/// compute is free.  The schedule autotuner in rs/state_exchange.hpp picks
+/// the argmin of these over (p, state bytes, partitionability); the
+/// decision-table tests and the large-message benchmark's `--check` mode
+/// hold the implementations to them.
+///
+/// The formulas deliberately ignore measured compute (combine cost is
+/// schedule-independent to first order) and model only the p > 1 case —
+/// callers short-circuit p == 1 before dispatching.
+struct ScheduleCost {
+  /// One message hop of b payload bytes under `m`.
+  [[nodiscard]] static double hop(const CostModel& m, std::size_t b) {
+    return m.send_overhead_s + m.latency_s +
+           static_cast<double>(b) * m.per_byte_s + m.recv_overhead_s;
+  }
+
+  /// Reduce-to-zero + broadcast, whole state on every tree edge:
+  /// 2·ceil(log2 p) sequential full-state hops.
+  [[nodiscard]] static double two_message(const CostModel& m, int p,
+                                          std::size_t bytes) {
+    return 2.0 * ceil_log2(p) * hop(m, bytes);
+  }
+
+  /// Recursive-doubling butterfly: log2(p2) full-state exchange rounds,
+  /// plus a fold-in and a fold-out full-state hop when p is not a power of
+  /// two (p2 = largest power of two <= p).
+  [[nodiscard]] static double butterfly(const CostModel& m, int p,
+                                        std::size_t bytes) {
+    const int p2 = 1 << floor_log2_i(p);
+    double t = floor_log2_i(p2) * hop(m, bytes);
+    if (p != p2) t += 2.0 * hop(m, bytes);
+    return t;
+  }
+
+  /// Chunked Rabenseifner (recursive halving + recursive doubling): each
+  /// of the log2(p2) levels moves half, quarter, ... of the state twice
+  /// (once per phase), plus two whole-state hops to fold non-power-of-two
+  /// remainders in and out.
+  [[nodiscard]] static double rabenseifner(const CostModel& m, int p,
+                                           std::size_t bytes) {
+    const int p2 = 1 << floor_log2_i(p);
+    double t = 0.0;
+    std::size_t b = bytes;
+    for (int d = p2 / 2; d >= 1; d /= 2) {
+      b /= 2;
+      t += 2.0 * hop(m, b);
+    }
+    if (p != p2) t += 2.0 * hop(m, bytes);
+    return t;
+  }
+
+  /// Ring reduce-scatter + allgather: 2·(p−1) hops of one chunk (~n/p
+  /// bytes) each — bandwidth-optimal volume, latency-heavy at large p.
+  [[nodiscard]] static double ring(const CostModel& m, int p,
+                                   std::size_t bytes) {
+    const std::size_t chunk =
+        (bytes + static_cast<std::size_t>(p) - 1) / static_cast<std::size_t>(p);
+    return 2.0 * (p - 1) * hop(m, chunk);
+  }
+
+  /// Pipelined binomial reduce to rank 0, fill + drain.  Wire time (L +
+  /// b·G) is charged to the receiver's arrival stamp and does not occupy
+  /// the sender, so segments in flight on different tree levels overlap:
+  /// the first segment pays the full ceil(log2 p)-level climb, after which
+  /// the pipeline drains at the root's service rate of ceil(log2 p)
+  /// receives (one per level) per segment.
+  [[nodiscard]] static double pipelined_tree_reduce(const CostModel& m, int p,
+                                                    std::size_t bytes,
+                                                    std::size_t segment_bytes) {
+    const std::size_t nseg = segment_count(bytes, segment_bytes);
+    const std::size_t seg = (bytes + nseg - 1) / nseg;
+    const double levels = ceil_log2(p);
+    const double per_segment =
+        levels * (m.send_overhead_s > m.recv_overhead_s ? m.send_overhead_s
+                                                        : m.recv_overhead_s);
+    return levels * hop(m, seg) +
+           (static_cast<double>(nseg) - 1.0) * per_segment;
+  }
+
+  /// Pipelined reduce followed by pipelined broadcast.
+  [[nodiscard]] static double pipelined_tree_allreduce(
+      const CostModel& m, int p, std::size_t bytes,
+      std::size_t segment_bytes) {
+    return 2.0 * pipelined_tree_reduce(m, p, bytes, segment_bytes);
+  }
+
+  /// Whole-state binomial reduce to rank 0 (the legacy reduce path).
+  [[nodiscard]] static double tree_reduce(const CostModel& m, int p,
+                                          std::size_t bytes) {
+    return ceil_log2(p) * hop(m, bytes);
+  }
+
+ private:
+  [[nodiscard]] static constexpr int floor_log2_i(int n) {
+    int k = 0;
+    while ((1 << (k + 1)) <= n) ++k;
+    return k;
+  }
+  [[nodiscard]] static constexpr int ceil_log2(int n) {
+    int k = 0;
+    while ((1 << k) < n) ++k;
+    return k;
+  }
+  [[nodiscard]] static constexpr std::size_t segment_count(
+      std::size_t bytes, std::size_t segment_bytes) {
+    if (segment_bytes == 0 || bytes <= segment_bytes) return 1;
+    return (bytes + segment_bytes - 1) / segment_bytes;
+  }
+};
+
 /// Monotone virtual clock owned by one rank.  Not thread-safe; each rank
 /// touches only its own clock, and message timestamps transfer time between
 /// ranks without shared mutable state.

@@ -119,6 +119,7 @@ RunResult run(int num_ranks, const std::function<void(Comm&)>& body,
     result.total_messages += s.sent_count;
     result.total_bytes += s.sent_bytes;
     result.duplicates_suppressed += runtime.mailbox(r).duplicates_suppressed();
+    result.segments_reused += s.pool.stats().segments_reused;
   }
   if (ChaosController* chaos = runtime.chaos()) {
     result.sim = chaos->stats();

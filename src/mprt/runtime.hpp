@@ -61,6 +61,10 @@ struct RunResult {
   /// Duplicate deliveries suppressed by mailbox sequence numbers, summed
   /// over ranks.
   std::uint64_t duplicates_suppressed = 0;
+  /// Buffer-pool acquires served from a size-class bin matching the
+  /// requested size, summed over ranks — the segment-buffer recycling the
+  /// segmented schedules (ring / pipelined) rely on.
+  std::uint64_t segments_reused = 0;
 };
 
 /// Runs `body` on `num_ranks` ranks, each a thread with its own world

@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "coll/nb/iallreduce.hpp"
+#include "coll/nb/istate_ring.hpp"
 #include "coll/nb/progress.hpp"
 #include "mprt/comm.hpp"
 #include "mprt/topology.hpp"
@@ -388,8 +389,11 @@ class StateXscanOp final : public coll::nb::Operation {
 
 /// Launches the nonblocking state allreduce for an already-accumulated
 /// operator state; shared by reduce_async and the C bindings.  Commutative
-/// operators get the single-tag butterfly; non-commutative ones the
-/// order-preserving binomial reduce + bcast (two tags).
+/// operators get a single-tag schedule — the bandwidth-optimal ring when
+/// the state is partitionable and RSMPI_SCHEDULE forces it or the cost
+/// model prefers it over the butterfly (the only two shapes the progress
+/// engine offers), the whole-state butterfly otherwise.  Non-commutative
+/// operators take the order-preserving binomial reduce + bcast (two tags).
 template <Combinable Op>
 coll::nb::Request launch_state_allreduce(
     mprt::Comm& comm, std::shared_ptr<AsyncOpState<Op>> state,
@@ -397,6 +401,24 @@ coll::nb::Request launch_state_allreduce(
   if (comm.size() == 1) return coll::nb::Request{};
   if (commutative) {
     const int tag = comm.reserve_collective_tags(1);
+    if constexpr (PartitionableState<Op>) {
+      const Schedule forced = schedule_from_env();
+      using SC = mprt::ScheduleCost;
+      const bool use_ring =
+          forced == Schedule::kRing ||
+          (forced == Schedule::kAuto &&
+           SC::ring(comm.cost_model(), comm.size(),
+                    part_state_bytes(state->op)) <
+               SC::butterfly(comm.cost_model(), comm.size(),
+                             part_state_bytes(state->op)));
+      if (use_ring) {
+        return coll::nb::ProgressEngine::current().launch(
+            comm,
+            std::make_unique<coll::nb::IStateRingAllreduceOp<AsyncOpState<Op>>>(
+                comm, std::move(state), tag),
+            tag, 1);
+      }
+    }
     return coll::nb::ProgressEngine::current().launch(
         comm,
         std::make_unique<StateButterflyAllreduceOp<Op>>(comm, std::move(state),

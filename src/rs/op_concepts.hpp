@@ -96,6 +96,59 @@ concept HasCombineFromBytes =
       op.combine_from_bytes(data);
     };
 
+// -- Partitionable states (ISSUE 5) -----------------------------------------
+//
+// An operator whose state is an array of independently combinable elements
+// (Counts buckets, Histogram bins, an element-wise vector, or a single
+// scalar) may additionally provide:
+//
+//   * `part_extent()`            — number of elements; must be equal on
+//     every rank holding the same prototype and stable under accum/combine;
+//   * `part_bytes(lo, hi)`       — serialized size of the element range
+//     [lo, hi); must depend only on the range and the prototype
+//     configuration (never on accumulated values), so every rank plans the
+//     same segmentation;
+//   * `save_part(lo, hi, w)`     — append exactly part_bytes(lo, hi) bytes
+//     for the range (no framing: both ends derive the range from the
+//     schedule step);
+//   * `load_part(lo, hi, data)`  — overwrite the range from a peer's
+//     save_part bytes;
+//   * `combine_part(lo, hi, data)` — fold a peer's save_part bytes into
+//     the range: this[lo, hi) = this[lo, hi) (+) decode(data).
+//
+// The contract (checked by the segmented-schedule tests): for any split of
+// [0, part_extent()) into consecutive ranges, combining another state
+// range-by-range must equal one whole-state combine(), and save_part over
+// the full range followed by load_part must round-trip the state.  The
+// bandwidth-optimal schedules (coll/ring.hpp, coll/pipeline.hpp) are only
+// offered to operators modelling these hooks; everything else keeps the
+// whole-state path.
+
+template <typename Op>
+concept PartitionableState =
+    requires(const Op cop, Op op, std::size_t lo, std::size_t hi,
+             bytes::Writer& w, std::span<const std::byte> data) {
+      { cop.part_extent() } -> std::convertible_to<std::size_t>;
+      { cop.part_bytes(lo, hi) } -> std::convertible_to<std::size_t>;
+      cop.save_part(lo, hi, w);
+      op.load_part(lo, hi, data);
+      op.combine_part(lo, hi, data);
+    };
+
+/// Whether the runtime may combine disjoint element ranges of Op's state
+/// independently (and thus run reduce-scatter/pipelined schedules on it).
+template <typename Op>
+[[nodiscard]] constexpr bool op_partitionable() {
+  return PartitionableState<Op>;
+}
+
+/// Serialized size of the whole partitionable state — the `n` the schedule
+/// cost formulas are evaluated at.
+template <PartitionableState Op>
+[[nodiscard]] std::size_t part_state_bytes(const Op& op) {
+  return op.part_bytes(0, op.part_extent());
+}
+
 /// A complete reduction operator over input type In: accumulable,
 /// combinable, copyable (for identity cloning), able to generate a
 /// reduction result, and serializable one way or the other.

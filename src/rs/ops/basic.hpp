@@ -4,14 +4,68 @@
 // same reduce/scan machinery as user-defined operators.
 #pragma once
 
+#include <cstddef>
+#include <cstring>
 #include <limits>
+#include <span>
+
+#include "util/bytes.hpp"
+#include "util/error.hpp"
 
 namespace rsmpi::rs::ops {
+
+/// Partitionable-state hooks (ISSUE 5) for trivially-copyable scalar
+/// operators: the state is a single element whose wire format is the
+/// operator's memcpy representation, matching the whole-state fallback.
+/// CRTP mixin so each operator's hooks see its concrete type; the base is
+/// empty, keeping the derived operator trivially copyable and its size
+/// unchanged.
+template <typename Derived>
+class ScalarPartitionable {
+ public:
+  [[nodiscard]] std::size_t part_extent() const { return 1; }
+  [[nodiscard]] std::size_t part_bytes(std::size_t lo, std::size_t hi) const {
+    return (hi - lo) * sizeof(Derived);
+  }
+  void save_part(std::size_t lo, std::size_t hi, bytes::Writer& w) const {
+    check_range(lo, hi);
+    if (hi > lo) w.put(static_cast<const Derived&>(*this));
+  }
+  void load_part(std::size_t lo, std::size_t hi,
+                 std::span<const std::byte> data) {
+    check_range(lo, hi);
+    if (data.size() != part_bytes(lo, hi)) {
+      throw ProtocolError("scalar operator: segment has mismatched size");
+    }
+    if (hi > lo) {
+      std::memcpy(static_cast<void*>(static_cast<Derived*>(this)),
+                  data.data(), sizeof(Derived));
+    }
+  }
+  void combine_part(std::size_t lo, std::size_t hi,
+                    std::span<const std::byte> data) {
+    check_range(lo, hi);
+    if (data.size() != part_bytes(lo, hi)) {
+      throw ProtocolError("scalar operator: segment has mismatched size");
+    }
+    if (hi > lo) {
+      static_cast<Derived*>(this)->combine(
+          bytes::load_unaligned<Derived>(data.data()));
+    }
+  }
+
+ private:
+  static void check_range(std::size_t lo, std::size_t hi) {
+    if (lo > hi || hi > 1) {
+      throw ProtocolError("scalar operator: segment range out of bounds");
+    }
+  }
+};
 
 /// Running sum.  State, input, and output types coincide — the degenerate
 /// case in which the global-view abstraction collapses to the local view.
 template <typename T>
-class Sum {
+class Sum : public ScalarPartitionable<Sum<T>> {
  public:
   static constexpr bool commutative = true;
 
@@ -25,7 +79,7 @@ class Sum {
 
 /// Running product.
 template <typename T>
-class Product {
+class Product : public ScalarPartitionable<Product<T>> {
  public:
   static constexpr bool commutative = true;
 
@@ -39,7 +93,7 @@ class Product {
 
 /// Minimum value.
 template <typename T>
-class Min {
+class Min : public ScalarPartitionable<Min<T>> {
  public:
   static constexpr bool commutative = true;
 
@@ -55,7 +109,7 @@ class Min {
 
 /// Maximum value.
 template <typename T>
-class Max {
+class Max : public ScalarPartitionable<Max<T>> {
  public:
   static constexpr bool commutative = true;
 

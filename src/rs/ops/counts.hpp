@@ -14,6 +14,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <cstring>
 #include <span>
 #include <vector>
 
@@ -82,7 +83,43 @@ class Counts {
     }
   }
 
+  // Partitionable-state hooks (ISSUE 5): each bucket combines
+  // independently, so segmented schedules may ship and fold bucket ranges.
+  [[nodiscard]] std::size_t part_extent() const { return v_.size(); }
+  [[nodiscard]] std::size_t part_bytes(std::size_t lo, std::size_t hi) const {
+    return (hi - lo) * sizeof(long);
+  }
+  void save_part(std::size_t lo, std::size_t hi, bytes::Writer& w) const {
+    check_range(lo, hi);
+    w.put_raw(std::as_bytes(std::span<const long>(v_).subspan(lo, hi - lo)));
+  }
+  void load_part(std::size_t lo, std::size_t hi,
+                 std::span<const std::byte> data) {
+    check_range(lo, hi);
+    if (data.size() != (hi - lo) * sizeof(long)) {
+      throw ProtocolError("Counts: segment arrived with mismatched size");
+    }
+    if (!data.empty()) std::memcpy(v_.data() + lo, data.data(), data.size());
+  }
+  void combine_part(std::size_t lo, std::size_t hi,
+                    std::span<const std::byte> data) {
+    check_range(lo, hi);
+    if (data.size() != (hi - lo) * sizeof(long)) {
+      throw ProtocolError("Counts: segment arrived with mismatched size");
+    }
+    const std::byte* p = data.data();
+    for (std::size_t i = lo; i < hi; ++i, p += sizeof(long)) {
+      v_[i] += bytes::load_unaligned<long>(p);
+    }
+  }
+
  private:
+  void check_range(std::size_t lo, std::size_t hi) const {
+    if (lo > hi || hi > v_.size()) {
+      throw ProtocolError("Counts: segment range out of bounds");
+    }
+  }
+
   std::vector<long> v_;
 };
 

@@ -93,7 +93,47 @@ class Histogram {
     }
   }
 
+  // Partitionable-state hooks (ISSUE 5): the occupancy vector is
+  // element-wise additive, so bin ranges combine independently.  The edges
+  // stay prototype configuration and never travel.
+  [[nodiscard]] std::size_t part_extent() const { return counts_.size(); }
+  [[nodiscard]] std::size_t part_bytes(std::size_t lo, std::size_t hi) const {
+    return (hi - lo) * sizeof(long);
+  }
+  void save_part(std::size_t lo, std::size_t hi, bytes::Writer& w) const {
+    check_range(lo, hi);
+    w.put_raw(
+        std::as_bytes(std::span<const long>(counts_).subspan(lo, hi - lo)));
+  }
+  void load_part(std::size_t lo, std::size_t hi,
+                 std::span<const std::byte> data) {
+    check_range(lo, hi);
+    if (data.size() != (hi - lo) * sizeof(long)) {
+      throw ProtocolError("Histogram: segment arrived with mismatched size");
+    }
+    if (!data.empty()) {
+      std::memcpy(counts_.data() + lo, data.data(), data.size());
+    }
+  }
+  void combine_part(std::size_t lo, std::size_t hi,
+                    std::span<const std::byte> data) {
+    check_range(lo, hi);
+    if (data.size() != (hi - lo) * sizeof(long)) {
+      throw ProtocolError("Histogram: segment arrived with mismatched size");
+    }
+    const std::byte* p = data.data();
+    for (std::size_t i = lo; i < hi; ++i, p += sizeof(long)) {
+      counts_[i] += bytes::load_unaligned<long>(p);
+    }
+  }
+
  private:
+  void check_range(std::size_t lo, std::size_t hi) const {
+    if (lo > hi || hi > counts_.size()) {
+      throw ProtocolError("Histogram: segment range out of bounds");
+    }
+  }
+
   /// Index layout: [0, nbins) interior, nbins = underflow, nbins+1 = over.
   [[nodiscard]] std::size_t bin_of(const T& x) const {
     const std::size_t nbins = edges_.size() - 1;

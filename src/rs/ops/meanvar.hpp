@@ -6,6 +6,11 @@
 
 #include <cmath>
 #include <cstdint>
+#include <cstring>
+#include <span>
+
+#include "util/bytes.hpp"
+#include "util/error.hpp"
 
 namespace rsmpi::rs::ops {
 
@@ -55,7 +60,43 @@ class MeanVar {
     return r;
   }
 
+  // Partitionable-state hooks (ISSUE 5): the whole (n, mean, M2) summary
+  // is one element, so segmented schedules degenerate to the whole-state
+  // wire format (the trivially-copyable memcpy representation).  Note the
+  // Chan combine is floating-point: results across schedules agree only up
+  // to rounding, unlike the integer element-wise operators.
+  [[nodiscard]] std::size_t part_extent() const { return 1; }
+  [[nodiscard]] std::size_t part_bytes(std::size_t lo, std::size_t hi) const {
+    return (hi - lo) * sizeof(MeanVar);
+  }
+  void save_part(std::size_t lo, std::size_t hi, bytes::Writer& w) const {
+    check_range(lo, hi);
+    if (hi > lo) w.put(*this);
+  }
+  void load_part(std::size_t lo, std::size_t hi,
+                 std::span<const std::byte> data) {
+    check_range(lo, hi);
+    if (data.size() != part_bytes(lo, hi)) {
+      throw ProtocolError("MeanVar: segment arrived with mismatched size");
+    }
+    if (hi > lo) std::memcpy(static_cast<void*>(this), data.data(), sizeof(MeanVar));
+  }
+  void combine_part(std::size_t lo, std::size_t hi,
+                    std::span<const std::byte> data) {
+    check_range(lo, hi);
+    if (data.size() != part_bytes(lo, hi)) {
+      throw ProtocolError("MeanVar: segment arrived with mismatched size");
+    }
+    if (hi > lo) combine(bytes::load_unaligned<MeanVar>(data.data()));
+  }
+
  private:
+  static void check_range(std::size_t lo, std::size_t hi) {
+    if (lo > hi || hi > 1) {
+      throw ProtocolError("MeanVar: segment range out of bounds");
+    }
+  }
+
   std::int64_t n_ = 0;
   double mean_ = 0.0;
   double m2_ = 0.0;

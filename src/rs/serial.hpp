@@ -7,6 +7,8 @@
 // *means* independent of any schedule.
 #pragma once
 
+#include <algorithm>
+#include <cstddef>
 #include <ranges>
 #include <vector>
 
@@ -76,6 +78,25 @@ std::vector<scan_result_t<Op, std::ranges::range_value_t<R>>> xscan(
 template <Combinable Op>
 Op combine(Op left, const Op& right) {
   left.combine(right);
+  return left;
+}
+
+/// Sequential oracle for the partitionable-state contract (ISSUE 5):
+/// combines `right` into `left` one element range at a time through the
+/// save_part/combine_part hooks.  The contract requires the result to
+/// equal serial::combine(left, right) for every segmentation, which the
+/// segmented-schedule tests check at several widths.
+template <Combinable Op>
+  requires PartitionableState<Op>
+Op combine_via_parts(Op left, const Op& right, std::size_t segment_elems = 1) {
+  const std::size_t n = right.part_extent();
+  if (segment_elems == 0) segment_elems = 1;
+  for (std::size_t lo = 0; lo < n; lo += segment_elems) {
+    const std::size_t hi = std::min(n, lo + segment_elems);
+    bytes::Writer w;
+    right.save_part(lo, hi, w);
+    left.combine_part(lo, hi, w.view());
+  }
   return left;
 }
 

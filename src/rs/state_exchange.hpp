@@ -18,11 +18,16 @@
 
 #include <algorithm>
 #include <bit>
+#include <cstdlib>
+#include <string_view>
 #include <utility>
 #include <vector>
 
 #include "coll/bcast.hpp"
+#include "coll/pipeline.hpp"
+#include "coll/ring.hpp"
 #include "mprt/comm.hpp"
+#include "mprt/cost_model.hpp"
 #include "mprt/topology.hpp"
 #include "rs/op_concepts.hpp"
 #include "util/error.hpp"
@@ -30,6 +35,72 @@
 namespace rsmpi::rs::detail {
 
 inline constexpr int kUnorderedArity = 4;
+
+// -- Schedule selection (ISSUE 5) -------------------------------------------
+//
+// state_allreduce/state_reduce_to_zero pick among the schedules below by
+// evaluating the ScheduleCost closed forms against the communicator's cost
+// model; RSMPI_SCHEDULE pins a schedule and RSMPI_SEGMENT_BYTES sets the
+// pipeline granularity (see docs/schedules.md).
+
+enum class Schedule {
+  kAuto,         // argmin of the cost-model predictions
+  kTwoMessage,   // reduce to rank 0 + broadcast (legacy; order-preserving)
+  kButterfly,    // recursive doubling, whole state per round
+  kRabenseifner, // chunked recursive halving + doubling (partitionable)
+  kRing,         // chunked reduce-scatter + allgather ring (partitionable)
+  kPipelined,    // segmented binomial tree(s) (partitionable)
+};
+
+/// Reads RSMPI_SCHEDULE (unset or "auto" → kAuto; unknown values throw, so
+/// typos fail loudly instead of silently benchmarking the wrong schedule).
+inline Schedule schedule_from_env() {
+  const char* raw = std::getenv("RSMPI_SCHEDULE");
+  if (raw == nullptr) return Schedule::kAuto;
+  const std::string_view v(raw);
+  if (v.empty() || v == "auto") return Schedule::kAuto;
+  if (v == "two_message" || v == "reduce_bcast") return Schedule::kTwoMessage;
+  if (v == "butterfly") return Schedule::kButterfly;
+  if (v == "rabenseifner") return Schedule::kRabenseifner;
+  if (v == "ring") return Schedule::kRing;
+  if (v == "pipelined") return Schedule::kPipelined;
+  throw ArgumentError("RSMPI_SCHEDULE: unknown schedule name");
+}
+
+/// Reads RSMPI_SEGMENT_BYTES (pipeline segment size; default 64 KiB).
+inline std::size_t segment_bytes_from_env() {
+  const char* raw = std::getenv("RSMPI_SEGMENT_BYTES");
+  if (raw == nullptr || *raw == '\0') return kDefaultSegmentBytes;
+  const unsigned long long v = std::strtoull(raw, nullptr, 10);
+  return v == 0 ? std::size_t{1} : static_cast<std::size_t>(v);
+}
+
+/// Cost-model argmin over the allreduce schedules available to a
+/// commutative, partitionable operator.  Ties break toward the earlier
+/// entry in the candidate order below, which lists the simpler schedules
+/// first (butterfly before the segmented ones).
+inline Schedule choose_allreduce_schedule(const mprt::CostModel& model, int p,
+                                          std::size_t state_bytes,
+                                          std::size_t segment_bytes) {
+  using SC = mprt::ScheduleCost;
+  const std::pair<Schedule, double> candidates[] = {
+      {Schedule::kButterfly, SC::butterfly(model, p, state_bytes)},
+      {Schedule::kTwoMessage, SC::two_message(model, p, state_bytes)},
+      {Schedule::kRabenseifner, SC::rabenseifner(model, p, state_bytes)},
+      {Schedule::kRing, SC::ring(model, p, state_bytes)},
+      {Schedule::kPipelined,
+       SC::pipelined_tree_allreduce(model, p, state_bytes, segment_bytes)},
+  };
+  Schedule best = candidates[0].first;
+  double best_cost = candidates[0].second;
+  for (const auto& [s, cost] : candidates) {
+    if (cost < best_cost) {
+      best = s;
+      best_cost = cost;
+    }
+  }
+  return best;
+}
 
 /// Serializes `op` into a pooled buffer and move-sends it: after warm-up
 /// the whole send path performs zero heap allocations and zero payload
@@ -92,11 +163,29 @@ void state_reduce_unordered(mprt::Comm& comm, Op& op, const Op& prototype,
 
 /// Reduces operator states to rank 0, choosing the schedule from the
 /// operator's commutativity trait (or an explicit override used by the
-/// commutativity ablation benchmark).
+/// commutativity ablation benchmark).  Partitionable states stream through
+/// the pipelined binomial tree when RSMPI_SCHEDULE forces it or the cost
+/// model strictly prefers it (large states); the pipeline is
+/// order-preserving, so this holds for non-commutative operators too.
 template <Combinable Op>
 void state_reduce_to_zero(mprt::Comm& comm, Op& op, const Op& prototype,
                           bool commutative = op_commutative<Op>()) {
   if (comm.size() == 1) return;
+  if constexpr (PartitionableState<Op>) {
+    const Schedule forced = schedule_from_env();
+    if (forced == Schedule::kPipelined ||
+        (forced == Schedule::kAuto && [&] {
+          using SC = mprt::ScheduleCost;
+          const auto& model = comm.cost_model();
+          const std::size_t bytes = part_state_bytes(op);
+          return SC::pipelined_tree_reduce(model, comm.size(), bytes,
+                                           segment_bytes_from_env()) <
+                 SC::tree_reduce(model, comm.size(), bytes);
+        }())) {
+      state_reduce_pipelined(comm, op, segment_bytes_from_env());
+      return;
+    }
+  }
   if (commutative) {
     state_reduce_unordered(comm, op, prototype);
   } else {
@@ -163,17 +252,55 @@ void state_allreduce_butterfly(mprt::Comm& comm, Op& op, const Op& prototype) {
   }
 }
 
-/// Allreduce dispatch: butterfly for commutative operators (log p rounds),
-/// order-preserving reduce+bcast otherwise.  The override is used by the
-/// ablation benchmarks and by tests pinning a specific schedule.
+/// Allreduce dispatch.  Non-commutative operators always take the
+/// order-preserving reduce+bcast.  Commutative *partitionable* operators
+/// are autotuned: the cost-model argmin over {two-message, butterfly,
+/// Rabenseifner, ring, pipelined}, overridable via RSMPI_SCHEDULE.
+/// Commutative non-partitionable operators keep the whole-state butterfly
+/// (segmented schedule names in RSMPI_SCHEDULE gracefully fall back to it;
+/// only two_message is honoured, since it needs no partitioning).  The
+/// `commutative` override is used by the ablation benchmarks and by tests
+/// pinning a specific schedule.
 template <Combinable Op>
 void state_allreduce(mprt::Comm& comm, Op& op, const Op& prototype,
                      bool commutative = op_commutative<Op>()) {
   if (comm.size() == 1) return;
-  if (commutative) {
-    state_allreduce_butterfly(comm, op, prototype);
-  } else {
+  if (!commutative) {
     state_allreduce_reduce_bcast(comm, op, prototype, /*commutative=*/false);
+    return;
+  }
+  const Schedule forced = schedule_from_env();
+  if constexpr (PartitionableState<Op>) {
+    const std::size_t segment_bytes = segment_bytes_from_env();
+    const Schedule schedule =
+        forced != Schedule::kAuto
+            ? forced
+            : choose_allreduce_schedule(comm.cost_model(), comm.size(),
+                                        part_state_bytes(op), segment_bytes);
+    switch (schedule) {
+      case Schedule::kTwoMessage:
+        state_allreduce_reduce_bcast(comm, op, prototype, /*commutative=*/true);
+        return;
+      case Schedule::kRabenseifner:
+        state_allreduce_rabenseifner(comm, op, prototype);
+        return;
+      case Schedule::kRing:
+        state_allreduce_ring(comm, op);
+        return;
+      case Schedule::kPipelined:
+        state_allreduce_pipelined(comm, op, segment_bytes);
+        return;
+      case Schedule::kAuto:
+      case Schedule::kButterfly:
+        state_allreduce_butterfly(comm, op, prototype);
+        return;
+    }
+  } else {
+    if (forced == Schedule::kTwoMessage) {
+      state_allreduce_reduce_bcast(comm, op, prototype, /*commutative=*/true);
+    } else {
+      state_allreduce_butterfly(comm, op, prototype);
+    }
   }
 }
 

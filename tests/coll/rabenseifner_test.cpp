@@ -4,6 +4,7 @@
 // the virtual clock.
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <tuple>
 #include <vector>
 
@@ -123,6 +124,30 @@ TEST(Rabenseifner, ExactTrafficOnPowerOfTwo) {
   });
   EXPECT_EQ(result.total_bytes,
             2 * kWidth * sizeof(long) * (kP - 1));
+}
+
+TEST(Rabenseifner, ChunkStartSurvivesHugeElementCounts) {
+  // Regression: chunk_start once computed n * c in 64-bit arithmetic, so
+  // element counts above 2^62 wrapped and chunk boundaries collapsed to 0.
+  // The 128-bit form must return exact boundaries right up to SIZE_MAX.
+  constexpr std::size_t kHuge = std::size_t{1} << 62;
+  EXPECT_EQ(coll::detail::chunk_start(kHuge, 4, 0), 0u);
+  EXPECT_EQ(coll::detail::chunk_start(kHuge, 4, 1), kHuge / 4);
+  EXPECT_EQ(coll::detail::chunk_start(kHuge, 4, 2), kHuge / 2);
+  // The old overflow witness: n * c = 2^64 wrapped to 0, so the final
+  // boundary came back 0 instead of n and every "chunk" was empty.
+  EXPECT_EQ(coll::detail::chunk_start(kHuge, 4, 4), kHuge);
+
+  // c == chunks must always be the exact end of the buffer, and the
+  // boundaries must stay monotone, even at SIZE_MAX.
+  constexpr std::size_t kMax = std::numeric_limits<std::size_t>::max();
+  EXPECT_EQ(coll::detail::chunk_start(kMax, 16, 16), kMax);
+  std::size_t prev = 0;
+  for (int c = 0; c <= 16; ++c) {
+    const std::size_t b = coll::detail::chunk_start(kMax, 16, c);
+    EXPECT_GE(b, prev) << "c=" << c;
+    prev = b;
+  }
 }
 
 TEST(Rabenseifner, BufferSmallerThanRankCount) {
