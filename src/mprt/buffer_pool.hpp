@@ -99,21 +99,34 @@ class BufferPool {
     if (cap == 0) return;
     if (cap <= kClassMaxBytes) {
       auto& bin = bins_[class_of(cap)];
-      if (bin.size() >= kMaxPerClass) {
+      if (bin.size() >= per_class_cap_) {
         ++stats_.dropped;
         return;
       }
       bin.push_back(std::move(buf));
       return;
     }
-    if (free_.size() >= kMaxPooled) {
+    if (free_.size() >= generic_cap_) {
       ++stats_.dropped;
       return;
     }
     free_.push_back(std::move(buf));
   }
 
+  /// Raises the retention caps so at least `buffers` released buffers
+  /// survive per size-class bin (and in the generic freelist).  A
+  /// plan-time knob: wide fan-ins — a 16-member service stream recycles
+  /// 15 same-class route buffers back to back every epoch — would
+  /// otherwise overflow the default caps and re-allocate each epoch.
+  /// Raising a cap changes only how many buffers are *retained*, never
+  /// how many are allocated.  Caps never shrink.
+  void ensure_retention(std::size_t buffers) {
+    if (buffers > per_class_cap_) per_class_cap_ = buffers;
+    if (buffers > generic_cap_) generic_cap_ = buffers;
+  }
+
   [[nodiscard]] const Stats& stats() const { return stats_; }
+  [[nodiscard]] std::size_t per_class_cap() const { return per_class_cap_; }
   [[nodiscard]] std::size_t size() const {
     std::size_t n = free_.size();
     for (const auto& bin : bins_) n += bin.size();
@@ -144,6 +157,8 @@ class BufferPool {
 
   std::vector<std::vector<std::byte>> free_;
   std::vector<std::vector<std::byte>> bins_[kNumClasses];
+  std::size_t per_class_cap_ = kMaxPerClass;
+  std::size_t generic_cap_ = kMaxPooled;
   Stats stats_;
 };
 

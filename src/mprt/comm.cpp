@@ -205,6 +205,19 @@ std::uint64_t Comm::duplicates_suppressed() const {
   return runtime_.mailbox(global_rank_).duplicates_suppressed();
 }
 
+SimStats Comm::sim_stats() const {
+  if (ChaosController* chaos = runtime_.chaos()) return chaos->stats();
+  return SimStats{};
+}
+
+void Comm::set_peer_loss_scope(std::optional<std::vector<int>> global_ranks) {
+  runtime_.mailbox(global_rank_).set_peer_loss_scope(std::move(global_ranks));
+}
+
+std::vector<int> Comm::lost_peers() const {
+  return runtime_.mailbox(global_rank_).lost_peers();
+}
+
 bool Comm::probe(int source, int tag) {
   return runtime_.mailbox(global_rank_).probe(context_, source, tag);
 }

@@ -17,12 +17,14 @@
 #include <span>
 #include <string>
 #include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "mprt/buffer_pool.hpp"
 #include "mprt/cost_model.hpp"
 #include "mprt/mailbox.hpp"
 #include "mprt/message.hpp"
+#include "mprt/sim.hpp"
 #include "util/bytes.hpp"
 #include "util/error.hpp"
 
@@ -79,6 +81,14 @@ struct RankState {
   BufferPool pool;                   ///< recycled payload buffers (rank-local)
   std::vector<PendingOp> pending_ops;
   std::uint64_t next_pending_id = 1;
+  /// Cost-model schedule selections made on this rank (autotuner argmins).
+  /// Persistent collectives pay exactly one at plan time; a warm epoch loop
+  /// holding this counter flat is the "zero warm-path planning" evidence.
+  std::uint64_t autotune_invocations = 0;
+  /// (name, value) pairs published via Comm::publish_stat; summed by name
+  /// into RunResult::user_stats after the join.  The channel through which
+  /// higher layers (e.g. svc::StatCollector) surface their aggregates.
+  std::vector<std::pair<std::string, double>> published_stats;
 };
 
 /// Identity/status returned by receives that used wildcards.  `source` is
@@ -166,6 +176,14 @@ class Comm {
   /// Pool statistics (hits/misses/dropped) for tests and benchmarks.
   [[nodiscard]] const BufferPool::Stats& pool_stats() const {
     return state_->pool.stats();
+  }
+
+  /// Raises this rank's pool retention caps so at least `buffers`
+  /// recycled payloads survive per size class.  A plan-time knob for
+  /// persistent handles and services whose warm path recycles wide
+  /// fan-ins (see BufferPool::ensure_retention); never shrinks.
+  void reserve_pool_capacity(std::size_t buffers) {
+    state_->pool.ensure_retention(buffers);
   }
 
   // -- Receive deadlines ---------------------------------------------------
@@ -314,22 +332,92 @@ class Comm {
       static_cast<std::int64_t>(std::numeric_limits<int>::max()) -
       kCollectiveTagBase + 1;
 
+  /// A contiguous range of collective tags owned by a persistent handle.
+  /// Reserved once (advancing the SPMD sequence), then re-leased every
+  /// epoch via begin_tag_block/end_tag_block so an epoch loop of millions
+  /// of collectives consumes a bounded slice of the tag window instead of
+  /// marching through — and eventually wrapping — it.  Re-using the same
+  /// tags across epochs is safe because each epoch's messages are fully
+  /// consumed before the next epoch starts, and stale chaos-duplicates are
+  /// discarded by the mailbox's per-stream sequence watermark.
+  struct TagBlock {
+    int first_tag = 0;
+    int count = 0;
+  };
+
+  /// Reserves `count` consecutive tags for a long-lived handle and returns
+  /// them as a leasable block.  Advances the SPMD sequence exactly once.
+  TagBlock reserve_tag_block(int count) {
+    return TagBlock{reserve_collective_tags(count), count};
+  }
+
+  /// Begins serving collective-tag reservations from `block` instead of
+  /// the global sequence.  While the lease is active, reserve requests walk
+  /// a cursor from the block's start (throwing if the block is too small)
+  /// and the SPMD sequence does not advance.  Leases do not nest.
+  void begin_tag_block(const TagBlock& block) {
+    if (active_block_.has_value()) {
+      throw ArgumentError(
+          "begin_tag_block: a tag-block lease is already active on this "
+          "communicator (leases do not nest)");
+    }
+    active_block_ = block;
+    block_cursor_ = 0;
+  }
+
+  /// Ends the active lease; subsequent reservations use the global
+  /// sequence again.
+  void end_tag_block() { active_block_.reset(); }
+
+  /// Total collective tags consumed from the global sequence.  Persistent
+  /// handles hold this flat across warm epochs (the tag-recycling
+  /// regression tests assert exactly that).
+  [[nodiscard]] std::int64_t collective_tags_consumed() const {
+    return collective_seq_;
+  }
+
+  /// Shrinks the collective tag window so tests can exercise the wrap
+  /// logic in millions (not billions) of epochs.  Test-only; every rank of
+  /// a communicator must install the same window or tags stop agreeing.
+  void set_collective_tag_window_for_test(std::int64_t window) {
+    if (window < 1 || window > kCollectiveTagWindow) {
+      throw ArgumentError("set_collective_tag_window_for_test: window " +
+                          std::to_string(window) + " outside [1, " +
+                          std::to_string(kCollectiveTagWindow) + "]");
+    }
+    tag_window_ = window;
+  }
+
   /// Reserves `count` consecutive tags for one collective operation and
   /// returns the first.  Because ranks execute a communicator's
   /// collectives SPMD-style in the same order, the n-th reservation on
   /// every member returns the same tags, isolating concurrent wildcard
   /// receives of adjacent collectives from each other.  A reservation
   /// never straddles the window's wrap point: if the remaining window is
-  /// too small, every rank skips to the window start together.
+  /// too small, every rank skips to the window start together.  Under an
+  /// active tag-block lease the tags come from the leased block and the
+  /// sequence does not move.
   int reserve_collective_tags(int count) {
-    if (count < 1 || static_cast<std::int64_t>(count) > kCollectiveTagWindow) {
+    if (count < 1 || static_cast<std::int64_t>(count) > tag_window_) {
       throw ArgumentError("reserve_collective_tags: count " +
                           std::to_string(count) + " outside [1, " +
-                          std::to_string(kCollectiveTagWindow) + "]");
+                          std::to_string(tag_window_) + "]");
     }
-    std::int64_t pos = collective_seq_ % kCollectiveTagWindow;
-    if (pos + count > kCollectiveTagWindow) {
-      collective_seq_ += kCollectiveTagWindow - pos;
+    if (active_block_.has_value()) {
+      if (block_cursor_ + count > active_block_->count) {
+        throw ArgumentError(
+            "reserve_collective_tags: leased tag block of " +
+            std::to_string(active_block_->count) +
+            " tags exhausted (collective needs " + std::to_string(count) +
+            " more); reserve a larger block for this persistent handle");
+      }
+      const int tag = active_block_->first_tag + block_cursor_;
+      block_cursor_ += count;
+      return tag;
+    }
+    std::int64_t pos = collective_seq_ % tag_window_;
+    if (pos + count > tag_window_) {
+      collective_seq_ += tag_window_ - pos;
       pos = 0;
     }
     collective_seq_ += count;
@@ -403,6 +491,45 @@ class Comm {
     return state_->sends_inline;
   }
 
+  /// Cost-model schedule selections made on this rank (see
+  /// RankState::autotune_invocations).
+  [[nodiscard]] std::uint64_t autotune_invocations() const {
+    return state_->autotune_invocations;
+  }
+  /// Records one autotuner argmin; called by the schedule-dispatch layer.
+  void note_autotune_invocation() { state_->autotune_invocations += 1; }
+
+  /// Publishes a named metric from this rank; after the join, run() sums
+  /// same-named entries across ranks into RunResult::user_stats.  Publish
+  /// aggregates (e.g. once per run from a stat collector), not per-event
+  /// samples — entries accumulate until the run ends.
+  void publish_stat(std::string name, double value) {
+    state_->published_stats.emplace_back(std::move(name), value);
+  }
+
+  /// Live snapshot of the run's fault-injection statistics (all zero when
+  /// no fault plan is active).  Safe to call mid-run, which is what lets a
+  /// long-lived service report chaos counters per epoch instead of only at
+  /// RunResult teardown.
+  [[nodiscard]] SimStats sim_stats() const;
+
+  /// Group membership of this communicator: group rank -> global rank.
+  [[nodiscard]] const std::vector<int>& group_global_ranks() const {
+    return group_;
+  }
+
+  /// Scopes which lost peers poison this *rank's* receives (all of the
+  /// rank's communicators share one mailbox, hence one scope — install the
+  /// scope around each stream's work and restore it after).  std::nullopt
+  /// restores the default: any lost rank anywhere unblocks this rank's
+  /// receives with PeerLostError.
+  void set_peer_loss_scope(std::optional<std::vector<int>> global_ranks);
+
+  /// Global ranks known (by this rank's mailbox) to have exited.  Read
+  /// after catching PeerLostError to learn which peer died — e.g. to mark
+  /// the dead shard's streams degraded while others keep flowing.
+  [[nodiscard]] std::vector<int> lost_peers() const;
+
   void reset_counters() {
     state_->sent_count = 0;
     state_->sent_bytes = 0;
@@ -440,7 +567,27 @@ class Comm {
   std::vector<int> group_;  // group rank -> global rank
   int group_rank_ = 0;
   std::int64_t collective_seq_ = 0;
+  std::int64_t tag_window_ = kCollectiveTagWindow;
+  std::optional<TagBlock> active_block_;
+  int block_cursor_ = 0;
   int split_seq_ = 0;
+};
+
+/// RAII lease of a persistent handle's tag block: collectives issued while
+/// the lease lives draw their tags from the block (identically on every
+/// rank, since the leases are SPMD like the collectives themselves) and
+/// the communicator's tag sequence stands still.
+class TagBlockLease {
+ public:
+  TagBlockLease(Comm& comm, const Comm::TagBlock& block) : comm_(&comm) {
+    comm_->begin_tag_block(block);
+  }
+  TagBlockLease(const TagBlockLease&) = delete;
+  TagBlockLease& operator=(const TagBlockLease&) = delete;
+  ~TagBlockLease() { comm_->end_tag_block(); }
+
+ private:
+  Comm* comm_;
 };
 
 }  // namespace rsmpi::mprt

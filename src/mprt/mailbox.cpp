@@ -90,12 +90,23 @@ Message Mailbox::remove_locked(std::size_t idx) {
   return msg;
 }
 
+int Mailbox::relevant_lost_locked() const {
+  for (const int peer : lost_peers_) {
+    if (!loss_scope_.has_value()) return peer;
+    for (const int scoped : *loss_scope_) {
+      if (scoped == peer) return peer;
+    }
+  }
+  return -1;
+}
+
 void Mailbox::throw_if_dead_locked(bool have_match) const {
   if (aborted_) {
     throw AbortError("mailbox: runtime aborted while waiting for message");
   }
-  if (!have_match && lost_peer_ >= 0) {
-    throw PeerLostError("mailbox: rank " + std::to_string(lost_peer_) +
+  const int lost = relevant_lost_locked();
+  if (!have_match && lost >= 0) {
+    throw PeerLostError("mailbox: rank " + std::to_string(lost) +
                         " exited while this rank was waiting for a message");
   }
 }
@@ -104,11 +115,11 @@ Message Mailbox::take(std::int64_t context, int source, int tag) {
   std::unique_lock lock(mutex_);
   std::size_t idx = npos;
   cv_.wait(lock, [&] {
-    if (aborted_ || lost_peer_ >= 0) return true;
+    if (aborted_ || relevant_lost_locked() >= 0) return true;
     idx = select_locked(context, source, tag, nullptr);
     return idx != npos;
   });
-  if (aborted_ || lost_peer_ >= 0) {
+  if (aborted_ || relevant_lost_locked() >= 0) {
     // One last look: a match that is already queued is still deliverable
     // even when a (different) peer died.
     idx = aborted_ ? npos : select_locked(context, source, tag, nullptr);
@@ -125,11 +136,11 @@ std::optional<Message> Mailbox::take_for(std::int64_t context, int source,
   std::unique_lock lock(mutex_);
   std::size_t idx = npos;
   const bool matched = cv_.wait_until(lock, deadline, [&] {
-    if (aborted_ || lost_peer_ >= 0) return true;
+    if (aborted_ || relevant_lost_locked() >= 0) return true;
     idx = select_locked(context, source, tag, nullptr);
     return idx != npos;
   });
-  if (aborted_ || lost_peer_ >= 0) {
+  if (aborted_ || relevant_lost_locked() >= 0) {
     idx = aborted_ ? npos : select_locked(context, source, tag, nullptr);
     throw_if_dead_locked(idx != npos);
     return remove_locked(idx);
@@ -189,8 +200,26 @@ void Mailbox::abort() {
 void Mailbox::notify_peer_lost(int global_rank) {
   {
     std::lock_guard lock(mutex_);
-    lost_peer_ = global_rank;
+    bool known = false;
+    for (const int peer : lost_peers_) known = known || (peer == global_rank);
+    if (!known) lost_peers_.push_back(global_rank);
   }
+  cv_.notify_all();
+}
+
+std::vector<int> Mailbox::lost_peers() const {
+  std::lock_guard lock(mutex_);
+  return lost_peers_;
+}
+
+void Mailbox::set_peer_loss_scope(std::optional<std::vector<int>> global_ranks) {
+  {
+    std::lock_guard lock(mutex_);
+    loss_scope_ = std::move(global_ranks);
+  }
+  // Widening the scope can make a previously-ignored loss relevant to a
+  // blocked take (not the normal usage — the owner sets its own scope while
+  // not blocked — but the wake keeps the primitive safe either way).
   cv_.notify_all();
 }
 

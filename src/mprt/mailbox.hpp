@@ -8,6 +8,7 @@
 #include <mutex>
 #include <optional>
 #include <unordered_map>
+#include <vector>
 
 #include "mprt/message.hpp"
 
@@ -84,6 +85,21 @@ class Mailbox {
   /// messages remain deliverable.
   void notify_peer_lost(int global_rank);
 
+  /// Restricts which lost peers poison this mailbox's receives.  With a
+  /// scope installed, only exits of the listed *global* ranks make empty
+  /// receives throw PeerLostError; exits of out-of-scope ranks are ignored
+  /// (their loss is some other communicator's problem).  std::nullopt — the
+  /// default — restores the machine-wide behaviour: any lost rank poisons
+  /// every blocked receive.  The service layer scopes each stream's merges
+  /// to the stream's own shard group so one dead tenant cannot take down
+  /// the others.
+  void set_peer_loss_scope(std::optional<std::vector<int>> global_ranks);
+
+  /// Snapshot of the global ranks known to have exited (regardless of the
+  /// installed scope).  The service layer reads this after catching
+  /// PeerLostError to learn *which* shard died.
+  [[nodiscard]] std::vector<int> lost_peers() const;
+
  private:
   /// Sender-stream identity; the unit of ordering and deduplication.
   struct StreamKey {
@@ -114,9 +130,13 @@ class Mailbox {
   /// watermark.  Caller holds the lock.
   Message remove_locked(std::size_t idx);
 
-  /// Throws if the mailbox is aborted (always) or a peer is lost (when the
-  /// caller found no deliverable message).  Caller holds the lock.
+  /// Throws if the mailbox is aborted (always) or an in-scope peer is lost
+  /// (when the caller found no deliverable message).  Caller holds the lock.
   void throw_if_dead_locked(bool have_match) const;
+
+  /// The first lost peer the current loss scope cares about, or -1.
+  /// Caller holds the lock.
+  [[nodiscard]] int relevant_lost_locked() const;
 
   static constexpr std::size_t npos = static_cast<std::size_t>(-1);
 
@@ -126,7 +146,8 @@ class Mailbox {
   std::unordered_map<StreamKey, std::uint64_t, StreamKeyHash> delivered_;
   std::uint64_t duplicates_suppressed_ = 0;
   bool aborted_ = false;
-  int lost_peer_ = -1;  // global rank that exited, or -1
+  std::vector<int> lost_peers_;  // global ranks that exited
+  std::optional<std::vector<int>> loss_scope_;  // nullopt = every peer
 };
 
 }  // namespace rsmpi::mprt

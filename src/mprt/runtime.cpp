@@ -120,6 +120,11 @@ RunResult run(int num_ranks, const std::function<void(Comm&)>& body,
     result.total_bytes += s.sent_bytes;
     result.duplicates_suppressed += runtime.mailbox(r).duplicates_suppressed();
     result.segments_reused += s.pool.stats().segments_reused;
+    result.autotune_invocations += s.autotune_invocations;
+    result.payload_allocs += s.payload_allocs;
+    for (const auto& [name, value] : s.published_stats) {
+      result.user_stats[name] += value;
+    }
   }
   if (ChaosController* chaos = runtime.chaos()) {
     result.sim = chaos->stats();

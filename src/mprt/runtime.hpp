@@ -2,7 +2,9 @@
 #pragma once
 
 #include <functional>
+#include <map>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "mprt/comm.hpp"
@@ -65,6 +67,15 @@ struct RunResult {
   /// requested size, summed over ranks — the segment-buffer recycling the
   /// segmented schedules (ring / pipelined) rely on.
   std::uint64_t segments_reused = 0;
+  /// Cost-model schedule selections (autotuner argmins), summed over ranks.
+  /// Persistent collectives plan once, so warm epoch loops contribute 0.
+  std::uint64_t autotune_invocations = 0;
+  /// Heap buffers allocated for message payloads, summed over ranks.
+  std::uint64_t payload_allocs = 0;
+  /// Metrics published by the rank bodies via Comm::publish_stat, summed
+  /// by name across ranks — how service-layer collectors (svc::
+  /// StatCollector) surface their aggregates through the run result.
+  std::map<std::string, double> user_stats;
 };
 
 /// Runs `body` on `num_ranks` ranks, each a thread with its own world

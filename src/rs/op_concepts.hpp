@@ -142,6 +142,24 @@ template <typename Op>
   return PartitionableState<Op>;
 }
 
+// -- Invertible combines (streaming windows) --------------------------------
+//
+// An operator whose combine has an inverse may provide
+//
+//   * `uncombine(other)` — undo a prior combine(other):
+//     (s (+) other).uncombine(other) == s for states actually produced by
+//     combining `other` in.  Group-like operators (Sum, Counts, Histogram)
+//     satisfy this exactly; MeanVar only up to floating-point rounding.
+//
+// Sliding windows over an invertible operator evict expired epochs in O(1)
+// by uncombining them from a running aggregate; operators without the hook
+// (Min/Max, HyperLogLog, and other semilattices, where combine destroys
+// information) take the two-stack suffix-scan evict path instead
+// (svc/window.hpp).  The hook is never required.
+
+template <typename Op>
+concept InvertibleOp = requires(Op a, const Op& b) { a.uncombine(b); };
+
 /// Serialized size of the whole partitionable state — the `n` the schedule
 /// cost formulas are evaluated at.
 template <PartitionableState Op>

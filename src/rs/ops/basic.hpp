@@ -71,6 +71,8 @@ class Sum : public ScalarPartitionable<Sum<T>> {
 
   void accum(const T& x) { value_ += x; }
   void combine(const Sum& other) { value_ += other.value_; }
+  /// Inverse of combine (sums form a group): the invertible-window hook.
+  void uncombine(const Sum& other) { value_ -= other.value_; }
   [[nodiscard]] T gen() const { return value_; }
 
  private:

@@ -49,6 +49,15 @@ class Counts {
     for (std::size_t i = 0; i < v_.size(); ++i) v_[i] += other.v_[i];
   }
 
+  /// Inverse of combine (bucket occupancies are element-wise sums): the
+  /// invertible-window hook.
+  void uncombine(const Counts& other) {
+    if (other.v_.size() != v_.size()) {
+      throw ProtocolError("Counts: mismatched bucket counts in uncombine");
+    }
+    for (std::size_t i = 0; i < v_.size(); ++i) v_[i] -= other.v_[i];
+  }
+
   /// Reduction output: occupancy per bucket.
   [[nodiscard]] std::vector<long> red_gen() const { return v_; }
 

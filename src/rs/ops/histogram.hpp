@@ -44,6 +44,17 @@ class Histogram {
     }
   }
 
+  /// Inverse of combine (bin occupancies are element-wise sums): the
+  /// invertible-window hook.
+  void uncombine(const Histogram& other) {
+    if (other.counts_.size() != counts_.size()) {
+      throw ProtocolError("Histogram: mismatched bin counts in uncombine");
+    }
+    for (std::size_t i = 0; i < counts_.size(); ++i) {
+      counts_[i] -= other.counts_[i];
+    }
+  }
+
   /// Reduction output: interior bins first, then underflow and overflow.
   [[nodiscard]] std::vector<long> red_gen() const { return counts_; }
 

@@ -52,6 +52,28 @@ class MeanVar {
     n_ += other.n_;
   }
 
+  /// Inverse of the Chan combine: undoes a prior combine(other).  Exact in
+  /// the count; mean/M2 are recovered only up to floating-point rounding
+  /// (unlike the integer operators' uncombine), so windowed streams that
+  /// need bit-stable MeanVar results should force the non-invertible path.
+  void uncombine(const MeanVar& other) {
+    if (other.n_ == 0) return;
+    const std::int64_t na_count = n_ - other.n_;
+    if (na_count <= 0) {
+      *this = MeanVar{};
+      return;
+    }
+    const double n = static_cast<double>(n_);
+    const double nb = static_cast<double>(other.n_);
+    const double na = static_cast<double>(na_count);
+    const double mean_a = (n * mean_ - nb * other.mean_) / na;
+    const double delta = other.mean_ - mean_a;
+    m2_ -= other.m2_ + delta * delta * na * nb / n;
+    if (m2_ < 0.0) m2_ = 0.0;  // clamp rounding residue
+    mean_ = mean_a;
+    n_ = na_count;
+  }
+
   [[nodiscard]] MeanVarResult gen() const {
     MeanVarResult r;
     r.count = n_;

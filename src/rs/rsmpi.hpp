@@ -19,6 +19,7 @@
 #include "coll/nb/ibcast.hpp"
 #include "coll/nb/progress.hpp"
 #include "coll/nb/request.hpp"
+#include "coll/persistent.hpp"
 #include "coll/rabenseifner.hpp"
 #include "dist/block_array.hpp"
 #include "dist/block_matrix.hpp"
@@ -34,3 +35,4 @@
 #include "rs/reduce.hpp"
 #include "rs/scan.hpp"
 #include "rs/serial.hpp"
+#include "svc/svc.hpp"

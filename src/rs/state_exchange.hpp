@@ -252,31 +252,24 @@ void state_allreduce_butterfly(mprt::Comm& comm, Op& op, const Op& prototype) {
   }
 }
 
-/// Allreduce dispatch.  Non-commutative operators always take the
-/// order-preserving reduce+bcast.  Commutative *partitionable* operators
-/// are autotuned: the cost-model argmin over {two-message, butterfly,
-/// Rabenseifner, ring, pipelined}, overridable via RSMPI_SCHEDULE.
-/// Commutative non-partitionable operators keep the whole-state butterfly
-/// (segmented schedule names in RSMPI_SCHEDULE gracefully fall back to it;
-/// only two_message is honoured, since it needs no partitioning).  The
-/// `commutative` override is used by the ablation benchmarks and by tests
-/// pinning a specific schedule.
+/// Executes an allreduce with an already-resolved schedule decision — the
+/// shared back half of the fresh dispatch below and of the persistent-plan
+/// executor (coll/persistent.hpp), so a cached plan runs bit-identically
+/// to a freshly-planned call.  Performs no planning of its own: no env
+/// reads, no cost-model argmins.  Non-commutative operators always take
+/// the order-preserving reduce+bcast; non-partitionable commutative ones
+/// fall back to the whole-state butterfly for any segmented schedule name.
 template <Combinable Op>
-void state_allreduce(mprt::Comm& comm, Op& op, const Op& prototype,
-                     bool commutative = op_commutative<Op>()) {
+void state_allreduce_with_schedule(mprt::Comm& comm, Op& op,
+                                   const Op& prototype, Schedule schedule,
+                                   std::size_t segment_bytes,
+                                   bool commutative) {
   if (comm.size() == 1) return;
   if (!commutative) {
     state_allreduce_reduce_bcast(comm, op, prototype, /*commutative=*/false);
     return;
   }
-  const Schedule forced = schedule_from_env();
   if constexpr (PartitionableState<Op>) {
-    const std::size_t segment_bytes = segment_bytes_from_env();
-    const Schedule schedule =
-        forced != Schedule::kAuto
-            ? forced
-            : choose_allreduce_schedule(comm.cost_model(), comm.size(),
-                                        part_state_bytes(op), segment_bytes);
     switch (schedule) {
       case Schedule::kTwoMessage:
         state_allreduce_reduce_bcast(comm, op, prototype, /*commutative=*/true);
@@ -296,12 +289,44 @@ void state_allreduce(mprt::Comm& comm, Op& op, const Op& prototype,
         return;
     }
   } else {
-    if (forced == Schedule::kTwoMessage) {
+    if (schedule == Schedule::kTwoMessage) {
       state_allreduce_reduce_bcast(comm, op, prototype, /*commutative=*/true);
     } else {
       state_allreduce_butterfly(comm, op, prototype);
     }
   }
+}
+
+/// Allreduce dispatch.  Non-commutative operators always take the
+/// order-preserving reduce+bcast.  Commutative *partitionable* operators
+/// are autotuned: the cost-model argmin over {two-message, butterfly,
+/// Rabenseifner, ring, pipelined}, overridable via RSMPI_SCHEDULE.
+/// Commutative non-partitionable operators keep the whole-state butterfly
+/// (segmented schedule names in RSMPI_SCHEDULE gracefully fall back to it;
+/// only two_message is honoured, since it needs no partitioning).  The
+/// `commutative` override is used by the ablation benchmarks and by tests
+/// pinning a specific schedule.
+template <Combinable Op>
+void state_allreduce(mprt::Comm& comm, Op& op, const Op& prototype,
+                     bool commutative = op_commutative<Op>()) {
+  if (comm.size() == 1) return;
+  if (!commutative) {
+    state_allreduce_reduce_bcast(comm, op, prototype, /*commutative=*/false);
+    return;
+  }
+  const Schedule forced = schedule_from_env();
+  Schedule schedule = forced;
+  std::size_t segment_bytes = kDefaultSegmentBytes;
+  if constexpr (PartitionableState<Op>) {
+    segment_bytes = segment_bytes_from_env();
+    if (forced == Schedule::kAuto) {
+      comm.note_autotune_invocation();
+      schedule = choose_allreduce_schedule(comm.cost_model(), comm.size(),
+                                           part_state_bytes(op), segment_bytes);
+    }
+  }
+  state_allreduce_with_schedule(comm, op, prototype, schedule, segment_bytes,
+                                /*commutative=*/true);
 }
 
 /// Legacy recursive-doubling exclusive scan: maintains the inclusive

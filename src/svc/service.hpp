@@ -1,0 +1,475 @@
+// Multi-tenant streaming aggregation service.
+//
+// A Service hosts many named streams on one communicator.  Each stream is
+// a keyed, sharded, windowed aggregation of one operator:
+//
+//   * every rank ingests events (stage) for any stream;
+//   * each epoch, events are routed to their owning shard — a member rank
+//     chosen by the stream's ShardMap — as one batched message per member
+//     (empty batches included, so receives match deterministically);
+//   * each shard folds its batches (in source-rank order, so the fold is
+//     deterministic) into a partial operator state via the stream's
+//     extract function;
+//   * the partials are merged across the stream's subcommunicator through
+//     a persistent allreduce and pushed into the stream's window, which
+//     emits a result whenever a window boundary closes.
+//
+// Degradation is per stream.  The service scopes the rank's peer-loss
+// wakeups to the live service ranks; when a rank dies, exactly the
+// streams it shards are marked degraded (their merges can never complete)
+// while every other stream keeps flowing — the dead rank is dropped from
+// their routing sources and from the loss scope, and the one torn epoch
+// is abandoned consistently by all members (the merge cannot complete
+// without all of them, so every member observes the failure).  Messages a
+// torn epoch left behind cannot corrupt later epochs: routed batches
+// carry the epoch number (stale ones are discarded on receipt, and
+// per-(source, tag) FIFO means a receiver can never consume a newer epoch
+// first), and aborted merges rotate to a fresh tag block.
+//
+// All planning — autotuner argmins, tag reservation, buffer priming —
+// happens in add_stream; the per-epoch path neither plans nor allocates
+// once warm (batch vectors and pooled payload buffers are recycled).
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "mprt/comm.hpp"
+#include "mprt/message.hpp"
+#include "rs/op_concepts.hpp"
+#include "svc/shard.hpp"
+#include "svc/stats.hpp"
+#include "svc/window.hpp"
+#include "util/error.hpp"
+
+namespace rsmpi::svc {
+
+/// One keyed event.  Streams interpret (key, value) through their extract
+/// function: a click stream may accumulate the value, a cardinality
+/// stream the key.
+struct Event {
+  std::uint64_t key = 0;
+  double value = 0.0;
+};
+static_assert(std::is_trivially_copyable_v<Event>);
+
+/// Service-wide policy.
+struct ServiceConfig {
+  /// Bounded-wait policy installed on the rank for the service's
+  /// lifetime, so a dropped message degrades an epoch instead of hanging
+  /// the rank.
+  mprt::RecvDeadline deadline{2.0, 4, 2.0};
+  bool install_deadline = true;
+};
+
+namespace detail {
+
+/// Wire header of one routed batch.
+struct RouteHeader {
+  std::uint64_t epoch = 0;
+  std::uint64_t count = 0;
+};
+static_assert(std::is_trivially_copyable_v<RouteHeader>);
+
+}  // namespace detail
+
+/// Untyped face of a stream: everything the service core needs to drive
+/// an epoch — routing, membership, degradation — without knowing the
+/// operator type.
+class StreamBase {
+ public:
+  virtual ~StreamBase() = default;
+  StreamBase(const StreamBase&) = delete;
+  StreamBase& operator=(const StreamBase&) = delete;
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  /// Service-comm ranks sharding this stream.
+  [[nodiscard]] const std::vector<int>& members() const { return members_; }
+  /// This rank's shard index, or -1 when it only ingests.
+  [[nodiscard]] int my_shard() const { return my_shard_; }
+  [[nodiscard]] bool degraded() const { return degraded_; }
+  [[nodiscard]] std::uint64_t events_staged() const { return staged_.size(); }
+
+  /// Queues one event on this rank for the next epoch.
+  void stage(const Event& e) { staged_.push_back(e); }
+  void stage(std::span<const Event> events) {
+    staged_.insert(staged_.end(), events.begin(), events.end());
+  }
+
+ protected:
+  StreamBase(std::string name, mprt::Comm& comm, StatCollector& stats,
+             std::vector<int> members, ShardMap shard, int route_tag)
+      : comm_(&comm),
+        stats_(&stats),
+        name_(std::move(name)),
+        members_(std::move(members)),
+        shard_(std::move(shard)),
+        route_tag_(route_tag) {
+    for (std::size_t i = 0; i < members_.size(); ++i) {
+      if (members_[i] == comm_->rank()) my_shard_ = static_cast<int>(i);
+    }
+    batches_.resize(members_.size());
+  }
+
+  // The typed hooks Stream<Op> implements.
+  virtual void begin_fold() = 0;
+  virtual void fold(std::span<const Event> events) = 0;
+  virtual void merge_and_window() = 0;
+  virtual void rotate_merge_tags() = 0;
+
+  mprt::Comm* comm_;
+  StatCollector* stats_;
+
+ private:
+  friend class Service;
+
+  /// One epoch of this stream on this rank.  `sources` are the live
+  /// service-comm ranks, ascending — identical on every member, so the
+  /// fold order (and therefore the merged state) is deterministic.
+  void run_epoch(std::uint64_t epoch, const std::vector<int>& sources) {
+    route(epoch);
+    if (my_shard_ < 0) return;
+    const double t0 = comm_->clock().now();
+    begin_fold();
+    std::uint64_t folded = 0;
+    for (const int src : sources) folded += recv_and_fold(src, epoch);
+    merge_and_window();
+    stats_->record_epoch(name_, folded, comm_->clock().now() - t0);
+  }
+
+  /// Partitions this rank's staged events by owning shard and sends one
+  /// batch to every member (empty batches included, so receives match
+  /// deterministically).  The batch this rank owes itself is not sent —
+  /// recv_and_fold reads it straight out of batches_, like collectives
+  /// special-case the local contribution.  Buffers come from and return
+  /// to the rank pools, so the warm path allocates nothing.
+  void route(std::uint64_t epoch) {
+    const int nm = static_cast<int>(members_.size());
+    for (auto& b : batches_) b.clear();
+    {
+      auto timer = comm_->compute_section();
+      for (const Event& e : staged_) {
+        batches_[static_cast<std::size_t>(shard_.owner(e.key, nm))]
+            .push_back(e);
+      }
+    }
+    staged_.clear();
+    for (int i = 0; i < nm; ++i) {
+      if (members_[static_cast<std::size_t>(i)] == comm_->rank()) continue;
+      const auto& b = batches_[static_cast<std::size_t>(i)];
+      const std::size_t bytes =
+          sizeof(detail::RouteHeader) + b.size() * sizeof(Event);
+      auto buf = comm_->acquire_buffer(bytes);
+      buf.resize(bytes);
+      const detail::RouteHeader h{epoch, b.size()};
+      std::memcpy(buf.data(), &h, sizeof h);
+      if (!b.empty()) {
+        std::memcpy(buf.data() + sizeof h, b.data(), b.size() * sizeof(Event));
+      }
+      comm_->send_bytes(members_[static_cast<std::size_t>(i)], route_tag_,
+                        std::move(buf));
+    }
+  }
+
+  /// Receives `src`'s batch for `epoch` and folds it.  Batches from an
+  /// epoch this stream abandoned (degraded) are discarded; FIFO per
+  /// (source, tag) guarantees a newer epoch can never arrive first.
+  std::uint64_t recv_and_fold(int src, std::uint64_t epoch) {
+    if (src == comm_->rank()) {  // this epoch's route() just filled it
+      const auto& b = batches_[static_cast<std::size_t>(my_shard_)];
+      fold(b);
+      return b.size();
+    }
+    for (;;) {
+      mprt::Message msg = comm_->recv_message(src, route_tag_);
+      const std::span<const std::byte> payload = msg.payload();
+      if (payload.size() < sizeof(detail::RouteHeader)) {
+        throw ProtocolError("svc: routed batch shorter than its header");
+      }
+      detail::RouteHeader h;
+      std::memcpy(&h, payload.data(), sizeof h);
+      if (h.epoch < epoch) {  // leftover of a degraded epoch
+        comm_->recycle_buffer(msg.release_storage());
+        continue;
+      }
+      if (h.epoch > epoch ||
+          payload.size() != sizeof h + h.count * sizeof(Event)) {
+        throw ProtocolError("svc: stream '" + name_ +
+                            "' received a malformed batch (epoch " +
+                            std::to_string(h.epoch) + ", expected " +
+                            std::to_string(epoch) + ")");
+      }
+      scratch_.resize(h.count);
+      if (h.count > 0) {
+        std::memcpy(scratch_.data(), payload.data() + sizeof h,
+                    h.count * sizeof(Event));
+      }
+      comm_->recycle_buffer(msg.release_storage());
+      fold(scratch_);
+      return h.count;
+    }
+  }
+
+  [[nodiscard]] bool has_member_global(const std::vector<int>& globals) const {
+    const auto& group = comm_->group_global_ranks();
+    for (const int m : members_) {
+      for (const int g : globals) {
+        if (group[static_cast<std::size_t>(m)] == g) return true;
+      }
+    }
+    return false;
+  }
+
+  std::string name_;
+  std::vector<int> members_;  // service-comm ranks, ascending
+  ShardMap shard_;
+  int route_tag_ = 0;
+  int my_shard_ = -1;
+  bool degraded_ = false;
+  std::vector<Event> staged_;
+  std::vector<std::vector<Event>> batches_;  // reused across epochs
+  std::vector<Event> scratch_;               // reused across epochs
+};
+
+/// The typed stream: operator + extract function + window.  Created via
+/// Service::add_stream; results are read back through last_window().
+template <rs::Combinable Op, typename Extract>
+class Stream final : public StreamBase {
+ public:
+  using In = std::decay_t<std::invoke_result_t<Extract, const Event&>>;
+  static_assert(rs::Accumulates<Op, In>,
+                "stream operator cannot accumulate the extract's output");
+
+  Stream(std::string name, mprt::Comm& comm, StatCollector& stats,
+         std::vector<int> members, ShardMap shard, int route_tag,
+         mprt::Comm subcomm, bool is_member, Op prototype, WindowConfig wcfg,
+         Extract extract)
+      : StreamBase(std::move(name), comm, stats, std::move(members),
+                   std::move(shard), route_tag),
+        prototype_(std::move(prototype)),
+        partial_(prototype_),
+        extract_(std::move(extract)),
+        subcomm_(std::move(subcomm)) {
+    if (is_member) window_.emplace(subcomm_, prototype_, wcfg);
+  }
+
+  /// The most recent window emission on this shard (empty between
+  /// boundaries and on non-member ranks; identical on every member).
+  [[nodiscard]] const std::optional<rs::reduce_result_t<Op>>& last_window()
+      const {
+    return last_window_;
+  }
+  [[nodiscard]] std::uint64_t windows_emitted() const {
+    return window_.has_value() ? window_->windows_emitted() : 0;
+  }
+  [[nodiscard]] const std::optional<WindowedStream<Op>>& window() const {
+    return window_;
+  }
+
+ private:
+  void begin_fold() override {
+    partial_ = prototype_;
+    saw_input_ = false;
+    last_in_.reset();
+  }
+
+  void fold(std::span<const Event> events) override {
+    auto timer = comm()->compute_section();
+    for (const Event& e : events) {
+      In x = extract_(e);
+      if (!saw_input_) {
+        rs::pre_accum_if(partial_, x);
+        saw_input_ = true;
+      }
+      partial_.accum(x);
+      last_in_ = std::move(x);
+    }
+  }
+
+  void merge_and_window() override {
+    if (saw_input_ && last_in_.has_value()) {
+      rs::post_accum_if(partial_, *last_in_);
+    }
+    last_window_ = window_->push_state(std::move(partial_));
+    partial_ = prototype_;
+    if (last_window_.has_value()) stats()->record_window(name());
+  }
+
+  void rotate_merge_tags() override {
+    if (window_.has_value()) window_->rotate_merge_tags();
+  }
+
+  [[nodiscard]] mprt::Comm* comm() { return StreamBase::comm_; }
+  [[nodiscard]] StatCollector* stats() { return StreamBase::stats_; }
+
+  Op prototype_;
+  Op partial_;
+  Extract extract_;
+  bool saw_input_ = false;
+  std::optional<In> last_in_;
+  mprt::Comm subcomm_;  // members: the stream's merge group; others: unused
+  std::optional<WindowedStream<Op>> window_;  // members only
+  std::optional<rs::reduce_result_t<Op>> last_window_;
+};
+
+/// The service core: stream registry, epoch driver, loss handling, stats.
+/// Construction and add_stream are collective over `comm` (every rank
+/// calls them identically, like communicator splits); step_epoch is
+/// likewise called once per epoch on every rank.
+class Service {
+ public:
+  explicit Service(mprt::Comm& comm, ServiceConfig cfg = {})
+      : comm_(&comm), cfg_(cfg) {
+    live_sources_.resize(static_cast<std::size_t>(comm.size()));
+    for (int r = 0; r < comm.size(); ++r) {
+      live_sources_[static_cast<std::size_t>(r)] = r;
+    }
+    comm_->set_peer_loss_scope(comm_->group_global_ranks());
+    if (cfg_.install_deadline) comm_->set_recv_deadline(cfg_.deadline);
+  }
+
+  ~Service() {
+    comm_->set_peer_loss_scope(std::nullopt);
+    if (cfg_.install_deadline) comm_->set_recv_deadline(std::nullopt);
+  }
+
+  Service(const Service&) = delete;
+  Service& operator=(const Service&) = delete;
+
+  /// Registers a stream sharded over `members` (service-comm ranks,
+  /// strictly ascending).  Collective: every rank must call with the same
+  /// arguments in the same order.  All planning happens here — the
+  /// subcommunicator split, the persistent-merge plan (autotuner, tags,
+  /// buffer priming), and the routing-tag reservation.
+  template <rs::Combinable Op, typename Extract>
+  Stream<Op, Extract>& add_stream(std::string name, std::vector<int> members,
+                                  Op prototype, Extract extract,
+                                  WindowConfig wcfg = {},
+                                  ShardMap shard = {}) {
+    if (members.empty()) {
+      throw ArgumentError("add_stream: stream '" + name + "' has no shards");
+    }
+    for (std::size_t i = 0; i < members.size(); ++i) {
+      if (members[i] < 0 || members[i] >= comm_->size() ||
+          (i > 0 && members[i] <= members[i - 1])) {
+        throw ArgumentError("add_stream: members of stream '" + name +
+                            "' must be strictly ascending ranks of the "
+                            "service communicator");
+      }
+    }
+    const int route_tag = comm_->reserve_tag_block(1).first_tag;
+    // Routing recycles one batch buffer per member every epoch, all of
+    // one size class; retain enough that the warm path never re-allocates.
+    comm_->reserve_pool_capacity(members.size() +
+                                 coll::kPersistentPrimedBuffers);
+    bool is_member = false;
+    for (const int m : members) is_member = is_member || (m == comm_->rank());
+    mprt::Comm sub = comm_->split(is_member ? 1 : 0, comm_->rank());
+    auto stream = std::make_unique<Stream<Op, Extract>>(
+        std::move(name), *comm_, stats_, std::move(members), std::move(shard),
+        route_tag, std::move(sub), is_member, std::move(prototype), wcfg,
+        std::move(extract));
+    Stream<Op, Extract>& ref = *stream;
+    streams_.push_back(std::move(stream));
+    return ref;
+  }
+
+  /// Runs one epoch of every stream, in registration order.  A stream
+  /// whose epoch fails degrades alone: a dead shard retires its streams
+  /// permanently, a transient fault (timeout, lost ingester) costs the
+  /// stream one epoch.
+  void step_epoch() {
+    epoch_ += 1;
+    for (auto& s : streams_) {
+      if (s->degraded_) {
+        s->staged_.clear();
+        continue;
+      }
+      try {
+        s->run_epoch(epoch_, live_sources_);
+      } catch (const PeerLostError&) {
+        absorb_losses();
+        note_degraded_epoch(*s);
+      } catch (const TimeoutError&) {
+        note_degraded_epoch(*s);
+      }
+    }
+  }
+
+  [[nodiscard]] std::uint64_t epoch() const { return epoch_; }
+  [[nodiscard]] StatCollector& stats() { return stats_; }
+  [[nodiscard]] const StatCollector& stats() const { return stats_; }
+  [[nodiscard]] const std::vector<int>& live_sources() const {
+    return live_sources_;
+  }
+
+  /// Publishes the collector's totals into RunResult::user_stats.
+  void publish() { stats_.publish(*comm_); }
+
+  /// JSON stat dump for this rank (see docs/service.md for the schema).
+  [[nodiscard]] std::string stats_json() const {
+    return stats_.to_json(*comm_);
+  }
+
+ private:
+  /// Folds newly-discovered dead ranks into the routing sources, narrows
+  /// the loss scope so the known-dead stop poisoning receives, and
+  /// retires every stream the dead ranks sharded.
+  void absorb_losses() {
+    const std::vector<int> lost = comm_->lost_peers();
+    std::vector<int> fresh;
+    for (const int g : lost) {
+      bool known = false;
+      for (const int d : dead_global_) known = known || (d == g);
+      if (!known) fresh.push_back(g);
+    }
+    if (fresh.empty()) return;
+    dead_global_.insert(dead_global_.end(), fresh.begin(), fresh.end());
+
+    const auto& group = comm_->group_global_ranks();
+    live_sources_.clear();
+    std::vector<int> live_globals;
+    for (int r = 0; r < comm_->size(); ++r) {
+      const int g = group[static_cast<std::size_t>(r)];
+      bool dead = false;
+      for (const int d : dead_global_) dead = dead || (d == g);
+      if (!dead) {
+        live_sources_.push_back(r);
+        live_globals.push_back(g);
+      }
+    }
+    comm_->set_peer_loss_scope(std::move(live_globals));
+
+    for (auto& s : streams_) {
+      if (!s->degraded_ && s->has_member_global(dead_global_)) {
+        s->degraded_ = true;
+        stats_.record_stream_degraded(s->name());
+      }
+    }
+  }
+
+  /// A torn (but survivable) epoch: count it and rotate the merge tags so
+  /// the abandoned collective's messages can never match a later epoch.
+  void note_degraded_epoch(StreamBase& s) {
+    if (s.degraded_) return;  // retired by absorb_losses; no more epochs
+    stats_.record_degraded_epoch(s.name());
+    if (s.my_shard() >= 0) s.rotate_merge_tags();
+  }
+
+  mprt::Comm* comm_;
+  ServiceConfig cfg_;
+  StatCollector stats_;
+  std::vector<std::unique_ptr<StreamBase>> streams_;
+  std::vector<int> live_sources_;  // service-comm ranks still alive
+  std::vector<int> dead_global_;   // global ranks known dead
+  std::uint64_t epoch_ = 0;
+};
+
+}  // namespace rsmpi::svc

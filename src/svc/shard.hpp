@@ -1,0 +1,53 @@
+// Keyed sharding for multi-tenant streams: maps an event key to the shard
+// (stream-member rank) that owns it.  Hash partitioning by default —
+// splitmix64 of the key, reduced modulo the shard count — with the map
+// pluggable per stream so tenants can bring locality-aware or
+// range-partitioned placements.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <utility>
+
+#include "mprt/sim.hpp"
+#include "util/error.hpp"
+
+namespace rsmpi::svc {
+
+/// A shard map: key -> shard index in [0, num_shards).  Must be pure and
+/// identical on every rank (routing is computed independently by each
+/// member), and total — every key must map somewhere.
+using ShardFn = std::function<int(std::uint64_t key, int num_shards)>;
+
+/// Default hash partitioner: well-mixed and stationary, so a key's owner
+/// never changes across epochs (what keyed aggregation state requires).
+struct HashShard {
+  int operator()(std::uint64_t key, int num_shards) const {
+    return static_cast<int>(mprt::splitmix64(key) %
+                            static_cast<std::uint64_t>(num_shards));
+  }
+};
+
+/// Pluggable shard map carried by each stream.
+class ShardMap {
+ public:
+  ShardMap() : fn_(HashShard{}) {}
+  explicit ShardMap(ShardFn fn) : fn_(std::move(fn)) {
+    if (!fn_) throw ArgumentError("ShardMap: empty shard function");
+  }
+
+  [[nodiscard]] int owner(std::uint64_t key, int num_shards) const {
+    const int shard = fn_(key, num_shards);
+    if (shard < 0 || shard >= num_shards) {
+      throw ArgumentError("ShardMap: shard function returned " +
+                          std::to_string(shard) + " outside [0, " +
+                          std::to_string(num_shards) + ")");
+    }
+    return shard;
+  }
+
+ private:
+  ShardFn fn_;
+};
+
+}  // namespace rsmpi::svc

@@ -1,0 +1,10 @@
+// Umbrella header for the streaming aggregation service (src/svc):
+// persistent collectives, windowed streams, the multi-tenant sharded
+// service, and its stat collector.  See docs/service.md.
+#pragma once
+
+#include "svc/persistent.hpp"  // IWYU pragma: export
+#include "svc/service.hpp"     // IWYU pragma: export
+#include "svc/shard.hpp"       // IWYU pragma: export
+#include "svc/stats.hpp"       // IWYU pragma: export
+#include "svc/window.hpp"      // IWYU pragma: export

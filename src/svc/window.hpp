@@ -1,0 +1,199 @@
+// Windowed aggregation over epoch streams: tumbling and sliding windows
+// of any operator, built from per-epoch partial states merged with
+// `combine` — never by re-accumulating raw events.
+//
+// Three execution strategies, chosen per stream:
+//
+//   * tumbling (slide == window): one running state, emit-and-reset.
+//   * invertible sliding: operators exposing `uncombine` (Sum, Counts,
+//     Histogram — see rs::InvertibleOp) keep one running aggregate and
+//     subtract evicted epochs in O(1).
+//   * two-stack sliding: semilattice operators (Min/Max/HLL) and anything
+//     else fall back to the two-stack queue: evicting flips the back
+//     stack into suffix aggregates (an exclusive scan of the buffered
+//     epoch states, run backwards), so every epoch still costs amortized
+//     O(1) combines.
+//
+// Exact operators (integer and idempotent states) emit windows
+// bit-identical to a serial re-aggregation of the window's epochs — the
+// oracle tests/svc/window_test.cpp pins.  Floating-point operators agree
+// up to re-association (and MeanVar's uncombine is rounding-level, so
+// bit-stable MeanVar windows should set allow_inversion = false).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <ranges>
+#include <utility>
+#include <vector>
+
+#include "mprt/comm.hpp"
+#include "rs/op_concepts.hpp"
+#include "svc/persistent.hpp"
+#include "util/error.hpp"
+
+namespace rsmpi::svc {
+
+/// Window shape, counted in epochs.
+struct WindowConfig {
+  /// Epochs per window; 1 means every epoch emits.
+  std::size_t window_epochs = 1;
+  /// Emission stride; 0 means tumbling (slide == window).
+  std::size_t slide_epochs = 0;
+  /// Permit the uncombine fast path for invertible operators.  Turn off
+  /// to force the two-stack path (e.g. for bit-stable MeanVar windows).
+  bool allow_inversion = true;
+};
+
+/// A windowed stream of one operator over one communicator: each
+/// push_epoch/push_state call is one epoch (a globally-merged operator
+/// state), and a window result is emitted whenever a window boundary
+/// closes.  The cross-rank merge runs through a PersistentReduce, so the
+/// warm path neither plans nor allocates.
+template <rs::Combinable Op>
+class WindowedStream {
+ public:
+  static constexpr bool kInvertible = rs::InvertibleOp<Op>;
+
+  WindowedStream(mprt::Comm& comm, Op prototype, WindowConfig cfg)
+      : comm_(&comm),
+        prototype_(prototype),
+        merge_(comm, prototype),
+        window_(cfg.window_epochs),
+        slide_(cfg.slide_epochs == 0 ? cfg.window_epochs : cfg.slide_epochs),
+        // Tumbling windows reset instead of evicting, so inversion (an
+        // eviction strategy) is only meaningfully "in use" when sliding.
+        use_inversion_(kInvertible && cfg.allow_inversion &&
+                       slide_ != window_),
+        tumbling_(slide_ == window_),
+        agg_(prototype),
+        back_agg_(prototype) {
+    if (window_ == 0) {
+      throw ArgumentError("WindowedStream: window_epochs must be >= 1");
+    }
+  }
+
+  /// One epoch from raw local values: accumulate, merge across ranks,
+  /// advance the window.
+  template <std::ranges::input_range R>
+    requires rs::Accumulates<Op, std::ranges::range_value_t<R>>
+  std::optional<rs::reduce_result_t<Op>> push_epoch(R&& local) {
+    return push_merged(merge_.execute_state(std::forward<R>(local)));
+  }
+
+  /// One epoch from an already-accumulated local partial state (the
+  /// service's keyed-routing path): merge across ranks, advance the
+  /// window.
+  std::optional<rs::reduce_result_t<Op>> push_state(Op partial) {
+    merge_.execute_combine(partial);
+    return push_merged(std::move(partial));
+  }
+
+  [[nodiscard]] std::uint64_t epochs() const { return epochs_; }
+  [[nodiscard]] std::uint64_t windows_emitted() const {
+    return windows_emitted_;
+  }
+  [[nodiscard]] bool uses_inversion() const { return use_inversion_; }
+  [[nodiscard]] std::size_t window() const { return window_; }
+  [[nodiscard]] std::size_t slide() const { return slide_; }
+  [[nodiscard]] const PersistentReduce<Op>& merge() const { return merge_; }
+
+  /// Re-tags the underlying merge plan after an aborted epoch (see
+  /// PersistentReduce::rotate_tags).  The window state itself is untouched
+  /// — a degraded epoch simply contributes no state.
+  void rotate_merge_tags() { merge_.rotate_tags(); }
+
+ private:
+  std::optional<rs::reduce_result_t<Op>> push_merged(Op s) {
+    auto timer = comm_->compute_section();
+    epochs_ += 1;
+    if (tumbling_) {
+      agg_.combine(s);
+      in_window_ += 1;
+      if (in_window_ < window_) return std::nullopt;
+      auto result = rs::red_result(agg_);
+      agg_ = prototype_;
+      in_window_ = 0;
+      windows_emitted_ += 1;
+      return result;
+    }
+    if constexpr (kInvertible) {
+      if (use_inversion_) {
+        agg_.combine(s);
+        states_.push_back(std::move(s));
+        return maybe_emit();
+      }
+    }
+    back_agg_.combine(s);
+    back_.push_back(std::move(s));
+    return maybe_emit();
+  }
+
+  std::optional<rs::reduce_result_t<Op>> maybe_emit() {
+    if (epochs_ < window_ || (epochs_ - window_) % slide_ != 0) {
+      return std::nullopt;
+    }
+    evict_to(window_);
+    windows_emitted_ += 1;
+    if constexpr (kInvertible) {
+      if (use_inversion_) return rs::red_result(agg_);
+    }
+    Op agg = front_.empty() ? prototype_ : front_.back();
+    agg.combine(back_agg_);
+    return rs::red_result(agg);
+  }
+
+  /// Drops the oldest epochs until exactly `keep` remain in the window.
+  void evict_to(std::size_t keep) {
+    if constexpr (kInvertible) {
+      if (use_inversion_) {
+        while (states_.size() > keep) {
+          agg_.uncombine(states_.front());
+          states_.pop_front();
+        }
+        return;
+      }
+    }
+    while (front_.size() + back_.size() > keep) {
+      if (front_.empty()) flip();
+      front_.pop_back();
+    }
+  }
+
+  /// The two-stack flip: turns the buffered back-stack states into suffix
+  /// aggregates (suffix_i = s_i (+) suffix_{i+1} — a backwards exclusive
+  /// scan of the buffer), newest first, so front_.back() carries the
+  /// whole buffer and each pop_back evicts exactly the oldest epoch.
+  void flip() {
+    front_.reserve(back_.size());
+    Op suffix = prototype_;
+    for (auto it = back_.rbegin(); it != back_.rend(); ++it) {
+      Op s = std::move(*it);
+      s.combine(suffix);
+      suffix = s;
+      front_.push_back(std::move(s));
+    }
+    back_.clear();
+    back_agg_ = prototype_;
+  }
+
+  mprt::Comm* comm_;
+  Op prototype_;
+  PersistentReduce<Op> merge_;
+  std::size_t window_ = 1;
+  std::size_t slide_ = 1;
+  bool use_inversion_ = false;
+  bool tumbling_ = false;
+  std::uint64_t epochs_ = 0;
+  std::uint64_t windows_emitted_ = 0;
+  std::size_t in_window_ = 0;  // tumbling only
+
+  Op agg_;                  // tumbling running state / invertible aggregate
+  std::deque<Op> states_;   // invertible path: per-epoch states, oldest first
+  std::vector<Op> front_;   // two-stack: suffix aggregates, oldest on top
+  std::deque<Op> back_;     // two-stack: raw states, chronological
+  Op back_agg_;             // two-stack: running aggregate of back_
+};
+
+}  // namespace rsmpi::svc

@@ -8,6 +8,8 @@
 
 #include "coll/local_reduce.hpp"
 #include "mprt/runtime.hpp"
+#include "rs/ops/ops.hpp"
+#include "svc/persistent.hpp"
 #include "util/error.hpp"
 
 namespace {
@@ -75,6 +77,27 @@ TEST(TagWindow, TagsAgreeAcrossRanksThroughTheWrap) {
     const int min_tag = coll::local_allreduce_value(comm, tag,
                                                     coll::Min<int>{});
     EXPECT_EQ(max_tag, min_tag);
+  });
+}
+
+// Sustainability: a persistent handle leases its reserved block every
+// epoch instead of walking the global sequence, so an epoch loop far
+// longer than the whole tag window never wraps it.  With a 32-tag window
+// a per-epoch consumer would wrap 2.5 times in 80 epochs; the handle must
+// hold the sequence perfectly flat while still reducing correctly.
+TEST(TagWindow, PersistentHandleOutlivesShrunkenWindow) {
+  mprt::run(4, [](Comm& comm) {
+    comm.set_collective_tag_window_for_test(32);
+    svc::PersistentReduce<rsmpi::rs::ops::Sum<long>> handle(
+        comm, rsmpi::rs::ops::Sum<long>{});
+    const std::int64_t consumed = comm.collective_tags_consumed();
+    constexpr int kEpochs = 80;  // > 2x the shrunken window
+    for (int e = 0; e < kEpochs; ++e) {
+      const std::vector<long> mine = {static_cast<long>(comm.rank() + e)};
+      const long got = handle.execute(mine);
+      EXPECT_EQ(got, 4L * e + 0 + 1 + 2 + 3) << "epoch " << e;
+      EXPECT_EQ(comm.collective_tags_consumed(), consumed) << "epoch " << e;
+    }
   });
 }
 

@@ -154,6 +154,45 @@ TEST(CApi, ThisCommOutsideRunThrows) {
   EXPECT_THROW((void)mprt::this_comm(), Error);
 }
 
+TEST(CApi, GetStatsSnapshotsRankCounters) {
+  mprt::run(3, [](mprt::Comm& comm) {
+    c_api::RSMPI_Stats before;
+    c_api::RSMPI_GetStats(&before, comm);
+    EXPECT_EQ(before.messages_sent, 0u);
+    EXPECT_EQ(before.messages_received, 0u);
+    EXPECT_EQ(before.collective_tags_consumed, 0);
+
+    std::vector<int> mine = {comm.rank() % 8, (comm.rank() + 1) % 8};
+    std::vector<long> counts;
+    c_api::RSMPI_Reduceall<CCounts>(&counts, mine, comm);
+
+    c_api::RSMPI_Stats after;
+    c_api::RSMPI_GetStats(&after, comm);
+    EXPECT_GT(after.messages_sent, 0u);
+    EXPECT_GT(after.bytes_sent, 0u);
+    EXPECT_GT(after.messages_received, 0u);
+    EXPECT_GT(after.collective_tags_consumed, 0);
+    // No chaos configured: the sim totals stay zero.
+    EXPECT_EQ(after.chaos_dropped, 0u);
+    EXPECT_EQ(after.chaos_duplicated, 0u);
+    EXPECT_EQ(after.chaos_rank_killed, 0);
+  });
+}
+
+TEST(CApi, GetStatsDefaultsToThisComm) {
+  mprt::run(2, [](mprt::Comm& comm) {
+    std::vector<int> mine = {comm.rank() % 8};
+    std::vector<long> counts;
+    c_api::RSMPI_Reduceall<CCounts>(&counts, mine, comm);
+    c_api::RSMPI_Stats stats;
+    c_api::RSMPI_GetStats(&stats);  // implicit mprt::this_comm()
+    EXPECT_EQ(stats.messages_sent, comm.messages_sent());
+    EXPECT_EQ(stats.bytes_received, comm.bytes_received());
+    EXPECT_EQ(stats.collective_tags_consumed,
+              comm.collective_tags_consumed());
+  });
+}
+
 TEST(CApi, AdapterTraits) {
   using SortedAdapter = c_api::detail::Adapter<CSorted>;
   using CountsAdapter = c_api::detail::Adapter<CCounts>;
