@@ -1,7 +1,5 @@
 #include "coll/nb/progress.hpp"
 
-#include <thread>
-
 namespace rsmpi::coll::nb {
 
 ProgressEngine& ProgressEngine::current() {
@@ -94,8 +92,21 @@ void ProgressEngine::wait(std::uint64_t id) {
     // Blocking passes replay operations on their own timelines; the
     // waited operation's finish time merges into the rank clock when it
     // retires.  A pass with no progress means another rank is still
-    // working; yield it the core.  Real spin time is never charged.
-    if (!poll(StepMode::kBlocking)) std::this_thread::yield();
+    // working; park until the mailbox sees a new event (plain yield
+    // outside verify mode).  The event count is snapshotted *before* the
+    // pass so an arrival mid-pass is never slept through; under the
+    // starvation monitor the park doubles as the deadlock-detection point
+    // for ranks spinning here rather than in a blocking take.
+    mprt::Comm* comm = nullptr;
+    for (auto& slot : slots_) {
+      if (slot.id == id) {
+        comm = slot.comm;
+        break;
+      }
+    }
+    if (comm == nullptr) return;  // retired by a concurrent pass
+    const std::uint64_t seen = comm->mail_events();
+    if (!poll(StepMode::kBlocking)) comm->idle_wait(seen);
   }
 }
 

@@ -210,6 +210,19 @@ SimStats Comm::sim_stats() const {
   return SimStats{};
 }
 
+ScheduleOracle* Comm::schedule_oracle() const {
+  if (ChaosController* chaos = runtime_.chaos()) return chaos->oracle();
+  return nullptr;
+}
+
+std::uint64_t Comm::mail_events() const {
+  return runtime_.mailbox(global_rank_).event_count();
+}
+
+void Comm::idle_wait(std::uint64_t seen_events) {
+  runtime_.mailbox(global_rank_).idle_wait(seen_events);
+}
+
 void Comm::set_peer_loss_scope(std::optional<std::vector<int>> global_ranks) {
   runtime_.mailbox(global_rank_).set_peer_loss_scope(std::move(global_ranks));
 }

@@ -513,6 +513,22 @@ class Comm {
   /// RunResult teardown.
   [[nodiscard]] SimStats sim_stats() const;
 
+  // -- Model-checking hooks (ISSUE 7) -------------------------------------
+
+  /// The run's schedule oracle, or nullptr outside model-checking runs.
+  /// Collectives with genuine arrival-order freedom consult it to branch
+  /// deterministically instead of folding in racy arrival order.
+  [[nodiscard]] ScheduleOracle* schedule_oracle() const;
+
+  /// Monotonic event count of this rank's mailbox.  Snapshot before a
+  /// nonblocking progress pass and hand to idle_wait.
+  [[nodiscard]] std::uint64_t mail_events() const;
+
+  /// Parks this rank until its mailbox sees an event newer than
+  /// `seen_events`; plain yield outside model-checking runs.  Throws
+  /// DeadlockError when the park completes a global deadlock.
+  void idle_wait(std::uint64_t seen_events);
+
   /// Group membership of this communicator: group rank -> global rank.
   [[nodiscard]] const std::vector<int>& group_global_ranks() const {
     return group_;

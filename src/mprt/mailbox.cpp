@@ -2,6 +2,8 @@
 
 #include <chrono>
 #include <string>
+#include <thread>
+#include <utility>
 
 #include "util/error.hpp"
 
@@ -29,6 +31,7 @@ bool precedes(const Message& a, std::size_t ia, const Message& b,
 void Mailbox::put(Message msg, bool front) {
   {
     std::lock_guard lock(mutex_);
+    ++events_;
     if (front) {
       queue_.push_front(std::move(msg));
     } else {
@@ -42,6 +45,12 @@ void Mailbox::put(Message msg, bool front) {
 
 std::size_t Mailbox::select_locked(std::int64_t context, int source, int tag,
                                    const double* arrival_cutoff) {
+  // Under deterministic wildcard selection, a pattern several streams
+  // satisfy is resolved by canonical (source, seq) order instead of by the
+  // racy physical put order, so a model-checker trace replays exactly.
+  const bool canonical = deterministic_wildcard_ &&
+                         (source == kAnySource || tag == kAnyTag);
+  std::size_t best = npos;
   for (std::size_t i = 0; i < queue_.size(); ++i) {
     const Message& m = queue_[i];
     if (!matches(m, context, source, tag)) continue;
@@ -53,7 +62,8 @@ std::size_t Mailbox::select_locked(std::int64_t context, int source, int tag,
       if (it != delivered_.end() && m.seq <= it->second) {
         queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(i));
         ++duplicates_suppressed_;
-        i = npos;  // restart (loop increment wraps npos to 0)
+        i = npos;     // restart (loop increment wraps npos to 0)
+        best = npos;  // the erase shifted any candidate index
         continue;
       }
     }
@@ -75,9 +85,14 @@ std::size_t Mailbox::select_locked(std::int64_t context, int source, int tag,
     if (arrival_cutoff != nullptr && m.arrival_vtime_s > *arrival_cutoff) {
       continue;
     }
-    return i;
+    if (!canonical) return i;
+    if (best == npos ||
+        std::pair(m.source, m.seq) <
+            std::pair(queue_[best].source, queue_[best].seq)) {
+      best = i;
+    }
   }
-  return npos;
+  return best;
 }
 
 Message Mailbox::remove_locked(std::size_t idx) {
@@ -111,8 +126,61 @@ void Mailbox::throw_if_dead_locked(bool have_match) const {
   }
 }
 
+namespace {
+
+/// How long a starvation suspicion must hold before it is declared: long
+/// enough for any already-issued wakeup to land (the waking rank would bump
+/// the monitor's version), short enough that exhaustive fault exploration
+/// stays fast.
+constexpr auto kStarvationConfirmWindow = std::chrono::milliseconds(20);
+
+}  // namespace
+
+Message Mailbox::take_monitored(std::int64_t context, int source, int tag,
+                                std::unique_lock<std::mutex>& lock) {
+  for (;;) {
+    if (aborted_) {
+      throw AbortError("mailbox: runtime aborted while waiting for message");
+    }
+    std::size_t idx = select_locked(context, source, tag, nullptr);
+    if (idx != npos) return remove_locked(idx);
+    throw_if_dead_locked(/*have_match=*/false);  // PeerLostError path
+    if (monitor_->starved()) {
+      throw DeadlockError(
+          "mailbox: every live rank is blocked with no deliverable message "
+          "(global deadlock detected by the verify-mode starvation monitor)");
+    }
+    monitor_->enter_blocked();
+    if (monitor_->all_blocked()) {
+      // This block may have completed a global deadlock; wait out the
+      // confirmation window, then re-check both the monitor *and* our own
+      // queue (a put issued just before we blocked lands here as a match,
+      // never as a false deadlock).
+      const std::uint64_t version = monitor_->version();
+      cv_.wait_for(lock, kStarvationConfirmWindow);
+      idx = select_locked(context, source, tag, nullptr);
+      if (idx == npos && !aborted_ && monitor_->confirm_starved(version)) {
+        monitor_->leave_blocked();
+        throw DeadlockError(
+            "mailbox: every live rank is blocked with no deliverable "
+            "message (global deadlock detected by the verify-mode "
+            "starvation monitor)");
+      }
+      monitor_->leave_blocked();
+      continue;  // re-runs the full selection/error checks
+    }
+    const std::uint64_t seen = events_;
+    cv_.wait(lock, [&] {
+      return aborted_ || monitor_->starved() || events_ != seen ||
+             relevant_lost_locked() >= 0;
+    });
+    monitor_->leave_blocked();
+  }
+}
+
 Message Mailbox::take(std::int64_t context, int source, int tag) {
   std::unique_lock lock(mutex_);
+  if (monitor_ != nullptr) return take_monitored(context, source, tag, lock);
   std::size_t idx = npos;
   cv_.wait(lock, [&] {
     if (aborted_ || relevant_lost_locked() >= 0) return true;
@@ -193,6 +261,7 @@ void Mailbox::abort() {
   {
     std::lock_guard lock(mutex_);
     aborted_ = true;
+    ++events_;
   }
   cv_.notify_all();
 }
@@ -203,6 +272,61 @@ void Mailbox::notify_peer_lost(int global_rank) {
     bool known = false;
     for (const int peer : lost_peers_) known = known || (peer == global_rank);
     if (!known) lost_peers_.push_back(global_rank);
+    ++events_;
+  }
+  cv_.notify_all();
+}
+
+std::uint64_t Mailbox::event_count() const {
+  std::lock_guard lock(mutex_);
+  return events_;
+}
+
+void Mailbox::idle_wait(std::uint64_t seen_events) {
+  if (monitor_ == nullptr) {
+    std::this_thread::yield();
+    return;
+  }
+  std::unique_lock lock(mutex_);
+  if (aborted_) {
+    throw AbortError("mailbox: runtime aborted while waiting for progress");
+  }
+  if (monitor_->starved()) {
+    throw DeadlockError(
+        "mailbox: every live rank is blocked with no deliverable message "
+        "(global deadlock detected while polling nonblocking operations)");
+  }
+  // `seen_events` was snapshotted before the caller's (fruitless) progress
+  // pass.  A newer event means a message may have arrived mid-pass: return
+  // and let the caller poll again rather than park on stale information.
+  if (events_ != seen_events) return;
+  monitor_->enter_blocked();
+  if (monitor_->all_blocked()) {
+    const std::uint64_t version = monitor_->version();
+    cv_.wait_for(lock, kStarvationConfirmWindow);
+    // The caller's blocking-mode pass consumed everything deliverable, so
+    // with no event since that pass (and no waiter progress anywhere) any
+    // still-queued message is permanently undeliverable: a real deadlock.
+    if (events_ == seen_events && !aborted_ &&
+        monitor_->confirm_starved(version)) {
+      monitor_->leave_blocked();
+      throw DeadlockError(
+          "mailbox: every live rank is blocked with no deliverable message "
+          "(global deadlock detected while polling nonblocking operations)");
+    }
+    monitor_->leave_blocked();
+    return;
+  }
+  cv_.wait(lock, [&] {
+    return aborted_ || monitor_->starved() || events_ != seen_events;
+  });
+  monitor_->leave_blocked();
+}
+
+void Mailbox::wake_for_starvation() {
+  {
+    std::lock_guard lock(mutex_);
+    ++events_;
   }
   cv_.notify_all();
 }

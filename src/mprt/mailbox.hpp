@@ -10,9 +10,73 @@
 #include <unordered_map>
 #include <vector>
 
+#include <atomic>
+
 #include "mprt/message.hpp"
 
 namespace rsmpi::mprt {
+
+/// Global-progress bookkeeping for the model-checking tier: counts how many
+/// live ranks are currently blocked with nothing deliverable.  When every
+/// live rank is blocked at once, no rank can ever enqueue another message
+/// (only rank threads send), so the machine is deadlocked — the detecting
+/// waiter confirms the state is stable and then surfaces DeadlockError.
+/// Installed on every mailbox only when a ScheduleOracle is active; normal
+/// runs never touch it.
+///
+/// Detection protocol: a waiter increments `blocked` before sleeping and
+/// bumps `version` when it stops being blocked.  Whoever observes
+/// blocked == active (the last waiter to block, or a finishing rank whose
+/// exit makes the remainder all-blocked) waits out a short confirmation
+/// window; if no progress happened (version unchanged) and its own queue
+/// is still empty, the deadlock is real — any pending wakeup would have
+/// bumped the version within the window.
+class StarvationMonitor {
+ public:
+  explicit StarvationMonitor(int num_ranks) : active_(num_ranks) {}
+
+  void enter_blocked() { blocked_.fetch_add(1, std::memory_order_acq_rel); }
+  void leave_blocked() {
+    version_.fetch_add(1, std::memory_order_acq_rel);
+    blocked_.fetch_sub(1, std::memory_order_acq_rel);
+  }
+
+  /// A rank's body completed or threw: it will never block (or send) again.
+  void note_finished() {
+    version_.fetch_add(1, std::memory_order_acq_rel);
+    active_.fetch_sub(1, std::memory_order_acq_rel);
+  }
+
+  [[nodiscard]] bool all_blocked() const {
+    const int active = active_.load(std::memory_order_acquire);
+    return active > 0 && blocked_.load(std::memory_order_acquire) >= active;
+  }
+
+  [[nodiscard]] std::uint64_t version() const {
+    return version_.load(std::memory_order_acquire);
+  }
+
+  /// Declares the deadlock if it held across the confirmation window (all
+  /// blocked, and no waiter made progress since `version_before`).
+  /// Returns the (sticky) starved flag.
+  bool confirm_starved(std::uint64_t version_before) {
+    if (all_blocked() &&
+        version_.load(std::memory_order_acquire) == version_before) {
+      starved_.store(true, std::memory_order_release);
+    }
+    return starved();
+  }
+
+  [[nodiscard]] bool starved() const {
+    return starved_.load(std::memory_order_acquire);
+  }
+
+ private:
+  std::atomic<int> blocked_{0};
+  std::atomic<int> active_;
+  std::atomic<std::uint64_t> version_{0};
+  std::atomic<bool> starved_{false};
+};
 
 /// Thread-safe mailbox owned by one rank.  Any rank may `put`; only the
 /// owning rank calls `take`/`try_take`/`probe`.  Matching preserves
@@ -100,6 +164,41 @@ class Mailbox {
   /// PeerLostError to learn *which* shard died.
   [[nodiscard]] std::vector<int> lost_peers() const;
 
+  // -- Model-checking hooks (ISSUE 7) ---------------------------------------
+
+  /// Installs the run's starvation monitor: blocking takes then detect
+  /// global deadlock and throw DeadlockError instead of hanging.  Set once
+  /// before the rank threads start; nullptr (the default) keeps the
+  /// untimed legacy waits.
+  void set_starvation_monitor(StarvationMonitor* monitor) {
+    monitor_ = monitor;
+  }
+
+  /// With deterministic wildcard selection on, a kAnySource take whose
+  /// pattern several streams satisfy picks the lowest (source, seq)
+  /// candidate instead of the first by physical queue position — removing
+  /// the one put-order race wildcard matching otherwise has.  Installed
+  /// together with the monitor so verify-mode traces replay exactly.
+  void set_deterministic_wildcard(bool on) { deterministic_wildcard_ = on; }
+
+  /// Monotonic count of mailbox events (puts, aborts, peer losses).
+  /// Snapshot it *before* a progress pass and hand it to idle_wait so an
+  /// arrival during the pass is never slept through.
+  [[nodiscard]] std::uint64_t event_count() const;
+
+  /// Parks the owning rank until this mailbox sees an event newer than
+  /// `seen_events` — the verify-mode replacement for the progress engine's
+  /// yield spin, and a starvation-detection point: throws DeadlockError
+  /// when the park completes a global deadlock, AbortError when the
+  /// runtime is torn down.  Without a monitor installed it degrades to a
+  /// plain yield.
+  void idle_wait(std::uint64_t seen_events);
+
+  /// Wakes the owner (if parked) so it re-checks the monitor's starved
+  /// flag.  Called by a *finishing* rank that detected starvation; the
+  /// caller must not hold this mailbox's lock.
+  void wake_for_starvation();
+
  private:
   /// Sender-stream identity; the unit of ordering and deduplication.
   struct StreamKey {
@@ -138,11 +237,19 @@ class Mailbox {
   /// Caller holds the lock.
   [[nodiscard]] int relevant_lost_locked() const;
 
+  /// Blocking take under an installed starvation monitor: same matching
+  /// semantics as take(), plus deadlock detection.  Caller holds the lock.
+  Message take_monitored(std::int64_t context, int source, int tag,
+                         std::unique_lock<std::mutex>& lock);
+
   static constexpr std::size_t npos = static_cast<std::size_t>(-1);
 
   mutable std::mutex mutex_;
   std::condition_variable cv_;
   std::deque<Message> queue_;
+  StarvationMonitor* monitor_ = nullptr;
+  bool deterministic_wildcard_ = false;
+  std::uint64_t events_ = 0;  // bumped on every put/abort/loss, for idle_wait
   std::unordered_map<StreamKey, std::uint64_t, StreamKeyHash> delivered_;
   std::uint64_t duplicates_suppressed_ = 0;
   bool aborted_ = false;

@@ -1,5 +1,6 @@
 #include "mprt/runtime.hpp"
 
+#include <chrono>
 #include <exception>
 #include <thread>
 
@@ -39,6 +40,16 @@ Runtime::Runtime(int num_ranks, CostModel model, SimConfig sim)
   if (sim.enabled()) {
     chaos_ = std::make_unique<ChaosController>(sim, num_ranks);
   }
+  if (sim.oracle != nullptr) {
+    // Model-checking mode: liveness is checked structurally (starvation
+    // monitor) and wildcard matching is made canonical so a recorded
+    // decision string replays the identical execution.
+    monitor_ = std::make_unique<StarvationMonitor>(num_ranks);
+    for (auto& mb : mailboxes_) {
+      mb->set_starvation_monitor(monitor_.get());
+      mb->set_deterministic_wildcard(true);
+    }
+  }
 }
 
 Mailbox& Runtime::mailbox(int global_rank) {
@@ -57,6 +68,23 @@ void Runtime::notify_peer_lost(int global_rank) {
   for (auto& mb : mailboxes_) mb->notify_peer_lost(global_rank);
 }
 
+void Runtime::note_rank_finished(int global_rank) {
+  (void)global_rank;
+  if (!monitor_) return;
+  monitor_->note_finished();
+  // This exit may have left every remaining rank blocked — and with no
+  // further enter_blocked transition, no waiter would ever confirm the
+  // deadlock.  The finishing thread is the witness: wait out the
+  // confirmation window, declare, and wake the sleepers (it holds no
+  // mailbox lock, so it may notify them all).
+  if (!monitor_->all_blocked()) return;
+  const std::uint64_t version = monitor_->version();
+  std::this_thread::sleep_for(std::chrono::milliseconds(25));
+  if (monitor_->confirm_starved(version)) {
+    for (auto& mb : mailboxes_) mb->wake_for_starvation();
+  }
+}
+
 RunResult run(int num_ranks, const std::function<void(Comm&)>& body,
               const CostModel& model, const SimConfig& sim) {
   Runtime runtime(num_ranks, model, sim);
@@ -73,6 +101,14 @@ RunResult run(int num_ranks, const std::function<void(Comm&)>& body,
 
   for (int r = 0; r < num_ranks; ++r) {
     threads.emplace_back([&, r] {
+      // Fires on every exit path (return, kill, abort): under the
+      // starvation monitor this rank's departure may leave the remainder
+      // all-blocked, and the finishing thread is the one that must notice.
+      struct FinishGuard {
+        Runtime& rt;
+        int rank;
+        ~FinishGuard() { rt.note_rank_finished(rank); }
+      } finish{runtime, r};
       try {
         CurrentCommGuard guard(*comms[static_cast<std::size_t>(r)]);
         body(*comms[static_cast<std::size_t>(r)]);

@@ -41,11 +41,22 @@ class Runtime {
   /// dead rank throw PeerLostError — a typed error, not a hang.
   void notify_peer_lost(int global_rank);
 
+  /// The run's starvation monitor, or nullptr outside oracle-driven
+  /// (model-checking) runs.
+  [[nodiscard]] StarvationMonitor* monitor() { return monitor_.get(); }
+
+  /// Records that `global_rank`'s body returned or threw (any cause).
+  /// Under the starvation monitor this may complete a global deadlock of
+  /// the remaining ranks; the finishing thread confirms and wakes them so
+  /// they throw DeadlockError instead of hanging.
+  void note_rank_finished(int global_rank);
+
  private:
   std::vector<std::unique_ptr<Mailbox>> mailboxes_;
   std::vector<RankState> states_;
   CostModel model_;
   std::unique_ptr<ChaosController> chaos_;
+  std::unique_ptr<StarvationMonitor> monitor_;
 };
 
 /// Result of one parallel execution.

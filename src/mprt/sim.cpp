@@ -18,6 +18,7 @@ std::string SimConfig::describe() const {
     os << ", kill rank " << kill_rank << " after " << kill_after_sends
        << " sends";
   }
+  if (oracle != nullptr) os << ", oracle-dictated";
   os << "}";
   return os.str();
 }
@@ -29,6 +30,7 @@ std::string SimConfig::describe() const {
 struct alignas(64) ChaosController::PerRank {
   SimRng rng{0};
   std::uint64_t sends = 0;
+  std::uint64_t msgs = 0;  // deliveries consulted through a ScheduleOracle
 };
 
 ChaosController::ChaosController(const SimConfig& config, int num_ranks)
@@ -47,6 +49,18 @@ ChaosController::~ChaosController() { delete[] ranks_; }
 
 double ChaosController::pre_send(int rank) {
   PerRank& me = ranks_[rank];
+  if (config_.oracle != nullptr) {
+    // Dictated mode: the oracle names the exact send to die at; skew is
+    // never injected (the checker owns all nondeterminism explicitly).
+    if (config_.oracle->kill_before_send(rank, me.sends)) {
+      rank_killed_.store(true, std::memory_order_relaxed);
+      throw RankKilledError("rank " + std::to_string(rank) +
+                            " killed by schedule oracle instead of send #" +
+                            std::to_string(me.sends));
+    }
+    me.sends += 1;
+    return 0.0;
+  }
   if (rank == config_.kill_rank && me.sends >= config_.kill_after_sends) {
     rank_killed_.store(true, std::memory_order_relaxed);
     throw RankKilledError("rank " + std::to_string(rank) +
@@ -62,6 +76,23 @@ double ChaosController::pre_send(int rank) {
 
 DeliveryFault ChaosController::on_message(int rank) {
   PerRank& me = ranks_[rank];
+  if (config_.oracle != nullptr) {
+    const DeliveryFault fault =
+        config_.oracle->message_fault(rank, me.msgs++);
+    if (fault.drop) {
+      dropped_.fetch_add(1, std::memory_order_relaxed);
+      return fault;
+    }
+    delivered_.fetch_add(1, std::memory_order_relaxed);
+    if (fault.duplicate) duplicated_.fetch_add(1, std::memory_order_relaxed);
+    if (fault.reorder_front) {
+      reordered_.fetch_add(1, std::memory_order_relaxed);
+    }
+    if (fault.extra_delay_s > 0.0) {
+      delayed_.fetch_add(1, std::memory_order_relaxed);
+    }
+    return fault;
+  }
   DeliveryFault fault;
   // Every branch consumes its draw unconditionally so the stream stays
   // aligned across plans that differ only in probabilities.

@@ -51,6 +51,50 @@ class SimRng {
   std::uint64_t state_;
 };
 
+/// What the chaos layer decided to do with one message.
+struct DeliveryFault {
+  bool drop = false;
+  bool duplicate = false;
+  bool reorder_front = false;
+  double extra_delay_s = 0.0;      ///< added to the message's arrival time
+  double duplicate_delay_s = 0.0;  ///< additionally added to the copy
+};
+
+/// Decision procedure driving one *dictated* execution of the virtual
+/// machine — the model checker's hook into the chaos layer (ISSUE 7).
+///
+/// With an oracle installed through SimConfig, every probabilistic draw of
+/// the chaos layer is replaced by a consulted decision: message faults and
+/// kill points come from message_fault/kill_before_send (keyed by the
+/// sending rank's own event counters, so decisions are independent of
+/// thread scheduling, exactly like the seeded streams they replace), and
+/// the instrumented collectives (rs/state_exchange.hpp) branch their
+/// arrival-order choices through choose().  A driver (src/verify) records
+/// the choices of one run, then systematically re-runs with forced
+/// prefixes to enumerate the whole decision tree.
+///
+/// Implementations are called concurrently from rank threads; each rank's
+/// calls are sequential, so per-rank slots need no locking.
+class ScheduleOracle {
+ public:
+  virtual ~ScheduleOracle() = default;
+
+  /// Picks one of `alternatives` (>= 2) outcomes at `rank`'s next choice
+  /// point.  Must return a value in [0, alternatives).
+  virtual int choose(int rank, int alternatives) = 0;
+
+  /// Reports `orders` combine orders proven byte-equivalent (and therefore
+  /// not branched on) at a choice site — the DPOR-style pruning counter.
+  virtual void note_pruned(int rank, std::uint64_t orders) = 0;
+
+  /// Fault dictated for the `index`-th message `rank` delivers (0-based).
+  virtual DeliveryFault message_fault(int rank, std::uint64_t index) = 0;
+
+  /// True when `rank` must die instead of performing its `index`-th send
+  /// (index counts completed sends, so 0 kills before any send).
+  virtual bool kill_before_send(int rank, std::uint64_t index) = 0;
+};
+
 /// One run's fault plan.  All probabilities are per message (or per send
 /// for the skew); a default-constructed config injects nothing and the
 /// runtime then skips the chaos layer entirely.
@@ -75,23 +119,21 @@ struct SimConfig {
   int kill_rank = -1;
   std::uint64_t kill_after_sends = 0;
 
+  // -- Model checking ------------------------------------------------------
+  /// When set, chaos decisions are *dictated* by the oracle instead of
+  /// drawn from the seeded streams, and the probabilistic fields above are
+  /// ignored.  Non-owning: the oracle must outlive the run.
+  ScheduleOracle* oracle = nullptr;
+
   [[nodiscard]] bool enabled() const {
     return delay_prob > 0.0 || duplicate_prob > 0.0 || drop_prob > 0.0 ||
-           reorder_prob > 0.0 || max_compute_skew_s > 0.0 || kill_rank >= 0;
+           reorder_prob > 0.0 || max_compute_skew_s > 0.0 || kill_rank >= 0 ||
+           oracle != nullptr;
   }
 
   /// One-line human description, printed in failure messages so a seed's
   /// plan is visible without re-deriving it.
   [[nodiscard]] std::string describe() const;
-};
-
-/// What the chaos layer decided to do with one message.
-struct DeliveryFault {
-  bool drop = false;
-  bool duplicate = false;
-  bool reorder_front = false;
-  double extra_delay_s = 0.0;      ///< added to the message's arrival time
-  double duplicate_delay_s = 0.0;  ///< additionally added to the copy
 };
 
 /// Aggregate fault counts for one run; snapshot carried on RunResult.
@@ -115,6 +157,9 @@ class ChaosController {
   ~ChaosController();
 
   [[nodiscard]] const SimConfig& config() const { return config_; }
+
+  /// The dictating oracle, or nullptr for seeded-probabilistic chaos.
+  [[nodiscard]] ScheduleOracle* oracle() const { return config_.oracle; }
 
   /// Called at the top of every send on `rank`.  Returns the compute skew
   /// to charge to the rank's clock; throws RankKilledError when the rank's

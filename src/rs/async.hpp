@@ -137,11 +137,25 @@ class StateAllreduceOp final : public coll::nb::Operation {
             if (children_left_ > 0) {
               auto msg = coll::nb::detail::nb_recv(comm_, mprt::kAnySource, reduce_tag_, mode);
               if (!msg.has_value()) return progressed;
-              combine_received_state(comm_, state_->op, state_->prototype,
-                                     std::move(*msg));
+              if (comm_.schedule_oracle() != nullptr) {
+                // Model-checking mode: park the arrival and fold the full
+                // fan-in below in an oracle-dictated order, so the
+                // fold-on-arrival race is enumerated, not raced.
+                pending_.push_back(std::move(*msg));
+              } else {
+                combine_received_state(comm_, state_->op, state_->prototype,
+                                       std::move(*msg));
+              }
               --children_left_;
               progressed = true;
               continue;
+            }
+            if (!pending_.empty()) {
+              oracle_fold_messages(comm_, *comm_.schedule_oracle(),
+                                   state_->op, state_->prototype,
+                                   std::move(pending_));
+              pending_.clear();
+              progressed = true;
             }
             if (rank != 0) {
               send_state(comm_, (rank - 1) / kUnorderedArity, reduce_tag_,
@@ -209,6 +223,7 @@ class StateAllreduceOp final : public coll::nb::Operation {
   int bcast_tag_;
   bool commutative_;
   int children_left_ = 0;
+  std::vector<mprt::Message> pending_;  // parked arrivals (oracle mode only)
   std::vector<mprt::topology::BinomialStep> reduce_steps_;
   std::vector<mprt::topology::BinomialStep> bcast_steps_;
   std::size_t next_ = 0;

@@ -19,6 +19,7 @@
 #include <algorithm>
 #include <bit>
 #include <cstdlib>
+#include <numeric>
 #include <string_view>
 #include <utility>
 #include <vector>
@@ -124,6 +125,115 @@ void combine_received_state(mprt::Comm& comm, Op& op, const Op& prototype,
   comm.recycle_buffer(msg.release_storage());
 }
 
+// -- Model-checking instrumentation (ISSUE 7) -------------------------------
+
+/// Largest fan-in for which all n! fold orders are locally simulated before
+/// branching (5! = 120 serializations; fan-ins past the probe bound skip
+/// the pruning and branch directly).
+inline constexpr std::size_t kMaxProbeChildren = 5;
+
+inline std::uint64_t fold_order_count(std::size_t n) {
+  std::uint64_t f = 1;
+  for (std::size_t i = 2; i <= n; ++i) f *= i;
+  return f;
+}
+
+/// Folds `pending` received states into `op` in an order dictated by the
+/// schedule oracle — the instrumented replacement for fold-on-arrival at
+/// the collectives with genuine arrival-order freedom.  The candidate list
+/// is canonicalized by (source, seq) so it is identical on every run
+/// regardless of physical arrival order; all nondeterminism is then in the
+/// oracle's choices.
+///
+/// Soundness of the pruning: before branching, every one of the n! fold
+/// orders is simulated locally on state copies (combine_op_from_bytes and
+/// save_op touch no communicator, so the probe has no side effects).  If
+/// all orders serialize to identical bytes, the orders are interchangeable
+/// *for these concrete states* — any downstream behaviour depends only on
+/// the folded state's bytes — so one canonical order is applied without
+/// consuming a decision, and note_pruned records the n!-1 sibling orders
+/// skipped.  This is checked, never assumed from the operator's
+/// commutativity trait: an op whose combine is commutative semantically
+/// but not byte-wise (e.g. insertion-ordered containers) still branches.
+/// When orders differ, the oracle chooses fold steps one at a time, with
+/// payload-identical candidates grouped (folding either of two
+/// byte-identical states is the same fold) for symmetry reduction.
+template <Combinable Op>
+void oracle_fold_messages(mprt::Comm& comm, mprt::ScheduleOracle& oracle,
+                          Op& op, const Op& prototype,
+                          std::vector<mprt::Message>&& pending) {
+  const std::size_t n = pending.size();
+  if (n == 0) return;
+  if (n > 1) {
+    std::sort(pending.begin(), pending.end(),
+              [](const mprt::Message& a, const mprt::Message& b) {
+                return std::pair(a.source, a.seq) <
+                       std::pair(b.source, b.seq);
+              });
+  }
+  if (n == 1) {
+    combine_received_state(comm, op, prototype, std::move(pending[0]));
+    return;
+  }
+
+  if (n <= kMaxProbeChildren) {
+    std::vector<std::size_t> order(n);
+    std::iota(order.begin(), order.end(), 0);
+    std::vector<std::byte> canonical;
+    bool all_identical = true;
+    bool first = true;
+    do {
+      Op probe = op;
+      for (const std::size_t i : order) {
+        combine_op_from_bytes(probe, prototype, pending[i].payload());
+      }
+      std::vector<std::byte> bytes = save_op(probe);
+      if (first) {
+        canonical = std::move(bytes);
+        first = false;
+      } else if (bytes != canonical) {
+        all_identical = false;
+        break;
+      }
+    } while (std::next_permutation(order.begin(), order.end()));
+    if (all_identical) {
+      oracle.note_pruned(comm.rank(), fold_order_count(n) - 1);
+      for (auto& msg : pending) {
+        combine_received_state(comm, op, prototype, std::move(msg));
+      }
+      return;
+    }
+  }
+
+  std::vector<std::size_t> remaining(n);
+  std::iota(remaining.begin(), remaining.end(), 0);
+  while (!remaining.empty()) {
+    // Distinct-payload representatives, in canonical order.
+    std::vector<std::size_t> reps;
+    for (const std::size_t i : remaining) {
+      bool duplicate = false;
+      for (const std::size_t r : reps) {
+        const auto a = pending[i].payload();
+        const auto b = pending[r].payload();
+        if (a.size() == b.size() &&
+            std::equal(a.begin(), a.end(), b.begin())) {
+          duplicate = true;
+          break;
+        }
+      }
+      if (!duplicate) reps.push_back(i);
+    }
+    std::size_t pick = reps[0];
+    if (reps.size() > 1) {
+      const int choice =
+          oracle.choose(comm.rank(), static_cast<int>(reps.size()));
+      pick = reps[static_cast<std::size_t>(choice)];
+    }
+    combine_received_state(comm, op, prototype, std::move(pending[pick]));
+    remaining.erase(std::find(remaining.begin(), remaining.end(), pick));
+  }
+}
+
 /// Binomial-tree reduction of operator states to rank 0, preserving rank
 /// order so non-commutative combines see (earlier ranks) (+) (later ranks).
 template <Combinable Op>
@@ -152,12 +262,47 @@ void state_reduce_unordered(mprt::Comm& comm, Op& op, const Op& prototype,
   const int first_child = arity * rank + 1;
   const int num_children =
       first_child >= p ? 0 : std::min(arity, p - first_child);
-  for (int i = 0; i < num_children; ++i) {
-    auto msg = comm.recv_message(mprt::kAnySource, tag);
-    combine_received_state(comm, op, prototype, std::move(msg));
+  mprt::ScheduleOracle* oracle = comm.schedule_oracle();
+  if (oracle != nullptr && num_children > 1) {
+    // Model-checking mode: the fold-on-arrival loop below is the genuine
+    // arrival-order race this collective embodies.  Receive the full
+    // fan-in, then fold in an oracle-dictated order — the receive loop's
+    // own wildcard matching is canonicalized by the mailbox, so the only
+    // nondeterminism left is the fold order the oracle drives.
+    std::vector<mprt::Message> pending;
+    pending.reserve(static_cast<std::size_t>(num_children));
+    for (int i = 0; i < num_children; ++i) {
+      pending.push_back(comm.recv_message(mprt::kAnySource, tag));
+    }
+    oracle_fold_messages(comm, *oracle, op, prototype, std::move(pending));
+  } else {
+    for (int i = 0; i < num_children; ++i) {
+      auto msg = comm.recv_message(mprt::kAnySource, tag);
+      combine_received_state(comm, op, prototype, std::move(msg));
+    }
   }
   if (rank != 0) {
     send_state(comm, (rank - 1) / arity, tag, op);
+  }
+}
+
+/// DELIBERATELY WRONG allreduce variant, kept only as the model checker's
+/// detection target (tests/verify/mutation_test.cpp): it routes the
+/// operator through the combine-as-available tree *regardless of
+/// commutativity* — the classic ordering bug of selecting a
+/// commutative-only schedule for a non-commutative operator.  Never
+/// dispatched by state_allreduce; calling it with a non-commutative
+/// operator produces order-dependent results the exhaustive explorer must
+/// catch with a minimal replayable trace.
+template <Combinable Op>
+void state_allreduce_mutation_unordered(mprt::Comm& comm, Op& op,
+                                        const Op& prototype) {
+  if (comm.size() == 1) return;
+  state_reduce_unordered(comm, op, prototype);
+  auto state = comm.rank() == 0 ? save_op(op) : std::vector<std::byte>{};
+  state = coll::bcast_bytes(comm, 0, state);
+  if (comm.rank() != 0) {
+    load_op_into(op, state);
   }
 }
 

@@ -1,0 +1,441 @@
+// The checker zoo and scenario matrix for the exhaustive model checker
+// (ISSUE 7).
+//
+// Two stress operators complement the production ops:
+//
+//   * OrderedWord (satellite 1) — a noncommutative ordered-concat whose
+//     tokens carry their originating rank.  Any schedule that folds ranks
+//     out of order scrambles the word, so the explorer flags a
+//     commutative-only schedule being selected for it the moment it
+//     happens: a correctly-routed OrderedWord collective presents *zero*
+//     choice points (the order-preserving schedules have no arrival-order
+//     freedom), and the planted mutation presents many, most failing.
+//
+//   * CanonSet — a *semantically* commutative set-union whose state bytes
+//     are insertion-ordered.  Its combine commutes as a set but not
+//     byte-wise, so the explorer's all-orders probe cannot prune and must
+//     genuinely branch; gen() sorts, so every interleaving must still
+//     produce the identical result.  This is the operator that proves the
+//     DFS explores real schedule freedom with zero violations.
+//
+// Scenario builders cover the five autotuned schedules (blocking path),
+// the planted mutation, the nonblocking paths (the commutative
+// combine-as-available tree driven directly, plus reduce_async), and the
+// persistent-plan replay from src/svc — each scenario a self-checking
+// Runner comparing every completed rank's result against the serial
+// oracle.
+#pragma once
+
+#include <algorithm>
+#include <cstdlib>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "coll/nb/progress.hpp"
+#include "mprt/runtime.hpp"
+#include "rs/async.hpp"
+#include "rs/ops/counts.hpp"
+#include "rs/serial.hpp"
+#include "rs/state_exchange.hpp"
+#include "svc/persistent.hpp"
+#include "verify/explorer.hpp"
+
+namespace rsmpi::verify {
+
+// -- Operator zoo -----------------------------------------------------------
+
+/// Noncommutative ordered concatenation of rank-tagged tokens.
+class OrderedWord {
+ public:
+  static constexpr bool commutative = false;
+
+  void accum(const int& token) {
+    word_ += "<" + std::to_string(token) + ">";
+  }
+  void combine(const OrderedWord& other) { word_ += other.word_; }
+  [[nodiscard]] std::string gen() const { return word_; }
+
+  void save(bytes::Writer& w) const { w.put_string(word_); }
+  void load(bytes::Reader& r) { word_ = r.get_string(); }
+
+ private:
+  std::string word_;
+};
+
+/// Set union with insertion-ordered state bytes and sorted output.
+/// Commutative by the operator trait (absent => true), but its serialized
+/// state depends on fold order — the probe cannot prune, the result check
+/// still must pass on every branch.
+class CanonSet {
+ public:
+  void accum(const int& x) { insert(x); }
+  void combine(const CanonSet& other) {
+    for (const int x : other.elems_) insert(x);
+  }
+  [[nodiscard]] std::vector<int> gen() const {
+    std::vector<int> sorted = elems_;
+    std::sort(sorted.begin(), sorted.end());
+    return sorted;
+  }
+
+  void save(bytes::Writer& w) const { w.put_vector(elems_); }
+  void load(bytes::Reader& r) { elems_ = r.get_vector<int>(); }
+
+ private:
+  void insert(int x) {
+    if (std::find(elems_.begin(), elems_.end(), x) == elems_.end()) {
+      elems_.push_back(x);
+    }
+  }
+
+  std::vector<int> elems_;
+};
+
+// -- Inputs and expectations ------------------------------------------------
+
+inline constexpr std::size_t kCheckerBuckets = 6;
+inline constexpr int kCheckerTokensPerRank = 3;
+
+/// Deterministic rank-tagged raw tokens: rank r contributes
+/// {10r, 10r+1, 10r+2}.  Each operator maps them into its own input
+/// domain below.
+inline std::vector<int> rank_tokens(int rank) {
+  std::vector<int> tokens;
+  tokens.reserve(kCheckerTokensPerRank);
+  for (int i = 0; i < kCheckerTokensPerRank; ++i) {
+    tokens.push_back(rank * 10 + i);
+  }
+  return tokens;
+}
+
+template <typename Op>
+std::vector<int> rank_inputs(int rank) {
+  std::vector<int> inputs = rank_tokens(rank);
+  if constexpr (std::is_same_v<Op, rs::ops::Counts>) {
+    for (int& x : inputs) x %= static_cast<int>(kCheckerBuckets);
+  } else if constexpr (std::is_same_v<Op, CanonSet>) {
+    // Overlap across ranks so the union actually deduplicates.
+    inputs.push_back(7);
+  }
+  return inputs;
+}
+
+template <typename Op>
+Op make_prototype() {
+  if constexpr (std::is_same_v<Op, rs::ops::Counts>) {
+    return rs::ops::Counts(kCheckerBuckets);
+  } else {
+    return Op{};
+  }
+}
+
+/// The serial oracle: every rank's inputs folded in rank order.
+template <typename Op>
+rs::reduce_result_t<Op> expected_result(int p) {
+  Op op = make_prototype<Op>();
+  for (int r = 0; r < p; ++r) {
+    for (const int x : rank_inputs<Op>(r)) op.accum(x);
+  }
+  return rs::red_result(op);
+}
+
+// -- Runner factory ---------------------------------------------------------
+
+namespace detail {
+
+/// Wraps a per-rank collective body into a self-checking Runner: run the
+/// machine under the oracle, then compare every completed rank's result
+/// against the serial oracle bit-for-bit (operator results are compared
+/// through operator==; for these ops that is exact).  Typed rsmpi errors
+/// unwinding the run land in typed_error; anything untyped is itself a
+/// violation (the liveness contract says result or *typed* error).
+template <typename Op, typename Collective>
+Runner make_runner(int p, Collective collective) {
+  return [p, collective](RecordingOracle& oracle) -> ExecutionResult {
+    using Result = rs::reduce_result_t<Op>;
+    const Result want = expected_result<Op>(p);
+    std::vector<std::optional<Result>> got(static_cast<std::size_t>(p));
+    ExecutionResult result;
+    mprt::SimConfig sim;
+    sim.oracle = &oracle;
+    try {
+      mprt::run(
+          p,
+          [&](mprt::Comm& comm) {
+            got[static_cast<std::size_t>(comm.rank())] =
+                collective(comm);
+          },
+          mprt::CostModel{}, sim);
+    } catch (const Error& e) {
+      result.typed_error = true;
+      result.error_what = e.what();
+    } catch (const std::exception& e) {
+      result.failed = true;
+      result.detail =
+          std::string("untyped exception escaped the run: ") + e.what();
+      return result;
+    }
+    for (int r = 0; r < p; ++r) {
+      const auto& mine = got[static_cast<std::size_t>(r)];
+      if (mine.has_value() && !(*mine == want)) {
+        result.failed = true;
+        result.detail = "rank " + std::to_string(r) +
+                        ": result differs from the serial oracle";
+        return result;
+      }
+    }
+    return result;
+  };
+}
+
+/// Accumulates this rank's inputs into a fresh identity state.
+template <typename Op>
+Op accumulated(int rank) {
+  Op op = make_prototype<Op>();
+  for (const int x : rank_inputs<Op>(rank)) op.accum(x);
+  return op;
+}
+
+}  // namespace detail
+
+// -- Scenario builders ------------------------------------------------------
+
+inline std::string schedule_name(rs::detail::Schedule schedule) {
+  using S = rs::detail::Schedule;
+  switch (schedule) {
+    case S::kAuto:
+      return "auto";
+    case S::kTwoMessage:
+      return "two_message";
+    case S::kButterfly:
+      return "butterfly";
+    case S::kRabenseifner:
+      return "rabenseifner";
+    case S::kRing:
+      return "ring";
+    case S::kPipelined:
+      return "pipelined";
+  }
+  return "unknown";
+}
+
+/// Small segments so the segmented schedules (ring / pipelined /
+/// Rabenseifner chunks) actually split the checker states into multiple
+/// messages instead of degenerating to one segment.
+inline constexpr std::size_t kCheckerSegmentBytes = 8;
+
+/// Blocking allreduce through one pinned schedule.
+template <typename Op>
+Scenario blocking_scenario(const std::string& op_name, int p,
+                           rs::detail::Schedule schedule) {
+  Scenario s;
+  s.name = op_name + "-" + schedule_name(schedule) + "-p" + std::to_string(p);
+  s.num_ranks = p;
+  s.runner = detail::make_runner<Op>(p, [schedule](mprt::Comm& comm) {
+    Op op = detail::accumulated<Op>(comm.rank());
+    const Op prototype = make_prototype<Op>();
+    rs::detail::state_allreduce_with_schedule(comm, op, prototype, schedule,
+                                              kCheckerSegmentBytes,
+                                              rs::op_commutative<Op>());
+    return rs::red_result(op);
+  });
+  return s;
+}
+
+/// The planted ordering bug: the deliberately-wrong variant that routes
+/// any operator through the commutative-only combine-as-available tree.
+/// With OrderedWord the explorer must catch it (mutation_test).
+template <typename Op>
+Scenario mutation_scenario(const std::string& op_name, int p) {
+  Scenario s;
+  s.name = op_name + "-mutation-p" + std::to_string(p);
+  s.num_ranks = p;
+  s.runner = detail::make_runner<Op>(p, [](mprt::Comm& comm) {
+    Op op = detail::accumulated<Op>(comm.rank());
+    const Op prototype = make_prototype<Op>();
+    rs::detail::state_allreduce_mutation_unordered(comm, op, prototype);
+    return rs::red_result(op);
+  });
+  return s;
+}
+
+/// Nonblocking combine-as-available tree, driven directly (the production
+/// dispatch only hands commutative operators to the butterfly/ring, so the
+/// fold-on-arrival branch is exercised here by explicit construction).
+/// Only valid for commutative operators.
+template <typename Op>
+Scenario nb_tree_scenario(const std::string& op_name, int p) {
+  static_assert(rs::op_commutative<Op>(),
+                "nb_tree_scenario drives the commutative branch");
+  Scenario s;
+  s.name = op_name + "-nbtree-p" + std::to_string(p);
+  s.num_ranks = p;
+  s.runner = detail::make_runner<Op>(p, [](mprt::Comm& comm) {
+    const Op prototype = make_prototype<Op>();
+    auto state = std::make_shared<rs::detail::AsyncOpState<Op>>(
+        detail::accumulated<Op>(comm.rank()), prototype);
+    const int tag = comm.reserve_collective_tags(2);
+    auto request = coll::nb::ProgressEngine::current().launch(
+        comm,
+        std::make_unique<rs::detail::StateAllreduceOp<Op>>(
+            comm, state, /*commutative=*/true, tag, tag + 1),
+        tag, 2);
+    request.wait();
+    return rs::red_result(state->op);
+  });
+  return s;
+}
+
+/// The production async path: rs::reduce_async (butterfly or binomial by
+/// the operator's own commutativity trait).
+template <typename Op>
+Scenario async_scenario(const std::string& op_name, int p) {
+  Scenario s;
+  s.name = op_name + "-async-p" + std::to_string(p);
+  s.num_ranks = p;
+  s.runner = detail::make_runner<Op>(p, [](mprt::Comm& comm) {
+    auto future = rs::reduce_async(comm, rank_inputs<Op>(comm.rank()),
+                                   make_prototype<Op>());
+    return future.get();
+  });
+  return s;
+}
+
+inline constexpr int kPersistentEpochs = 2;
+
+/// Persistent-plan replay (satellite 3): plan once, execute two epochs.
+/// Every completed epoch's result must equal the serial oracle — a
+/// pre-fault epoch must replay bit-identically even when a later epoch is
+/// killed mid-collective.
+template <typename Op>
+Scenario persistent_scenario(const std::string& op_name, int p) {
+  Scenario s;
+  s.name = op_name + "-persistent-p" + std::to_string(p);
+  s.num_ranks = p;
+  s.runner = [p](RecordingOracle& oracle) -> ExecutionResult {
+    using Result = rs::reduce_result_t<Op>;
+    const Result want = expected_result<Op>(p);
+    std::vector<std::vector<std::optional<Result>>> got(
+        kPersistentEpochs,
+        std::vector<std::optional<Result>>(static_cast<std::size_t>(p)));
+    ExecutionResult result;
+    mprt::SimConfig sim;
+    sim.oracle = &oracle;
+    try {
+      mprt::run(
+          p,
+          [&](mprt::Comm& comm) {
+            svc::PersistentReduce<Op> handle(comm, make_prototype<Op>());
+            for (int epoch = 0; epoch < kPersistentEpochs; ++epoch) {
+              const Result r =
+                  handle.execute(rank_inputs<Op>(comm.rank()));
+              got[static_cast<std::size_t>(epoch)]
+                 [static_cast<std::size_t>(comm.rank())] = r;
+            }
+          },
+          mprt::CostModel{}, sim);
+    } catch (const Error& e) {
+      result.typed_error = true;
+      result.error_what = e.what();
+    } catch (const std::exception& e) {
+      result.failed = true;
+      result.detail =
+          std::string("untyped exception escaped the run: ") + e.what();
+      return result;
+    }
+    for (int epoch = 0; epoch < kPersistentEpochs; ++epoch) {
+      for (int r = 0; r < p; ++r) {
+        const auto& mine = got[static_cast<std::size_t>(epoch)]
+                              [static_cast<std::size_t>(r)];
+        if (mine.has_value() && !(*mine == want)) {
+          result.failed = true;
+          result.detail = "epoch " + std::to_string(epoch) + " rank " +
+                          std::to_string(r) +
+                          ": persistent replay differs from the serial "
+                          "oracle";
+          return result;
+        }
+      }
+    }
+    return result;
+  };
+  return s;
+}
+
+// -- Scenario registry ------------------------------------------------------
+
+class ScenarioSet {
+ public:
+  void add(Scenario scenario) { scenarios_.push_back(std::move(scenario)); }
+
+  [[nodiscard]] const std::vector<Scenario>& all() const { return scenarios_; }
+
+  [[nodiscard]] const Scenario* find(const std::string& name) const {
+    for (const Scenario& s : scenarios_) {
+      if (s.name == name) return &s;
+    }
+    return nullptr;
+  }
+
+ private:
+  std::vector<Scenario> scenarios_;
+};
+
+/// The standard checker matrix at one machine size: all five schedules x
+/// {commutative (Counts), noncommutative (OrderedWord)} on the blocking
+/// path, CanonSet on the branching paths, the nonblocking tree and async
+/// dispatch, and the persistent-plan replay.  The planted mutation is NOT
+/// in the standard set — mutation_scenario builds it for the detection
+/// test only.
+inline ScenarioSet standard_scenarios(int p) {
+  using S = rs::detail::Schedule;
+  ScenarioSet set;
+  for (const S schedule : {S::kTwoMessage, S::kButterfly, S::kRabenseifner,
+                           S::kRing, S::kPipelined}) {
+    set.add(blocking_scenario<rs::ops::Counts>("counts", p, schedule));
+    set.add(blocking_scenario<OrderedWord>("word", p, schedule));
+  }
+  set.add(blocking_scenario<CanonSet>("canon", p, S::kTwoMessage));
+  set.add(blocking_scenario<CanonSet>("canon", p, S::kButterfly));
+  set.add(nb_tree_scenario<rs::ops::Counts>("counts", p));
+  set.add(nb_tree_scenario<CanonSet>("canon", p));
+  set.add(async_scenario<rs::ops::Counts>("counts", p));
+  set.add(async_scenario<OrderedWord>("word", p));
+  set.add(persistent_scenario<rs::ops::Counts>("counts", p));
+  set.add(persistent_scenario<OrderedWord>("word", p));
+  return set;
+}
+
+/// Every scenario a trace might name, across the machine sizes the tests
+/// explore (p in [2, max_p]), plus the mutation targets.
+inline ScenarioSet replayable_scenarios(int max_p = 5) {
+  ScenarioSet set;
+  for (int p = 2; p <= max_p; ++p) {
+    const ScenarioSet base = standard_scenarios(p);
+    for (const Scenario& s : base.all()) set.add(s);
+    set.add(mutation_scenario<OrderedWord>("word", p));
+  }
+  return set;
+}
+
+/// RSMPI_VERIFY_TRACE replay hook: when the variable is set, decodes it,
+/// resolves the scenario, and replays that single execution — the
+/// one-violation reproduction loop.  Returns std::nullopt when the
+/// variable is unset.  Throws ArgumentError on malformed traces or
+/// unknown scenario names.
+inline std::optional<ExecutionResult> replay_from_env(
+    const ScenarioSet& set) {
+  const char* raw = std::getenv("RSMPI_VERIFY_TRACE");
+  if (raw == nullptr || *raw == '\0') return std::nullopt;
+  const Trace trace = decode_trace(raw);
+  const Scenario* scenario = set.find(trace.scenario);
+  if (scenario == nullptr) {
+    throw ArgumentError("RSMPI_VERIFY_TRACE: unknown scenario '" +
+                        trace.scenario + "'");
+  }
+  return replay(*scenario, trace);
+}
+
+}  // namespace rsmpi::verify

@@ -1,0 +1,258 @@
+#include "verify/explorer.hpp"
+
+#include <algorithm>
+#include <set>
+#include <utility>
+
+#include "util/error.hpp"
+
+namespace rsmpi::verify {
+
+namespace {
+
+/// Everything one dictated execution left behind.
+struct RunOutcome {
+  ExecutionResult result;
+  std::vector<std::vector<ChoiceRecord>> choices;
+  std::vector<std::vector<int>> decisions;
+  std::uint64_t pruned = 0;
+  bool prefix_mismatch = false;
+  std::vector<std::uint64_t> msgs;
+  std::vector<std::uint64_t> sends;
+};
+
+RunOutcome run_once(const Scenario& scenario,
+                    std::vector<std::vector<int>> prefix,
+                    const FaultPlacement& fault) {
+  RecordingOracle oracle(scenario.num_ranks, std::move(prefix), fault);
+  RunOutcome out;
+  out.result = scenario.runner(oracle);
+  const int p = scenario.num_ranks;
+  out.choices.reserve(static_cast<std::size_t>(p));
+  for (int r = 0; r < p; ++r) {
+    out.choices.push_back(oracle.choices(r));
+    out.msgs.push_back(oracle.messages(r));
+    out.sends.push_back(oracle.sends(r));
+  }
+  out.decisions = oracle.decisions();
+  out.pruned = oracle.pruned();
+  out.prefix_mismatch = oracle.prefix_mismatch();
+  return out;
+}
+
+/// The explorer's fault policy: a failed result check is always a
+/// violation; a typed error is a violation only under a benign (or no)
+/// fault — lossy faults (drop, kill) are allowed to surface typed errors,
+/// never to corrupt the results of ranks that completed (which the
+/// runner's own check covers).  Returns the violation detail, empty if OK.
+std::string violation_detail(const ExecutionResult& result,
+                             const FaultPlacement& fault) {
+  if (result.failed) {
+    return result.detail.empty() ? "result check failed" : result.detail;
+  }
+  if (result.typed_error && fault.benign()) {
+    return "execution under benign fault '" + fault.code() +
+           "' must complete with the fault-free result; got typed error: " +
+           result.error_what;
+  }
+  return "";
+}
+
+/// Lexicographic DFS advance over the recorded choice log.  Decision
+/// positions are ordered rank-descending (children before parents — see
+/// the header), step-ascending; this scan finds the least-significant
+/// position with an unexplored alternative, bumps it, keeps everything
+/// more significant (ranks > r verbatim, rank r's earlier steps), and
+/// clears everything less significant (ranks < r re-run canonically).
+/// Returns false when the whole space is explored.
+bool advance_prefix(const std::vector<std::vector<ChoiceRecord>>& choices,
+             std::vector<std::vector<int>>& prefix) {
+  const int p = static_cast<int>(choices.size());
+  for (int r = 0; r < p; ++r) {
+    const auto& log = choices[static_cast<std::size_t>(r)];
+    for (int s = static_cast<int>(log.size()) - 1; s >= 0; --s) {
+      const auto& c = log[static_cast<std::size_t>(s)];
+      if (c.chosen + 1 >= c.alternatives) continue;
+      prefix.assign(static_cast<std::size_t>(p), {});
+      for (int q = r + 1; q < p; ++q) {
+        for (const auto& qc : choices[static_cast<std::size_t>(q)]) {
+          prefix[static_cast<std::size_t>(q)].push_back(qc.chosen);
+        }
+      }
+      auto& mine = prefix[static_cast<std::size_t>(r)];
+      for (int t = 0; t < s; ++t) {
+        mine.push_back(log[static_cast<std::size_t>(t)].chosen);
+      }
+      mine.push_back(c.chosen + 1);
+      return true;
+    }
+  }
+  return false;
+}
+
+std::string decisions_key(const std::vector<std::vector<int>>& decisions) {
+  std::string key;
+  for (const auto& rank : decisions) {
+    for (const int d : rank) {
+      key += std::to_string(d);
+      key += ',';
+    }
+    key += '|';
+  }
+  return key;
+}
+
+std::uint64_t total_decisions(const std::vector<std::vector<int>>& decisions) {
+  std::uint64_t n = 0;
+  for (const auto& rank : decisions) n += rank.size();
+  return n;
+}
+
+/// Shrinks a failing trace to a minimal one, deterministically: every
+/// candidate is derived syntactically from the decision string (never from
+/// an RNG or container iteration order) and validated by replay, so the
+/// minimal trace is identical on every platform.
+Trace shrink(const Scenario& scenario, Trace trace) {
+  const auto still_fails = [&](const Trace& candidate) {
+    const ExecutionResult r = replay(scenario, candidate);
+    return !violation_detail(r, candidate.fault).empty();
+  };
+
+  // 1. Drop the fault if the failure reproduces without it.
+  if (trace.fault.kind != FaultPlacement::Kind::kNone) {
+    Trace candidate = trace;
+    candidate.fault = FaultPlacement{};
+    if (still_fails(candidate)) trace = std::move(candidate);
+  }
+
+  // 2. Strip trailing zeros: a zero decision is the canonical choice, and
+  // an absent decision replays canonically, so this is identity-preserving
+  // and needs no replay.
+  for (auto& rank : trace.decisions) {
+    while (!rank.empty() && rank.back() == 0) rank.pop_back();
+  }
+
+  // 3. Suffix truncation, per rank in ascending order.
+  for (std::size_t r = 0; r < trace.decisions.size(); ++r) {
+    while (!trace.decisions[r].empty()) {
+      Trace candidate = trace;
+      auto& cut = candidate.decisions[r];
+      cut.pop_back();
+      while (!cut.empty() && cut.back() == 0) cut.pop_back();
+      if (!still_fails(candidate)) break;
+      trace = std::move(candidate);
+    }
+  }
+
+  // 4. Per-position lowering, positions in (rank, step) ascending order,
+  // candidate values ascending from 0.
+  for (std::size_t r = 0; r < trace.decisions.size(); ++r) {
+    for (std::size_t s = 0; s < trace.decisions[r].size(); ++s) {
+      for (int v = 0; v < trace.decisions[r][s]; ++v) {
+        Trace candidate = trace;
+        candidate.decisions[r][s] = v;
+        if (still_fails(candidate)) {
+          trace = std::move(candidate);
+          break;
+        }
+      }
+    }
+  }
+  return trace;
+}
+
+/// Explores every interleaving reachable under one fixed fault placement.
+/// The first (canonical) run's per-rank message/send counts are written to
+/// *counts when requested — the fault-free pass uses them to enumerate the
+/// placement space.
+void explore_placement(const Scenario& scenario, const FaultPlacement& fault,
+                       const ExploreLimits& limits, Report& report,
+                       RunOutcome* canonical) {
+  const int p = scenario.num_ranks;
+  std::vector<std::vector<int>> prefix(static_cast<std::size_t>(p));
+  std::set<std::string> seen;
+  const bool fault_free = fault.kind == FaultPlacement::Kind::kNone;
+  bool first = true;
+  for (;;) {
+    if (report.stats.executions >= limits.max_executions) {
+      report.stats.budget_exhausted = true;
+      return;
+    }
+    RunOutcome out = run_once(scenario, prefix, fault);
+    report.stats.executions += 1;
+    if (fault_free) {
+      report.stats.interleavings += 1;
+    } else {
+      report.stats.fault_executions += 1;
+    }
+    report.stats.pruned_orders += out.pruned;
+    report.stats.max_decisions =
+        std::max(report.stats.max_decisions, total_decisions(out.decisions));
+    if (first && canonical != nullptr) *canonical = out;
+    first = false;
+
+    // A prefix-mismatch run followed a branch that no longer exists; its
+    // decision vector may duplicate an explored one, so it is advanced
+    // over but never judged or recorded twice.
+    const bool fresh = seen.insert(decisions_key(out.decisions)).second;
+    if (fresh && !out.prefix_mismatch) {
+      const std::string detail = violation_detail(out.result, fault);
+      if (!detail.empty()) {
+        Trace trace{scenario.name, fault, out.decisions};
+        report.violations.push_back(
+            Violation{shrink(scenario, std::move(trace)), detail});
+      }
+    }
+    if (!advance_prefix(out.choices, prefix)) return;
+  }
+}
+
+}  // namespace
+
+Report explore(const Scenario& scenario, const ExploreLimits& limits) {
+  if (!scenario.runner) {
+    throw ArgumentError("explore: scenario '" + scenario.name +
+                        "' has no runner");
+  }
+  if (scenario.num_ranks < 1) {
+    throw ArgumentError("explore: scenario '" + scenario.name +
+                        "' needs at least one rank");
+  }
+  Report report;
+  RunOutcome canonical;
+  explore_placement(scenario, FaultPlacement{}, limits, report, &canonical);
+  if (!limits.faults || report.stats.budget_exhausted) return report;
+
+  // Placement space from the canonical run's observed traffic: every
+  // message once per message-fault kind, every send once as a kill site.
+  std::vector<FaultPlacement> placements;
+  for (int r = 0; r < scenario.num_ranks; ++r) {
+    const std::uint64_t msgs = canonical.msgs[static_cast<std::size_t>(r)];
+    for (std::uint64_t i = 0; i < msgs; ++i) {
+      placements.push_back({FaultPlacement::Kind::kDrop, r, i});
+      placements.push_back({FaultPlacement::Kind::kDuplicate, r, i});
+      placements.push_back({FaultPlacement::Kind::kReorder, r, i});
+    }
+    const std::uint64_t sends = canonical.sends[static_cast<std::size_t>(r)];
+    for (std::uint64_t i = 0; i < sends; ++i) {
+      placements.push_back({FaultPlacement::Kind::kKill, r, i});
+    }
+  }
+  for (const FaultPlacement& placement : placements) {
+    report.stats.fault_placements += 1;
+    explore_placement(scenario, placement, limits, report, nullptr);
+    if (report.stats.budget_exhausted) break;
+  }
+  return report;
+}
+
+ExecutionResult replay(const Scenario& scenario, const Trace& trace) {
+  if (!scenario.runner) {
+    throw ArgumentError("replay: scenario '" + scenario.name +
+                        "' has no runner");
+  }
+  RecordingOracle oracle(scenario.num_ranks, trace.decisions, trace.fault);
+  return scenario.runner(oracle);
+}
+
+}  // namespace rsmpi::verify

@@ -1,0 +1,100 @@
+// Fault placements for the exhaustive model checker (ISSUE 7).
+//
+// A placement names exactly one injected fault of one dictated execution:
+// a single message dropped, duplicated, or physically reordered at the
+// destination mailbox (identified by the sending rank and that rank's
+// 0-based delivery index), or a single rank killed instead of performing
+// its index-th send.  The explorer enumerates every placement the
+// canonical fault-free run makes possible, so the fault space is derived
+// from observed traffic, never guessed.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "util/error.hpp"
+
+namespace rsmpi::verify {
+
+struct FaultPlacement {
+  enum class Kind { kNone, kDrop, kDuplicate, kReorder, kKill };
+
+  Kind kind = Kind::kNone;
+  int rank = 0;             ///< the sending rank the fault is keyed to
+  std::uint64_t index = 0;  ///< that rank's message (or send, for kKill) index
+
+  /// Duplicates and physical reorders must be absorbed by the mailbox's
+  /// sequence numbers: a benign fault's execution must complete with the
+  /// fault-free result.  Drops and kills may instead surface a typed error.
+  [[nodiscard]] bool benign() const {
+    return kind == Kind::kNone || kind == Kind::kDuplicate ||
+           kind == Kind::kReorder;
+  }
+
+  /// Compact code used in traces: "none", "drop@1.2", "dup@0.0",
+  /// "reorder@2.1", "kill@1.3".
+  [[nodiscard]] std::string code() const {
+    switch (kind) {
+      case Kind::kNone:
+        return "none";
+      case Kind::kDrop:
+        return "drop@" + location();
+      case Kind::kDuplicate:
+        return "dup@" + location();
+      case Kind::kReorder:
+        return "reorder@" + location();
+      case Kind::kKill:
+        return "kill@" + location();
+    }
+    return "none";
+  }
+
+  /// Inverse of code(); throws ArgumentError on malformed input.
+  static FaultPlacement parse(const std::string& code) {
+    if (code == "none" || code.empty()) return FaultPlacement{};
+    const std::size_t at = code.find('@');
+    if (at == std::string::npos) {
+      throw ArgumentError("FaultPlacement: malformed fault code '" + code +
+                          "'");
+    }
+    const std::string name = code.substr(0, at);
+    FaultPlacement f;
+    if (name == "drop") {
+      f.kind = Kind::kDrop;
+    } else if (name == "dup") {
+      f.kind = Kind::kDuplicate;
+    } else if (name == "reorder") {
+      f.kind = Kind::kReorder;
+    } else if (name == "kill") {
+      f.kind = Kind::kKill;
+    } else {
+      throw ArgumentError("FaultPlacement: unknown fault kind '" + name + "'");
+    }
+    const std::string loc = code.substr(at + 1);
+    const std::size_t dot = loc.find('.');
+    if (dot == std::string::npos || dot == 0 || dot + 1 >= loc.size()) {
+      throw ArgumentError("FaultPlacement: malformed fault location '" + loc +
+                          "'");
+    }
+    try {
+      f.rank = std::stoi(loc.substr(0, dot));
+      f.index = std::stoull(loc.substr(dot + 1));
+    } catch (const std::exception&) {
+      throw ArgumentError("FaultPlacement: non-numeric fault location '" +
+                          loc + "'");
+    }
+    if (f.rank < 0) {
+      throw ArgumentError("FaultPlacement: negative rank in '" + code + "'");
+    }
+    return f;
+  }
+
+  bool operator==(const FaultPlacement&) const = default;
+
+ private:
+  [[nodiscard]] std::string location() const {
+    return std::to_string(rank) + "." + std::to_string(index);
+  }
+};
+
+}  // namespace rsmpi::verify

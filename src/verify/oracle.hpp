@@ -1,0 +1,91 @@
+// RecordingOracle: the ScheduleOracle implementation the explorer drives
+// executions with (ISSUE 7).
+//
+// One oracle dictates one execution.  Per rank it holds a *forced prefix*
+// of decisions (the branch the explorer wants to revisit); choices past
+// the prefix take alternative 0 — the canonical first branch — and every
+// consulted choice is recorded with its alternative count, which is what
+// the explorer's DFS advances over.  The oracle also dictates the single
+// fault placement of the execution and counts each rank's messages and
+// sends, so the fault space of a scenario can be read off its canonical
+// run.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "mprt/sim.hpp"
+#include "verify/fault.hpp"
+
+namespace rsmpi::verify {
+
+/// One consulted choice point: which alternative ran, out of how many.
+struct ChoiceRecord {
+  int chosen = 0;
+  int alternatives = 0;
+  bool operator==(const ChoiceRecord&) const = default;
+};
+
+class RecordingOracle final : public mprt::ScheduleOracle {
+ public:
+  RecordingOracle(int num_ranks, std::vector<std::vector<int>> prefix,
+                  FaultPlacement fault = {});
+
+  int choose(int rank, int alternatives) override;
+  void note_pruned(int rank, std::uint64_t orders) override;
+  mprt::DeliveryFault message_fault(int rank, std::uint64_t index) override;
+  bool kill_before_send(int rank, std::uint64_t index) override;
+
+  /// Full per-rank choice log of the execution (prefix + canonical tail).
+  [[nodiscard]] const std::vector<ChoiceRecord>& choices(int rank) const {
+    return ranks_[static_cast<std::size_t>(rank)].choices;
+  }
+
+  /// The per-rank decision string (chosen values only) — the trace body.
+  [[nodiscard]] std::vector<std::vector<int>> decisions() const;
+
+  /// Combine orders proven byte-equivalent and skipped, summed over ranks.
+  [[nodiscard]] std::uint64_t pruned() const {
+    return pruned_.load(std::memory_order_relaxed);
+  }
+
+  /// True when a forced decision was out of range for the alternatives the
+  /// execution actually presented (the tree changed shape under the
+  /// prefix — e.g. a fault removed a choice point).  The choice is clamped
+  /// and the flag raised so the explorer can discard the duplicate branch.
+  [[nodiscard]] bool prefix_mismatch() const {
+    return prefix_mismatch_.load(std::memory_order_relaxed);
+  }
+
+  /// Messages `rank` delivered / sends it attempted during the execution.
+  [[nodiscard]] std::uint64_t messages(int rank) const {
+    return ranks_[static_cast<std::size_t>(rank)].msgs;
+  }
+  [[nodiscard]] std::uint64_t sends(int rank) const {
+    return ranks_[static_cast<std::size_t>(rank)].sends;
+  }
+
+  [[nodiscard]] int num_ranks() const {
+    return static_cast<int>(ranks_.size());
+  }
+  [[nodiscard]] const FaultPlacement& fault() const { return fault_; }
+
+ private:
+  // Rank slots are only touched from the owning rank's thread while the
+  // machine runs (the explorer reads them after the join); padded apart so
+  // the dictated runs do not serialize ranks on one cache line.
+  struct alignas(64) PerRank {
+    std::vector<int> prefix;
+    std::vector<ChoiceRecord> choices;
+    std::uint64_t msgs = 0;
+    std::uint64_t sends = 0;
+  };
+
+  std::vector<PerRank> ranks_;
+  FaultPlacement fault_;
+  std::atomic<std::uint64_t> pruned_{0};
+  std::atomic<bool> prefix_mismatch_{false};
+};
+
+}  // namespace rsmpi::verify

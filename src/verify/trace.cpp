@@ -1,0 +1,102 @@
+#include "verify/trace.hpp"
+
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace rsmpi::verify {
+
+namespace {
+
+/// Splits `s` on `sep`, keeping empty fields (an empty input is one empty
+/// field — callers treat that case themselves).
+std::vector<std::string> split(const std::string& s, char sep) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  for (;;) {
+    const std::size_t pos = s.find(sep, start);
+    if (pos == std::string::npos) {
+      out.push_back(s.substr(start));
+      return out;
+    }
+    out.push_back(s.substr(start, pos - start));
+    start = pos + 1;
+  }
+}
+
+int parse_decision(const std::string& field) {
+  if (field.empty()) {
+    throw ArgumentError("decode_trace: empty decision field");
+  }
+  for (const char c : field) {
+    if (c < '0' || c > '9') {
+      throw ArgumentError("decode_trace: non-numeric decision '" + field +
+                          "'");
+    }
+  }
+  try {
+    return std::stoi(field);
+  } catch (const std::exception&) {
+    throw ArgumentError("decode_trace: decision '" + field +
+                        "' out of range");
+  }
+}
+
+}  // namespace
+
+std::string encode_trace(const Trace& trace) {
+  std::ostringstream os;
+  os << "v1;scn=" << trace.scenario << ";fault=" << trace.fault.code()
+     << ";dec=";
+  for (std::size_t r = 0; r < trace.decisions.size(); ++r) {
+    if (r > 0) os << '|';
+    for (std::size_t s = 0; s < trace.decisions[r].size(); ++s) {
+      if (s > 0) os << ',';
+      os << trace.decisions[r][s];
+    }
+  }
+  return os.str();
+}
+
+Trace decode_trace(const std::string& encoded) {
+  const std::vector<std::string> fields = split(encoded, ';');
+  if (fields.size() != 4) {
+    throw ArgumentError("decode_trace: expected 4 ';'-separated fields, got " +
+                        std::to_string(fields.size()));
+  }
+  if (fields[0] != "v1") {
+    throw ArgumentError("decode_trace: unknown trace version '" + fields[0] +
+                        "'");
+  }
+  Trace trace;
+  if (fields[1].rfind("scn=", 0) != 0) {
+    throw ArgumentError("decode_trace: expected 'scn=' field, got '" +
+                        fields[1] + "'");
+  }
+  trace.scenario = fields[1].substr(4);
+  if (trace.scenario.empty()) {
+    throw ArgumentError("decode_trace: empty scenario name");
+  }
+  if (fields[2].rfind("fault=", 0) != 0) {
+    throw ArgumentError("decode_trace: expected 'fault=' field, got '" +
+                        fields[2] + "'");
+  }
+  trace.fault = FaultPlacement::parse(fields[2].substr(6));
+  if (fields[3].rfind("dec=", 0) != 0) {
+    throw ArgumentError("decode_trace: expected 'dec=' field, got '" +
+                        fields[3] + "'");
+  }
+  const std::string body = fields[3].substr(4);
+  for (const std::string& section : split(body, '|')) {
+    std::vector<int> rank_decisions;
+    if (!section.empty()) {
+      for (const std::string& field : split(section, ',')) {
+        rank_decisions.push_back(parse_decision(field));
+      }
+    }
+    trace.decisions.push_back(std::move(rank_decisions));
+  }
+  return trace;
+}
+
+}  // namespace rsmpi::verify

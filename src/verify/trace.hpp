@@ -1,0 +1,39 @@
+// Replayable execution traces for the model checker (ISSUE 7).
+//
+// A trace is the complete name of one dictated execution: the scenario it
+// ran (looked up in the checker's registry), the single fault placement,
+// and the per-rank decision string the schedule oracle consulted.  Every
+// violation the explorer reports is shrunk to a minimal trace and printed
+// as RSMPI_VERIFY_TRACE=<encoded>; exporting that variable re-runs exactly
+// the failing execution (tests/verify hook the variable at startup).
+//
+// Wire format, versioned:
+//
+//   v1;scn=<scenario>;fault=<code>;dec=<rank0>|<rank1>|...|<rankP-1>
+//
+// Rank sections are ascending and '|'-separated; within a section the
+// decisions are ','-separated integers.  A rank with no decisions is an
+// empty section (so "dec=|2,0|" is p=3 with choices only on rank 1).
+// Decoding is strict: unknown versions, malformed fields, or non-numeric
+// decisions throw ArgumentError rather than replaying the wrong run.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "verify/fault.hpp"
+
+namespace rsmpi::verify {
+
+struct Trace {
+  std::string scenario;
+  FaultPlacement fault;
+  std::vector<std::vector<int>> decisions;  // [rank][step]
+
+  bool operator==(const Trace&) const = default;
+};
+
+[[nodiscard]] std::string encode_trace(const Trace& trace);
+[[nodiscard]] Trace decode_trace(const std::string& encoded);
+
+}  // namespace rsmpi::verify

@@ -12,15 +12,19 @@
 //
 // Replay workflow (docs/testing.md):
 //   RSMPI_SIM_SEED=<n>       run exactly one case, the one a failure named
+//   RSMPI_SIM_CASE=<string>  replay an explicit (possibly shrunk) case
 //   RSMPI_SIM_SEED_BASE=<n>  start the sweep at seed n (CI matrix blocks)
 //   RSMPI_SIM_EXTENDED=1     ~2000 cases instead of the default 240
 //
-// On failure the suite prints the replay seed and a shrunk fault plan:
-// fault classes are removed one at a time and the data halved while the
-// case still fails, so the report names the smallest configuration known
-// to reproduce.
+// On failure the suite prints the replay seed, a shrunk configuration,
+// and the shrunk case's RSMPI_SIM_CASE encoding.  Shrinking is purely
+// syntactic over that encoding — fault knobs cleared, rank slices
+// emptied, suffixes halved, in a fixed order, each probe round-tripped
+// through the codec — never a re-derivation from the RNG, so the minimal
+// case is identical on every platform.
 #include <gtest/gtest.h>
 
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <sstream>
@@ -322,15 +326,110 @@ std::string run_case(const Case& c) {
   }
 }
 
+// -- Case codec --------------------------------------------------------------
+//
+// A failing case is reported (and replayed) as an explicit encoded string,
+// not as a PRNG seed: shrinking edits the case, so a shrunk case no longer
+// derives from any seed.  Doubles travel as hexfloats for exact
+// cross-platform round trips.
+//
+//   cv1;p=<n>;op=<k>;sched=<s>;sim=<seed>,<delay>,<maxdelay>,<dup>,<reorder>,<skew>;data=<r0>|<r1>|...
+
+std::string encode_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%a", v);
+  return buf;
+}
+
+std::string encode_case(const Case& c) {
+  std::ostringstream os;
+  os << "cv1;p=" << c.p << ";op=" << c.op_kind << ";sched=" << c.schedule
+     << ";sim=" << c.sim.seed << ',' << encode_double(c.sim.delay_prob) << ','
+     << encode_double(c.sim.max_extra_delay_s) << ','
+     << encode_double(c.sim.duplicate_prob) << ','
+     << encode_double(c.sim.reorder_prob) << ','
+     << encode_double(c.sim.max_compute_skew_s) << ";data=";
+  for (std::size_t r = 0; r < c.data.size(); ++r) {
+    if (r > 0) os << '|';
+    for (std::size_t i = 0; i < c.data[r].size(); ++i) {
+      if (i > 0) os << ',';
+      os << c.data[r][i];
+    }
+  }
+  return os.str();
+}
+
+std::vector<std::string> split(const std::string& s, char sep) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  for (;;) {
+    const std::size_t pos = s.find(sep, start);
+    if (pos == std::string::npos) {
+      out.push_back(s.substr(start));
+      return out;
+    }
+    out.push_back(s.substr(start, pos - start));
+    start = pos + 1;
+  }
+}
+
+Case decode_case(const std::string& encoded) {
+  const auto fields = split(encoded, ';');
+  if (fields.size() != 6 || fields[0] != "cv1") {
+    throw ArgumentError("decode_case: malformed case string");
+  }
+  const auto field = [&](std::size_t i, const char* key) {
+    const std::string prefix = std::string(key) + "=";
+    if (fields[i].rfind(prefix, 0) != 0) {
+      throw ArgumentError(std::string("decode_case: expected '") + key +
+                          "=' field");
+    }
+    return fields[i].substr(prefix.size());
+  };
+  Case c;
+  c.p = std::stoi(field(1, "p"));
+  c.op_kind = std::stoi(field(2, "op"));
+  c.schedule = std::stoi(field(3, "sched"));
+  const auto sim = split(field(4, "sim"), ',');
+  if (sim.size() != 6) {
+    throw ArgumentError("decode_case: expected 6 sim knobs");
+  }
+  c.sim.seed = std::strtoull(sim[0].c_str(), nullptr, 10);
+  c.sim.delay_prob = std::strtod(sim[1].c_str(), nullptr);
+  c.sim.max_extra_delay_s = std::strtod(sim[2].c_str(), nullptr);
+  c.sim.duplicate_prob = std::strtod(sim[3].c_str(), nullptr);
+  c.sim.reorder_prob = std::strtod(sim[4].c_str(), nullptr);
+  c.sim.max_compute_skew_s = std::strtod(sim[5].c_str(), nullptr);
+  for (const std::string& section : split(field(5, "data"), '|')) {
+    std::vector<int> d;
+    if (!section.empty()) {
+      for (const std::string& v : split(section, ',')) {
+        d.push_back(std::stoi(v));
+      }
+    }
+    c.data.push_back(std::move(d));
+  }
+  if (c.data.size() != static_cast<std::size_t>(c.p)) {
+    throw ArgumentError("decode_case: data sections != p");
+  }
+  return c;
+}
+
 // -- Shrinking ---------------------------------------------------------------
 
-/// Minimizes a failing case: strips fault classes one at a time and halves
-/// the data while the failure persists, so the report names the smallest
-/// reproducing configuration (bounded work — every probe is one run).
-Case shrink_case(Case failing) {
-  Case best = std::move(failing);
-  const auto still_fails = [](const Case& c) { return !run_case(c).empty(); };
+/// Minimizes a failing case.  Every candidate is a syntactic edit of the
+/// encoded case — knobs cleared, rank slices emptied, suffixes halved — in
+/// a fixed order, and each probe round-trips through the codec (the exact
+/// artifact a replay will decode).  No step consults an RNG or re-derives
+/// from the original seed, so the shrunk case is identical on every
+/// platform and replays via RSMPI_SIM_CASE verbatim.
+Case shrink_case(const Case& failing) {
+  Case best = decode_case(encode_case(failing));
+  const auto still_fails = [](const Case& candidate) {
+    return !run_case(decode_case(encode_case(candidate))).empty();
+  };
 
+  // 1. Clear fault knobs one at a time, fixed order.
   struct FaultKnob {
     const char* name;
     void (*clear)(SimConfig&);
@@ -346,6 +445,17 @@ Case shrink_case(Case failing) {
     knob.clear(candidate.sim);
     if (still_fails(candidate)) best = std::move(candidate);
   }
+
+  // 2. Empty whole rank slices, ranks ascending (p itself must stay —
+  // the machine shape is part of the schedule under test).
+  for (std::size_t r = 0; r < best.data.size(); ++r) {
+    if (best.data[r].empty()) continue;
+    Case candidate = best;
+    candidate.data[r].clear();
+    if (still_fails(candidate)) best = std::move(candidate);
+  }
+
+  // 3. Halve the surviving slices' suffixes while the failure persists.
   for (int round = 0; round < 16; ++round) {
     Case candidate = best;
     bool any = false;
@@ -370,6 +480,14 @@ std::uint64_t env_u64(const char* name, std::uint64_t fallback) {
 // -- The sweep ---------------------------------------------------------------
 
 TEST(SimProperty, SeededSweep) {
+  if (const char* replay = std::getenv("RSMPI_SIM_CASE")) {
+    // Replay of an explicit (possibly shrunk) case string.
+    const Case c = decode_case(replay);
+    const std::string err = run_case(c);
+    EXPECT_TRUE(err.empty()) << "RSMPI_SIM_CASE replay: " << err << "\n  "
+                             << c.describe();
+    return;
+  }
   if (const char* replay = std::getenv("RSMPI_SIM_SEED")) {
     const std::uint64_t seed = std::strtoull(replay, nullptr, 10);
     const Case c = derive_case(seed);
@@ -392,7 +510,9 @@ TEST(SimProperty, SeededSweep) {
     ADD_FAILURE() << err << "\n  replay: RSMPI_SIM_SEED=" << seed
                   << " ctest -R SimProperty"
                   << "\n  case:   " << c.describe()
-                  << "\n  shrunk: " << shrunk.describe();
+                  << "\n  shrunk: " << shrunk.describe()
+                  << "\n  shrunk replay: RSMPI_SIM_CASE='"
+                  << encode_case(shrunk) << "'";
   }
 }
 
@@ -428,6 +548,40 @@ TEST(SimProperty, EverySchedulePinnedUnderFaults) {
           << err << "\n  " << c.describe();
     }
   }
+}
+
+// The case codec is the shrinker's substrate: every derived case must
+// round-trip exactly (hexfloat knobs included) or replays would diverge
+// from the case that failed.
+TEST(SimProperty, CaseCodecRoundTrips) {
+  for (const std::uint64_t seed : {0ull, 7ull, 123456789ull}) {
+    const Case c = derive_case(seed);
+    const Case back = decode_case(encode_case(c));
+    EXPECT_EQ(back.p, c.p);
+    EXPECT_EQ(back.op_kind, c.op_kind);
+    EXPECT_EQ(back.schedule, c.schedule);
+    EXPECT_EQ(back.sim.seed, c.sim.seed);
+    EXPECT_EQ(back.sim.delay_prob, c.sim.delay_prob);
+    EXPECT_EQ(back.sim.max_extra_delay_s, c.sim.max_extra_delay_s);
+    EXPECT_EQ(back.sim.duplicate_prob, c.sim.duplicate_prob);
+    EXPECT_EQ(back.sim.reorder_prob, c.sim.reorder_prob);
+    EXPECT_EQ(back.sim.max_compute_skew_s, c.sim.max_compute_skew_s);
+    EXPECT_EQ(back.data, c.data);
+    EXPECT_EQ(encode_case(back), encode_case(c));
+  }
+  EXPECT_THROW(decode_case(""), ArgumentError);
+  EXPECT_THROW(decode_case("cv1;p=2;op=0;sched=0;sim=0,0,0,0,0,0;data="),
+               ArgumentError);  // one data section for p=2
+}
+
+// Shrinking the same case twice yields byte-identical encodings — the
+// candidate order is fixed and nothing consults an RNG (run_case itself
+// is deterministic per case, so the accept/reject sequence repeats).
+TEST(SimProperty, ShrinkIsDeterministic) {
+  const Case c = derive_case(4242);
+  const std::string a = encode_case(shrink_case(c));
+  const std::string b = encode_case(shrink_case(c));
+  EXPECT_EQ(a, b);
 }
 
 }  // namespace

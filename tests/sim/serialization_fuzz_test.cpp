@@ -10,6 +10,7 @@
 // pair replays exactly.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstddef>
 #include <cstdint>
 #include <string>
@@ -17,6 +18,7 @@
 
 #include "mprt/sim.hpp"
 #include "rs/op_concepts.hpp"
+#include "rs/ops/basic.hpp"
 #include "rs/ops/concat.hpp"
 #include "rs/ops/counts.hpp"
 #include "rs/ops/histogram.hpp"
@@ -194,6 +196,154 @@ TEST(SerializationFuzz, BloomFilter) {
                   }
                   return true;
                 });
+}
+
+// -- Partitionable-state hooks (ISSUE 7, satellite 2) ------------------------
+//
+// save_part / load_part / combine_part carry segmented-schedule traffic
+// (ring, pipelined-tree, Rabenseifner), so they face the same wire: short
+// reads and corrupted bytes.  Contract: a segment buffer of the wrong
+// length must be rejected with a typed Error (load_part knows exactly how
+// many bytes [lo, hi) takes); a right-length but corrupted buffer may
+// load garbage *values* but must never read out of bounds, crash, or
+// throw a foreign exception type.
+
+template <typename Op>
+bool part_load_rejected(const Op& prototype, std::size_t lo, std::size_t hi,
+                        std::span<const std::byte> data) {
+  Op victim(prototype);
+  try {
+    victim.load_part(lo, hi, data);
+    return false;
+  } catch (const Error&) {
+    return true;
+  }
+}
+
+template <typename Op>
+bool part_combine_rejected(const Op& prototype, std::size_t lo,
+                           std::size_t hi, std::span<const std::byte> data) {
+  Op victim(prototype);
+  try {
+    victim.combine_part(lo, hi, data);
+    return false;
+  } catch (const Error&) {
+    return true;
+  }
+}
+
+template <typename Op>
+std::vector<std::byte> save_part_bytes(const Op& op, std::size_t lo,
+                                       std::size_t hi) {
+  bytes::Writer w;
+  op.save_part(lo, hi, w);
+  return std::move(w).take();
+}
+
+/// The partitionable torture routine: full-range and per-segment
+/// round-trips must be exact; truncation at *every* prefix of every
+/// segment must be absorbed (valid load or typed Error — for part hooks
+/// any length but the exact one is a protocol error); seeded bit flips at
+/// the exact length must stay inside the Error taxonomy.
+template <typename Op, typename Check>
+void fuzz_partitionable(const char* name, const Op& prototype,
+                        const Op& filled, Check equivalent) {
+  static_assert(rs::PartitionableState<Op>);
+  const std::size_t extent = filled.part_extent();
+  ASSERT_GT(extent, 0u) << name;
+
+  // Full-range round trip through load_part and combine-with-identity.
+  {
+    const std::vector<std::byte> wire = save_part_bytes(filled, 0, extent);
+    EXPECT_EQ(wire.size(), rs::part_state_bytes(filled)) << name;
+    Op loaded(prototype);
+    loaded.load_part(0, extent, wire);
+    EXPECT_TRUE(equivalent(loaded, filled)) << name << ": load_part round trip";
+    Op combined(prototype);
+    combined.combine_part(0, extent, wire);
+    EXPECT_TRUE(equivalent(combined, filled))
+        << name << ": combine_part round trip";
+  }
+
+  // Segment-by-segment reassembly equals the whole state, and truncation
+  // of each segment at every prefix length is rejected or absorbed.
+  const std::size_t seg = std::max<std::size_t>(1, extent / 3);
+  Op reassembled(prototype);
+  for (std::size_t lo = 0; lo < extent; lo += seg) {
+    const std::size_t hi = std::min(extent, lo + seg);
+    const std::vector<std::byte> wire = save_part_bytes(filled, lo, hi);
+    EXPECT_EQ(wire.size(), filled.part_bytes(lo, hi)) << name;
+    reassembled.load_part(lo, hi, wire);
+
+    for (std::size_t len = 0; len < wire.size(); ++len) {
+      const std::span<const std::byte> cut(wire.data(), len);
+      EXPECT_TRUE(part_load_rejected(prototype, lo, hi, cut))
+          << name << ": load_part(" << lo << ", " << hi << ") accepted "
+          << len << " of " << wire.size() << " bytes";
+      EXPECT_TRUE(part_combine_rejected(prototype, lo, hi, cut))
+          << name << ": combine_part(" << lo << ", " << hi << ") accepted "
+          << len << " of " << wire.size() << " bytes";
+    }
+    // Over-long buffers are equally malformed.
+    {
+      std::vector<std::byte> extended = wire;
+      extended.push_back(std::byte{0x5A});
+      EXPECT_TRUE(part_load_rejected(prototype, lo, hi, extended))
+          << name << ": load_part accepted trailing bytes";
+    }
+
+    // Exact-length bit flips: values may be garbage, the process may not.
+    SimRng rng(mprt::splitmix64(0xF0220701ull ^ (lo << 8) ^ wire.size()));
+    for (int trial = 0; trial < 64; ++trial) {
+      std::vector<std::byte> mutated = wire;
+      const int flips = 1 + static_cast<int>(rng.below(4));
+      for (int f = 0; f < flips; ++f) {
+        const auto pos = static_cast<std::size_t>(rng.below(mutated.size()));
+        mutated[pos] ^= static_cast<std::byte>(1 + rng.below(255));
+      }
+      (void)part_load_rejected(prototype, lo, hi, mutated);
+      (void)part_combine_rejected(prototype, lo, hi, mutated);
+    }
+  }
+  EXPECT_TRUE(equivalent(reassembled, filled))
+      << name << ": segment reassembly diverged from the whole state";
+
+  // Out-of-range segment bounds are argument errors, not reads past the
+  // state.
+  const std::vector<std::byte> wire = save_part_bytes(filled, 0, extent);
+  EXPECT_TRUE(part_load_rejected(prototype, 0, extent + 1, wire))
+      << name << ": load_part accepted hi > part_extent()";
+  EXPECT_TRUE(part_combine_rejected(prototype, extent, extent + 1,
+                                    std::span<const std::byte>{}))
+      << name << ": combine_part accepted a range past the extent";
+}
+
+TEST(SerializationFuzz, CountsParts) {
+  ops::Counts filled(16);
+  for (int i = 0; i < 64; ++i) filled.accum(i % 16);
+  fuzz_partitionable("Counts", ops::Counts(16), filled,
+                     [](const ops::Counts& a, const ops::Counts& b) {
+                       return a.red_gen() == b.red_gen();
+                     });
+}
+
+TEST(SerializationFuzz, HistogramParts) {
+  ops::Histogram<int> filled({0, 10, 20, 30});
+  for (int i = -5; i < 40; ++i) filled.accum(i);
+  fuzz_partitionable(
+      "Histogram", ops::Histogram<int>({0, 10, 20, 30}), filled,
+      [](const ops::Histogram<int>& a, const ops::Histogram<int>& b) {
+        return a.red_gen() == b.red_gen();
+      });
+}
+
+TEST(SerializationFuzz, SumParts) {
+  ops::Sum<long> filled;
+  for (long i = 1; i <= 100; ++i) filled.accum(i);
+  fuzz_partitionable("Sum", ops::Sum<long>{}, filled,
+                     [](const ops::Sum<long>& a, const ops::Sum<long>& b) {
+                       return a.gen() == b.gen();
+                     });
 }
 
 // A state arriving under the wrong prototype (mismatched constructor

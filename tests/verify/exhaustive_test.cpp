@@ -1,0 +1,177 @@
+// Exhaustive schedule-space exploration (ISSUE 7 tentpole): every
+// scenario in the standard checker matrix — five autotuned schedules x
+// {commutative, noncommutative}, the nonblocking paths, the persistent
+// plan — is driven through every reachable delivery interleaving at
+// p in {2, 3, 4} and checked against the serial oracle, with zero
+// violations.  A fault pass re-explores representative scenarios under
+// every single-message drop/duplicate/reorder and every single-rank kill.
+//
+// Satellite 1 rides here: the noncommutative OrderedWord scenarios must
+// present *zero* schedule freedom (one interleaving, no decisions, no
+// pruned orders) — a commutative-only schedule ever being selected for a
+// noncommutative operator would surface as choice points or violations.
+//
+// Satellite 5's pruning-regression guard also rides here: the explored
+// interleaving count per scenario is capped at 10x the recorded floor, so
+// a regression in the all-orders equivalence probe (which collapses
+// commutative fold orders without consulting the oracle) fails the build
+// instead of silently exploding the state space.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <iostream>
+#include <map>
+#include <string>
+
+#include "verify/checker.hpp"
+#include "verify/explorer.hpp"
+
+namespace {
+
+using namespace rsmpi;
+using verify::ExploreLimits;
+using verify::Report;
+using verify::Scenario;
+
+void expect_clean(const Scenario& scenario, const Report& report) {
+  EXPECT_TRUE(report.ok()) << scenario.name << ": "
+                           << report.violations.size() << " violation(s)";
+  for (const verify::Violation& v : report.violations) {
+    ADD_FAILURE() << scenario.name << ": " << v.detail << "\n  replay with "
+                  << "RSMPI_VERIFY_TRACE=" << encode_trace(v.trace);
+  }
+  EXPECT_FALSE(report.stats.budget_exhausted) << scenario.name;
+  EXPECT_GT(report.stats.executions, 0u) << scenario.name;
+  EXPECT_GE(report.stats.interleavings, 1u) << scenario.name;
+}
+
+/// Satellite 5: per-scenario interleaving floors measured at the pruning
+/// baseline (the all-orders probe collapsing byte-identical fold orders).
+/// The guard fails if exploration exceeds 10x the floor — i.e. if pruning
+/// regresses by more than an order of magnitude.  Scenarios not listed
+/// are capped by the generous default.
+std::uint64_t interleaving_cap(const std::string& name) {
+  static const std::map<std::string, std::uint64_t> floors = {
+      {"canon-two_message-p2", 1}, {"canon-two_message-p3", 2},
+      {"canon-two_message-p4", 6}, {"canon-butterfly-p2", 1},
+      {"canon-butterfly-p3", 2},   {"canon-butterfly-p4", 1},
+      {"canon-nbtree-p2", 1},      {"canon-nbtree-p3", 2},
+      {"canon-nbtree-p4", 6},
+  };
+  const auto it = floors.find(name);
+  const std::uint64_t floor = it == floors.end() ? 10 : it->second;
+  return floor * 10;
+}
+
+void explore_all(int p, bool with_faults) {
+  const verify::ScenarioSet set = verify::standard_scenarios(p);
+  ASSERT_FALSE(set.all().empty());
+  for (const Scenario& scenario : set.all()) {
+    ExploreLimits limits;
+    limits.faults = with_faults;
+    const Report report = verify::explore(scenario, limits);
+    expect_clean(scenario, report);
+    EXPECT_LE(report.stats.interleavings, interleaving_cap(scenario.name))
+        << scenario.name << ": pruning regressed (explored "
+        << report.stats.interleavings << " interleavings)";
+
+    const bool word = scenario.name.rfind("word-", 0) == 0;
+    if (word) {
+      // Satellite 1: noncommutative operators must always take the
+      // order-preserving schedule — no arrival-order freedom at all.
+      EXPECT_EQ(report.stats.interleavings, 1u) << scenario.name;
+      EXPECT_EQ(report.stats.max_decisions, 0u) << scenario.name;
+      EXPECT_EQ(report.stats.pruned_orders, 0u) << scenario.name;
+    }
+  }
+}
+
+TEST(Exhaustive, AllScenariosP2) { explore_all(2, /*with_faults=*/false); }
+TEST(Exhaustive, AllScenariosP3) { explore_all(3, /*with_faults=*/false); }
+TEST(Exhaustive, AllScenariosP4) { explore_all(4, /*with_faults=*/false); }
+
+// p = 5 is the nightly tier (RSMPI_VERIFY_P5=1 in CI's scheduled job);
+// the space is larger and the single-core runners keep it off the
+// per-push path.
+TEST(Exhaustive, AllScenariosP5Nightly) {
+  const char* gate = std::getenv("RSMPI_VERIFY_P5");
+  if (gate == nullptr || std::string(gate) != "1") {
+    GTEST_SKIP() << "set RSMPI_VERIFY_P5=1 to run the p=5 tier";
+  }
+  explore_all(5, /*with_faults=*/false);
+}
+
+// The fault matrix on representative scenarios: the order-preserving
+// two-message exchange, the unordered nonblocking tree (the scenario with
+// genuine arrival-order freedom), and the production async dispatch.
+// Every message of the canonical run is dropped, duplicated, and
+// reordered once; every send is a kill site.  Benign faults must leave
+// the result bit-identical; lossy faults may surface typed errors (the
+// starvation monitor turns would-be hangs into DeadlockError) but must
+// never corrupt a completed rank's result.
+TEST(Exhaustive, FaultPlacementsP2) {
+  for (const Scenario& scenario : {
+           verify::blocking_scenario<rs::ops::Counts>(
+               "counts", 2, rs::detail::Schedule::kTwoMessage),
+           verify::blocking_scenario<verify::OrderedWord>(
+               "word", 2, rs::detail::Schedule::kTwoMessage),
+           verify::nb_tree_scenario<verify::CanonSet>("canon", 2),
+       }) {
+    const Report report = verify::explore(scenario, ExploreLimits{});
+    expect_clean(scenario, report);
+    EXPECT_GT(report.stats.fault_placements, 0u) << scenario.name;
+    EXPECT_GT(report.stats.fault_executions, 0u) << scenario.name;
+  }
+}
+
+TEST(Exhaustive, FaultPlacementsP3) {
+  for (const Scenario& scenario : {
+           verify::blocking_scenario<rs::ops::Counts>(
+               "counts", 3, rs::detail::Schedule::kTwoMessage),
+           verify::blocking_scenario<verify::OrderedWord>(
+               "word", 3, rs::detail::Schedule::kTwoMessage),
+           verify::nb_tree_scenario<verify::CanonSet>("canon", 3),
+           verify::async_scenario<rs::ops::Counts>("counts", 3),
+       }) {
+    const Report report = verify::explore(scenario, ExploreLimits{});
+    expect_clean(scenario, report);
+    EXPECT_GT(report.stats.fault_placements, 0u) << scenario.name;
+  }
+}
+
+// The equivalence probe must actually be pruning: the commutative Counts
+// operator's fold orders are byte-identical, so every k-ary-tree join
+// collapses to one canonical order with the skipped permutations counted.
+TEST(Exhaustive, PruningCollapsesCommutativeOrders) {
+  const Scenario scenario =
+      verify::nb_tree_scenario<rs::ops::Counts>("counts", 4);
+  ExploreLimits limits;
+  limits.faults = false;
+  const Report report = verify::explore(scenario, limits);
+  expect_clean(scenario, report);
+  EXPECT_EQ(report.stats.interleavings, 1u)
+      << "byte-identical fold orders must not branch";
+  EXPECT_GT(report.stats.pruned_orders, 0u)
+      << "the all-orders probe never fired";
+}
+
+// And the insertion-ordered CanonSet defeats the probe: its fold orders
+// differ byte-wise, so the explorer must genuinely branch — and every
+// branch must still agree with the serial oracle because gen() sorts.
+TEST(Exhaustive, CanonSetForcesRealBranching) {
+  const Scenario scenario =
+      verify::nb_tree_scenario<verify::CanonSet>("canon", 4);
+  ExploreLimits limits;
+  limits.faults = false;
+  const Report report = verify::explore(scenario, limits);
+  expect_clean(scenario, report);
+  EXPECT_GT(report.stats.interleavings, 1u)
+      << "payload-distinct fold orders must branch";
+  EXPECT_GT(report.stats.max_decisions, 0u);
+  std::cout << "[canon-nbtree-p4] interleavings="
+            << report.stats.interleavings
+            << " pruned=" << report.stats.pruned_orders
+            << " max_decisions=" << report.stats.max_decisions << "\n";
+}
+
+}  // namespace

@@ -1,0 +1,132 @@
+// Trace codec and replay determinism (ISSUE 7).  The trace wire format is
+// the model checker's reproduction contract: every violation prints one,
+// and RSMPI_VERIFY_TRACE feeds one back in — so encode/decode must
+// round-trip exactly and decoding must reject malformed input loudly
+// instead of replaying the wrong execution.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "util/error.hpp"
+#include "verify/checker.hpp"
+#include "verify/fault.hpp"
+#include "verify/trace.hpp"
+
+namespace {
+
+using namespace rsmpi;
+using verify::FaultPlacement;
+using verify::Trace;
+
+TEST(TraceCodec, RoundTripsEmptyDecisions) {
+  Trace t;
+  t.scenario = "counts-ring-p3";
+  t.decisions = {{}, {}, {}};
+  const std::string encoded = verify::encode_trace(t);
+  EXPECT_EQ(encoded, "v1;scn=counts-ring-p3;fault=none;dec=||");
+  EXPECT_EQ(verify::decode_trace(encoded), t);
+}
+
+TEST(TraceCodec, RoundTripsDecisionsAndFault) {
+  Trace t;
+  t.scenario = "canon-butterfly-p4";
+  t.fault = {FaultPlacement::Kind::kDrop, 1, 2};
+  t.decisions = {{}, {2, 0}, {1}, {}};
+  const std::string encoded = verify::encode_trace(t);
+  EXPECT_EQ(encoded, "v1;scn=canon-butterfly-p4;fault=drop@1.2;dec=|2,0|1|");
+  EXPECT_EQ(verify::decode_trace(encoded), t);
+}
+
+TEST(TraceCodec, RoundTripsEveryFaultKind) {
+  const std::vector<FaultPlacement> placements = {
+      {FaultPlacement::Kind::kNone, 0, 0},
+      {FaultPlacement::Kind::kDrop, 2, 7},
+      {FaultPlacement::Kind::kDuplicate, 0, 0},
+      {FaultPlacement::Kind::kReorder, 3, 1},
+      {FaultPlacement::Kind::kKill, 1, 4},
+  };
+  for (const FaultPlacement& placement : placements) {
+    Trace t;
+    t.scenario = "s";
+    t.fault = placement;
+    t.decisions = {{1}, {}};
+    EXPECT_EQ(verify::decode_trace(verify::encode_trace(t)), t);
+  }
+}
+
+TEST(TraceCodec, RejectsMalformedInput) {
+  const std::vector<std::string> bad = {
+      "",
+      "v2;scn=s;fault=none;dec=|",          // unknown version
+      "v1;scn=s;fault=none",                // missing field
+      "v1;scn=s;fault=none;dec=|;extra",    // extra field
+      "v1;scn=;fault=none;dec=|",           // empty scenario
+      "v1;name=s;fault=none;dec=|",         // wrong key
+      "v1;scn=s;fault=bogus;dec=|",         // unknown fault kind
+      "v1;scn=s;fault=drop@1;dec=|",        // fault missing index
+      "v1;scn=s;fault=drop@x.2;dec=|",      // non-numeric fault rank
+      "v1;scn=s;fault=none;dec=1,,2",       // empty decision field
+      "v1;scn=s;fault=none;dec=1,a",        // non-numeric decision
+      "v1;scn=s;fault=none;dec=99999999999999999999",  // overflow
+  };
+  for (const std::string& input : bad) {
+    EXPECT_THROW(verify::decode_trace(input), ArgumentError)
+        << "accepted: '" << input << "'";
+  }
+}
+
+TEST(FaultPlacementCodec, ParsesAndPrints) {
+  EXPECT_EQ(FaultPlacement{}.code(), "none");
+  const FaultPlacement kill{FaultPlacement::Kind::kKill, 2, 5};
+  EXPECT_EQ(kill.code(), "kill@2.5");
+  EXPECT_EQ(FaultPlacement::parse("kill@2.5"), kill);
+  EXPECT_EQ(FaultPlacement::parse("none"), FaultPlacement{});
+  EXPECT_TRUE(FaultPlacement{}.benign());
+  EXPECT_TRUE(
+      (FaultPlacement{FaultPlacement::Kind::kDuplicate, 0, 0}).benign());
+  EXPECT_TRUE(
+      (FaultPlacement{FaultPlacement::Kind::kReorder, 0, 0}).benign());
+  EXPECT_FALSE((FaultPlacement{FaultPlacement::Kind::kDrop, 0, 0}).benign());
+  EXPECT_FALSE(kill.benign());
+}
+
+// Replaying the same trace twice must produce the same outcome — the
+// decision string plus fault placement fully determines the execution.
+TEST(TraceReplay, ReplayIsDeterministic) {
+  const verify::Scenario scenario =
+      verify::blocking_scenario<verify::CanonSet>(
+          "canon", 3, rs::detail::Schedule::kTwoMessage);
+  Trace t;
+  t.scenario = scenario.name;
+  t.decisions = {{}, {}, {}};
+  const verify::ExecutionResult a = verify::replay(scenario, t);
+  const verify::ExecutionResult b = verify::replay(scenario, t);
+  EXPECT_EQ(a.failed, b.failed);
+  EXPECT_EQ(a.typed_error, b.typed_error);
+  EXPECT_EQ(a.detail, b.detail);
+  EXPECT_FALSE(a.failed);
+  EXPECT_FALSE(a.typed_error);
+}
+
+// The RSMPI_VERIFY_TRACE hook resolves scenarios by name and rejects
+// unknown ones.
+TEST(TraceReplay, EnvHookResolvesScenario) {
+  verify::ScenarioSet set = verify::standard_scenarios(2);
+  ASSERT_EQ(verify::replay_from_env(set), std::nullopt);
+
+  const verify::Scenario* known = set.find("counts-two_message-p2");
+  ASSERT_NE(known, nullptr);
+  ::setenv("RSMPI_VERIFY_TRACE", "v1;scn=counts-two_message-p2;fault=none;dec=|",
+           1);
+  const auto result = verify::replay_from_env(set);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_FALSE(result->failed);
+
+  ::setenv("RSMPI_VERIFY_TRACE", "v1;scn=no-such-scenario;fault=none;dec=|",
+           1);
+  EXPECT_THROW(verify::replay_from_env(set), ArgumentError);
+  ::unsetenv("RSMPI_VERIFY_TRACE");
+}
+
+}  // namespace
