@@ -30,6 +30,7 @@
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <optional>
@@ -101,6 +102,8 @@ struct PointResult {
   std::uint64_t warm_payload_allocs = 0;
   std::uint64_t warm_autotune = 0;
   std::uint64_t degraded_streams = 0;
+  std::uint64_t local_threads = 0;
+  std::uint64_t local_steals = 0;
   bool oracle_ok = true;
 };
 
@@ -114,10 +117,18 @@ svc::WindowConfig tumbling1() {
 
 /// Fault-free point: `streams` tenants, every rank a member of every
 /// stream (so routed buffers circulate through balanced pools and the
-/// warm path stays allocation-free).
+/// warm path stays allocation-free).  Runs with the work-stealing local
+/// pool active (4 workers, grain 128 — folds arrive per sender shard,
+/// events_per_rank_epoch / p at a time, so the grain must sit below
+/// that for the batches to genuinely fan out)
+/// to demonstrate that the warm zero-allocation gate holds with parallel
+/// local accumulation enabled; with compute_scale = 0 the pool cannot
+/// move the modelled numbers, so the baseline is unaffected.
 PointResult measure_base(const PointConfig& cfg) {
   PointResult res;
   res.cfg = cfg;
+  ::setenv("RSMPI_LOCAL_THREADS", "4", 1);
+  ::setenv("RSMPI_LOCAL_GRAIN", "128", 1);
   std::vector<double> p99(static_cast<std::size_t>(cfg.p), 0.0);
   std::vector<std::uint64_t> warm_allocs(static_cast<std::size_t>(cfg.p), 0);
   std::vector<std::uint64_t> warm_tunes(static_cast<std::size_t>(cfg.p), 0);
@@ -189,7 +200,11 @@ PointResult measure_base(const PointConfig& cfg) {
       bench_model());
   const std::chrono::duration<double> wall =
       std::chrono::steady_clock::now() - wall0;
+  ::unsetenv("RSMPI_LOCAL_THREADS");
+  ::unsetenv("RSMPI_LOCAL_GRAIN");
 
+  res.local_threads = run.local_threads;
+  res.local_steals = run.local_steals;
   res.total_events = static_cast<std::uint64_t>(run.user_stats.at("svc.events"));
   res.modelled_events_per_s =
       static_cast<double>(res.total_events) / run.makespan_s;
@@ -437,18 +452,21 @@ int main(int argc, char** argv) {
 
   std::vector<PointResult> points;
   std::fprintf(stderr, "== streaming service throughput ==\n");
-  std::fprintf(stderr, "%-20s %4s %8s %12s %16s %16s %12s %10s %6s\n", "point",
-               "p", "streams", "events", "modelled_ev_s", "wall_ev_s",
-               "p99_us", "warm_alloc", "ok");
+  std::fprintf(stderr, "%-20s %4s %8s %12s %16s %16s %12s %10s %8s %8s %6s\n",
+               "point", "p", "streams", "events", "modelled_ev_s", "wall_ev_s",
+               "p99_us", "warm_alloc", "lthreads", "steals", "ok");
   for (const PointConfig& cfg : grid) {
     const PointResult pt = cfg.chaos ? measure_chaos(cfg) : measure_base(cfg);
     std::fprintf(stderr,
-                 "%-20s %4d %8d %12llu %16.3e %16.3e %12.1f %10llu %6s\n",
+                 "%-20s %4d %8d %12llu %16.3e %16.3e %12.1f %10llu %8llu "
+                 "%8llu %6s\n",
                  pt.cfg.name, pt.cfg.p, pt.cfg.streams,
                  static_cast<unsigned long long>(pt.total_events),
                  pt.modelled_events_per_s, pt.wall_events_per_s,
                  pt.p99_epoch_us,
                  static_cast<unsigned long long>(pt.warm_payload_allocs),
+                 static_cast<unsigned long long>(pt.local_threads),
+                 static_cast<unsigned long long>(pt.local_steals),
                  pt.oracle_ok ? "yes" : "NO");
     points.push_back(pt);
   }
@@ -470,7 +488,8 @@ int main(int argc, char** argv) {
         "\"total_events\": %llu, \"modelled_events_per_s\": %.6e, "
         "\"wall_events_per_s\": %.6e, \"p99_epoch_us\": %.3f, "
         "\"warm_payload_allocs\": %llu, \"warm_autotune\": %llu, "
-        "\"degraded_streams\": %llu, \"oracle_ok\": %d}%s\n",
+        "\"degraded_streams\": %llu, \"local_threads\": %llu, "
+        "\"local_steals\": %llu, \"oracle_ok\": %d}%s\n",
         pt.cfg.name, pt.cfg.p, pt.cfg.streams, pt.cfg.events_per_rank_epoch,
         pt.cfg.epochs, pt.cfg.chaos ? 1 : 0,
         static_cast<unsigned long long>(pt.total_events),
@@ -478,6 +497,8 @@ int main(int argc, char** argv) {
         static_cast<unsigned long long>(pt.warm_payload_allocs),
         static_cast<unsigned long long>(pt.warm_autotune),
         static_cast<unsigned long long>(pt.degraded_streams),
+        static_cast<unsigned long long>(pt.local_threads),
+        static_cast<unsigned long long>(pt.local_steals),
         pt.oracle_ok ? 1 : 0, i + 1 < points.size() ? "," : "");
   }
   std::printf("  ]\n");

@@ -89,6 +89,14 @@ struct RankState {
   /// into RunResult::user_stats after the join.  The channel through which
   /// higher layers (e.g. svc::StatCollector) surface their aggregates.
   std::vector<std::pair<std::string, double>> published_stats;
+  // Parallel local-accumulate observability (ISSUE 8): sections run
+  // through the src/par/ worker pool, chunks executed, successful
+  // steal-half operations, and the widest pool any section used.  All
+  // stay 0 unless RSMPI_LOCAL_THREADS enables the pool.
+  std::uint64_t par_sections = 0;
+  std::uint64_t par_chunks = 0;
+  std::uint64_t par_steals = 0;
+  std::uint64_t par_threads = 0;  ///< max pool width over sections
 };
 
 /// Identity/status returned by receives that used wildcards.  `source` is
@@ -498,6 +506,33 @@ class Comm {
   }
   /// Records one autotuner argmin; called by the schedule-dispatch layer.
   void note_autotune_invocation() { state_->autotune_invocations += 1; }
+
+  /// Records one parallel local-accumulate section (par::accumulate_indexed
+  /// after a pooled run); run() aggregates these into RunResult.
+  void note_parallel_section(unsigned threads, std::uint64_t chunks,
+                             std::uint64_t steals) {
+    state_->par_sections += 1;
+    state_->par_chunks += chunks;
+    state_->par_steals += steals;
+    if (threads > state_->par_threads) state_->par_threads = threads;
+  }
+  /// Parallel accumulate sections this rank ran through the worker pool.
+  [[nodiscard]] std::uint64_t local_parallel_sections() const {
+    return state_->par_sections;
+  }
+  /// Chunks executed across this rank's parallel sections.
+  [[nodiscard]] std::uint64_t local_chunks() const {
+    return state_->par_chunks;
+  }
+  /// Successful steal-half operations across this rank's sections.
+  [[nodiscard]] std::uint64_t local_steals() const {
+    return state_->par_steals;
+  }
+  /// Widest worker pool any parallel section on this rank used (0 if the
+  /// pool never engaged).
+  [[nodiscard]] std::uint64_t local_threads() const {
+    return state_->par_threads;
+  }
 
   /// Publishes a named metric from this rank; after the join, run() sums
   /// same-named entries across ranks into RunResult::user_stats.  Publish

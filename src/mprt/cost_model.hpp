@@ -42,6 +42,27 @@ struct CostModel {
   /// host's real per-thread CPU time; values != 1 let experiments model a
   /// faster or slower processor than the host.
   double compute_scale = 1.0;
+  /// Cores the *model* grants each rank for parallel local sections (the
+  /// work-stealing accumulate in src/par/).  A section's summed worker
+  /// CPU is divided by min(cores_per_rank, pool width) before being
+  /// charged — the host may timeshare the workers on fewer physical
+  /// cores, but the modelled timeline reflects the configured machine,
+  /// exactly as rank threads already timeshare one host core yet model a
+  /// cluster node each.  Default 1 keeps every pre-existing experiment's
+  /// timeline unchanged even with RSMPI_LOCAL_THREADS set.
+  int cores_per_rank = 1;
+
+  /// Modelled duration of a parallel local section that consumed
+  /// `total_cpu_s` of summed per-thread CPU across a pool of `workers`.
+  [[nodiscard]] double parallel_section_seconds(double total_cpu_s,
+                                                unsigned workers) const {
+    double effective = static_cast<double>(cores_per_rank < 1 ? 1
+                                                              : cores_per_rank);
+    if (workers >= 1 && static_cast<double>(workers) < effective) {
+      effective = static_cast<double>(workers);
+    }
+    return compute_scale * total_cpu_s / effective;
+  }
 
   /// Time from send initiation to availability at the receiver.
   [[nodiscard]] double wire_time(std::size_t payload_bytes) const {

@@ -158,9 +158,23 @@ RunResult run(int num_ranks, const std::function<void(Comm&)>& body,
     result.segments_reused += s.pool.stats().segments_reused;
     result.autotune_invocations += s.autotune_invocations;
     result.payload_allocs += s.payload_allocs;
+    result.local_sections += s.par_sections;
+    result.local_chunks += s.par_chunks;
+    result.local_steals += s.par_steals;
+    if (s.par_threads > result.local_threads) {
+      result.local_threads = s.par_threads;
+    }
     for (const auto& [name, value] : s.published_stats) {
       result.user_stats[name] += value;
     }
+  }
+  if (result.local_sections > 0) {
+    result.user_stats["par.sections"] +=
+        static_cast<double>(result.local_sections);
+    result.user_stats["par.chunks"] += static_cast<double>(result.local_chunks);
+    result.user_stats["par.steals"] += static_cast<double>(result.local_steals);
+    result.user_stats["par.threads"] +=
+        static_cast<double>(result.local_threads);
   }
   if (ChaosController* chaos = runtime.chaos()) {
     result.sim = chaos->stats();

@@ -83,6 +83,16 @@ struct RunResult {
   std::uint64_t autotune_invocations = 0;
   /// Heap buffers allocated for message payloads, summed over ranks.
   std::uint64_t payload_allocs = 0;
+  /// Parallel local-accumulate counters (the src/par/ work-stealing pool;
+  /// all 0 unless RSMPI_LOCAL_THREADS enabled it): pool sections, chunks
+  /// and steals summed over ranks, and the widest pool any rank used.
+  /// Mirrored into user_stats as "par.sections" / "par.chunks" /
+  /// "par.steals" / "par.threads" when any section ran, so stat readers
+  /// (RSMPI_GetStats, benches) see them uniformly.
+  std::uint64_t local_sections = 0;
+  std::uint64_t local_chunks = 0;
+  std::uint64_t local_steals = 0;
+  std::uint64_t local_threads = 0;
   /// Metrics published by the rank bodies via Comm::publish_stat, summed
   /// by name across ranks — how service-layer collectors (svc::
   /// StatCollector) surface their aggregates through the run result.

@@ -1,9 +1,10 @@
 // Asynchronous global-view reductions and scans.
 //
 // rs::reduce_async / rs::scan_async run the accumulate phase immediately
-// (it is local compute) and hand the combine phase — the only part that
-// talks to other ranks — to the rank's nonblocking progress engine
-// (coll/nb).  The caller receives a Future and keeps computing; calling
+// (it is local compute, through detail::accumulate_local — so the
+// work-stealing worker pool applies here too when RSMPI_LOCAL_THREADS
+// enables it) and hand the combine phase — the only part that talks to
+// other ranks — to the rank's nonblocking progress engine (coll/nb).  The caller receives a Future and keeps computing; calling
 // coll::nb::poll() between compute chunks lets the combine tree climb
 // while the rank's virtual clock advances through the compute, so the
 // communication cost overlaps and the modelled critical path shrinks.

@@ -24,6 +24,15 @@
 // k), the algorithms never default-construct them: the caller passes a
 // freshly-constructed *prototype* in identity state, and fresh identities
 // are obtained by copying it.
+//
+// Prototypes must be cheap to clone.  The parallel local accumulate
+// (src/par/, docs/parallel_local.md) copies the prototype once per input
+// chunk — ceil(extent / RSMPI_LOCAL_GRAIN) clones per call when the
+// worker pool is enabled — so an identity copy should cost O(state
+// size), allocate sparingly, and never touch shared resources.  Every
+// operator in src/rs/ops/ satisfies this; an operator whose identity
+// copy is expensive should raise the grain or stay on the serial path
+// (the pool is opt-in per process via RSMPI_LOCAL_THREADS).
 #pragma once
 
 #include <concepts>

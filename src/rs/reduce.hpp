@@ -13,9 +13,11 @@
 // rendered as a C++ function template.
 #pragma once
 
+#include <cstddef>
 #include <optional>
 #include <ranges>
 
+#include "par/accumulate.hpp"
 #include "rs/op_concepts.hpp"
 #include "rs/state_exchange.hpp"
 
@@ -26,22 +28,51 @@ namespace detail {
 /// The accumulate phase of Listing 2, lines 2–8: pre_accum on the first
 /// local value, accum over every local value, post_accum on the last.
 /// Local compute is charged to the rank's virtual clock.
+///
+/// Sized random-access ranges of combinable operators route through the
+/// work-stealing worker pool (par::accumulate_indexed): serial by
+/// default, parallel when RSMPI_LOCAL_THREADS > 1, and bit-identical to
+/// the sequential loop either way — chunk states merge in index order
+/// (see docs/parallel_local.md).  Every entry point built on this —
+/// reduce / allreduce / scan / reduce_async / scan_async / the svc
+/// persistent epochs — therefore gets parallel local accumulation for
+/// free.  `op` must arrive in identity state (the documented prototype
+/// contract, op_concepts.hpp); it doubles as the chunk-clone source.
+/// Other ranges (pure input iterators, non-combinable operators) keep
+/// the sequential loop.
 template <typename Op, std::ranges::input_range R>
   requires Accumulates<Op, std::ranges::range_value_t<R>>
 void accumulate_local(mprt::Comm& comm, Op& op, R&& local) {
   using In = std::ranges::range_value_t<R>;
-  auto timer = comm.compute_section();
-  auto it = std::ranges::begin(local);
-  const auto end = std::ranges::end(local);
-  if (it == end) return;
-  pre_accum_if(op, static_cast<const In&>(*it));
-  In last = *it;
-  for (; it != end; ++it) {
-    const In& x = *it;
-    op.accum(x);
-    last = x;
+  if constexpr (std::ranges::random_access_range<R> &&
+                std::ranges::sized_range<R> && Combinable<Op> &&
+                std::copy_constructible<Op>) {
+    const std::size_t n = std::ranges::size(local);
+    const auto first = std::ranges::begin(local);
+    par::accumulate_indexed(
+        comm, op, op, n, [&](std::size_t i) -> decltype(auto) {
+          return first[static_cast<std::ranges::range_difference_t<R>>(i)];
+        });
+  } else {
+    auto timer = comm.compute_section();
+    auto it = std::ranges::begin(local);
+    const auto end = std::ranges::end(local);
+    if (it == end) return;
+    pre_accum_if(op, static_cast<const In&>(*it));
+    if constexpr (HasPostAccum<Op, In>) {
+      // `last` is only materialized (and copied per element) when the
+      // operator actually observes the final value.
+      In last = *it;
+      for (; it != end; ++it) {
+        const In& x = *it;
+        op.accum(x);
+        last = x;
+      }
+      op.post_accum(static_cast<const In&>(last));
+    } else {
+      for (; it != end; ++it) op.accum(*it);
+    }
   }
-  post_accum_if(op, static_cast<const In&>(last));
 }
 
 }  // namespace detail

@@ -3,7 +3,11 @@
 //
 // The algorithm has three stages:
 //   1. accumulate: each rank folds its local slice into a state, exactly
-//      as the reduction does (pre_accum / accum / post_accum);
+//      as the reduction does (pre_accum / accum / post_accum) — including
+//      the work-stealing parallel path under detail::accumulate_local
+//      when RSMPI_LOCAL_THREADS enables it (stage 3's generate/replay
+//      walk is inherently sequential: each position's output depends on
+//      the state after every earlier position);
 //   2. LOCAL_XSCAN over the per-rank states: each rank obtains the
 //      combination of all lower ranks' states (identity on rank 0);
 //   3. generate/replay: starting from that prefix state, re-walk the local

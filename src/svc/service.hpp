@@ -43,6 +43,7 @@
 
 #include "mprt/comm.hpp"
 #include "mprt/message.hpp"
+#include "par/accumulate.hpp"
 #include "rs/op_concepts.hpp"
 #include "svc/shard.hpp"
 #include "svc/stats.hpp"
@@ -281,15 +282,23 @@ class Stream final : public StreamBase {
   }
 
   void fold(std::span<const Event> events) override {
-    auto timer = comm()->compute_section();
-    for (const Event& e : events) {
-      In x = extract_(e);
-      if (!saw_input_) {
-        rs::pre_accum_if(partial_, x);
-        saw_input_ = true;
-      }
-      partial_.accum(x);
-      last_in_ = std::move(x);
+    if (events.empty()) return;
+    // Extract + accumulate through the worker pool (serial unless
+    // RSMPI_LOCAL_THREADS > 1; par::accumulate_indexed owns the clock
+    // charge and stays off the comm buffers, so the warm path remains
+    // zero-allocation on the messaging side).  The epoch may arrive as
+    // several batches, so the pre hook fires only on the first batch's
+    // first event and the post hook is deferred to merge_and_window.
+    const bool first_batch = !saw_input_;
+    saw_input_ = true;
+    par::accumulate_indexed(
+        *comm(), partial_, prototype_, events.size(),
+        [&](std::size_t i) { return extract_(events[i]); },
+        /*fire_pre=*/first_batch, /*fire_post=*/false);
+    if constexpr (rs::HasPostAccum<Op, In>) {
+      // Only operators that observe the last element pay the copy
+      // (previously copied once per event, now once per batch).
+      last_in_ = extract_(events.back());
     }
   }
 
