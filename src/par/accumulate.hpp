@@ -9,6 +9,7 @@
 
 #include <algorithm>
 #include <cstddef>
+#include <cstdlib>
 #include <type_traits>
 
 #include "mprt/comm.hpp"
@@ -18,6 +19,18 @@
 #include "rs/op_concepts.hpp"
 
 namespace rsmpi::par {
+
+/// RSMPI_LOCAL_CHUNKED=1 forces the canonical chunked fold even when the
+/// pool is one thread wide, so a single-threaded run is byte-identical to
+/// any pool width at the same (extent, grain) — the knob the
+/// reproducibility suite (tests/rs/reproducibility_test.cpp) pins when
+/// comparing floating-point operator states across RSMPI_LOCAL_THREADS.
+/// Off by default: the serial fallback loop is cheaper and matches the
+/// pre-pool bit pattern.
+inline bool canonical_chunked_from_env() {
+  const char* raw = std::getenv("RSMPI_LOCAL_CHUNKED");
+  return raw != nullptr && *raw != '\0' && *raw != '0';
+}
 
 /// Accumulates `n` indexed elements into `op`, ending exactly as if the
 /// serial protocol
@@ -49,12 +62,35 @@ void accumulate_indexed(mprt::Comm& comm, Op& op, const Op& prototype,
   WorkerPool& pool = WorkerPool::current();
   const std::size_t grain = grain_from_env();
   const std::size_t nchunks = chunk_count(n, grain);
-  if (pool.threads() <= 1 || nchunks <= 1) {
+  // nchunks <= 1 stays serial at every pool width (one chunk folds the
+  // same either way), so the single-chunk case is width-independent too.
+  if (nchunks <= 1 || (pool.threads() <= 1 && !canonical_chunked_from_env())) {
     auto timer = comm.compute_section();
     if constexpr (rs::HasPreAccum<Op, In>) {
       if (fire_pre) op.pre_accum(get(0));
     }
     for (std::size_t i = 0; i < n; ++i) op.accum(get(i));
+    if constexpr (rs::HasPostAccum<Op, In>) {
+      if (fire_post) op.post_accum(get(n - 1));
+    }
+    return;
+  }
+  if (pool.threads() <= 1) {
+    // Canonical chunked fold on the rank thread (RSMPI_LOCAL_CHUNKED):
+    // identical chunk boundaries, identity clones, and ascending-chunk
+    // merge as the pool path below, so the bits match any pool width.
+    const Op identity(prototype);
+    auto timer = comm.compute_section();
+    if constexpr (rs::HasPreAccum<Op, In>) {
+      if (fire_pre) op.pre_accum(get(0));
+    }
+    for (std::size_t chunk = 0; chunk < nchunks; ++chunk) {
+      const std::size_t lo = chunk * grain;
+      const std::size_t hi = std::min(n, lo + grain);
+      Op state(identity);
+      for (std::size_t i = lo; i < hi; ++i) state.accum(get(i));
+      op.combine(state);
+    }
     if constexpr (rs::HasPostAccum<Op, In>) {
       if (fire_post) op.post_accum(get(n - 1));
     }

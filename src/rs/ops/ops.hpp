@@ -17,3 +17,4 @@
 #include "rs/ops/sketches.hpp"     // HyperLogLog, HeavyHitters, BloomFilter
 #include "rs/ops/sorted.hpp"       // Sorted (Listing 7)
 #include "rs/ops/topbottomk.hpp"   // TopBottomK (NAS MG §4.2)
+#include "rs/ops/tsqr.hpp"         // TSQR (noncommutative R-factor merge)

@@ -1,0 +1,186 @@
+// Dense thin-QR reference kernel (ISSUE 9): classic Householder QR of a
+// row-major rows x cols matrix, no external BLAS.  This is the *numerical
+// oracle* for rs::ops::TSQR — the distributed Givens merge must agree with
+// this factorization to within O(eps * cols), and the explicit thin Q it
+// forms backs the orthogonality / residual checks the bench gates on.
+//
+// Sign convention: the factorization is canonicalized to a nonnegative
+// diagonal of R (flip row of R + column of Q), matching the TSQR
+// operator's invariant so R factors are directly comparable.
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace rsmpi::util::qr {
+
+/// Thin QR factors of a rows x cols matrix A: Q is rows x cols with
+/// orthonormal columns (row-major), R is cols x cols upper triangular
+/// (row-major) with nonnegative diagonal, and A == Q * R up to rounding.
+struct QrFactors {
+  std::size_t rows = 0;
+  std::size_t cols = 0;
+  std::vector<double> q;  // rows x cols, row-major
+  std::vector<double> r;  // cols x cols, row-major, upper triangular
+
+  [[nodiscard]] double r_entry(std::size_t i, std::size_t j) const {
+    return r[i * cols + j];
+  }
+  [[nodiscard]] double q_entry(std::size_t i, std::size_t j) const {
+    return q[i * cols + j];
+  }
+};
+
+/// Householder QR with explicit thin-Q formation.  `a` is row-major
+/// rows x cols; rows < cols is allowed (trailing rows of R stay zero).
+inline QrFactors householder_qr(std::size_t rows, std::size_t cols,
+                                std::span<const double> a) {
+  if (cols == 0) throw ArgumentError("householder_qr: need at least 1 column");
+  if (a.size() != rows * cols) {
+    throw ArgumentError("householder_qr: matrix size mismatch");
+  }
+  // Work copy of A; reflectors v_j (normalized to v[0] = 1) and their
+  // scalars beta_j are kept to form Q afterwards.
+  std::vector<double> w(a.begin(), a.end());
+  const std::size_t steps = std::min(rows, cols);
+  std::vector<std::vector<double>> vs(steps);
+  std::vector<double> betas(steps, 0.0);
+
+  const auto at = [&](std::size_t i, std::size_t j) -> double& {
+    return w[i * cols + j];
+  };
+
+  for (std::size_t j = 0; j < steps; ++j) {
+    double sigma = 0.0;
+    for (std::size_t i = j; i < rows; ++i) sigma += at(i, j) * at(i, j);
+    sigma = std::sqrt(sigma);
+    if (sigma == 0.0) continue;  // column already zero below the diagonal
+    const double x0 = at(j, j);
+    const double alpha = x0 >= 0.0 ? -sigma : sigma;
+    std::vector<double> v(rows - j);
+    v[0] = x0 - alpha;
+    for (std::size_t i = j + 1; i < rows; ++i) v[i - j] = at(i, j);
+    double vtv = 0.0;
+    for (const double x : v) vtv += x * x;
+    if (vtv == 0.0) continue;
+    const double beta = 2.0 / vtv;
+    // Apply I - beta v v^T to the trailing columns of W.
+    for (std::size_t t = j; t < cols; ++t) {
+      double dot = 0.0;
+      for (std::size_t i = j; i < rows; ++i) dot += v[i - j] * at(i, t);
+      dot *= beta;
+      for (std::size_t i = j; i < rows; ++i) at(i, t) -= dot * v[i - j];
+    }
+    at(j, j) = alpha;
+    for (std::size_t i = j + 1; i < rows; ++i) at(i, j) = 0.0;
+    vs[j] = std::move(v);
+    betas[j] = beta;
+  }
+
+  QrFactors f;
+  f.rows = rows;
+  f.cols = cols;
+  f.r.assign(cols * cols, 0.0);
+  for (std::size_t i = 0; i < steps; ++i) {
+    for (std::size_t j = i; j < cols; ++j) f.r[i * cols + j] = at(i, j);
+  }
+
+  // Thin Q: apply the reflectors in reverse to the first `cols` columns of
+  // the identity.
+  f.q.assign(rows * cols, 0.0);
+  for (std::size_t j = 0; j < std::min(rows, cols); ++j) f.q[j * cols + j] = 1.0;
+  for (std::size_t j = steps; j-- > 0;) {
+    if (betas[j] == 0.0) continue;
+    const std::vector<double>& v = vs[j];
+    for (std::size_t t = 0; t < cols; ++t) {
+      double dot = 0.0;
+      for (std::size_t i = j; i < rows; ++i) dot += v[i - j] * f.q[i * cols + t];
+      dot *= betas[j];
+      for (std::size_t i = j; i < rows; ++i) f.q[i * cols + t] -= dot * v[i - j];
+    }
+  }
+
+  // Canonicalize: nonnegative diagonal of R.
+  for (std::size_t j = 0; j < std::min(rows, cols); ++j) {
+    if (f.r[j * cols + j] < 0.0) {
+      for (std::size_t t = j; t < cols; ++t) f.r[j * cols + t] = -f.r[j * cols + t];
+      for (std::size_t i = 0; i < rows; ++i) f.q[i * cols + j] = -f.q[i * cols + j];
+    }
+  }
+  return f;
+}
+
+/// ‖QᵀQ − I‖∞ (max row sum): how far the thin Q is from orthonormal.
+inline double orthogonality_error(const QrFactors& f) {
+  double worst = 0.0;
+  for (std::size_t i = 0; i < f.cols; ++i) {
+    double row_sum = 0.0;
+    for (std::size_t j = 0; j < f.cols; ++j) {
+      double dot = 0.0;
+      for (std::size_t r = 0; r < f.rows; ++r) {
+        dot += f.q[r * f.cols + i] * f.q[r * f.cols + j];
+      }
+      if (i == j) dot -= 1.0;
+      row_sum += std::fabs(dot);
+    }
+    worst = std::max(worst, row_sum);
+  }
+  return worst;
+}
+
+/// ‖A − QR‖F / ‖A‖F for a caller-supplied (Q, R) pair: Q row-major
+/// rows x cols, R row-major cols x cols upper triangular.
+inline double relative_residual(std::size_t rows, std::size_t cols,
+                                std::span<const double> a,
+                                std::span<const double> q,
+                                std::span<const double> r) {
+  if (a.size() != rows * cols || q.size() != rows * cols ||
+      r.size() != cols * cols) {
+    throw ArgumentError("relative_residual: shape mismatch");
+  }
+  double num = 0.0;
+  double den = 0.0;
+  for (std::size_t i = 0; i < rows; ++i) {
+    for (std::size_t j = 0; j < cols; ++j) {
+      double qr = 0.0;
+      for (std::size_t t = 0; t <= j && t < cols; ++t) {
+        qr += q[i * cols + t] * r[t * cols + j];
+      }
+      const double d = a[i * cols + j] - qr;
+      num += d * d;
+      den += a[i * cols + j] * a[i * cols + j];
+    }
+  }
+  if (den == 0.0) return num == 0.0 ? 0.0 : HUGE_VAL;
+  return std::sqrt(num / den);
+}
+
+/// Least-squares Q for a given upper-triangular R: Q = A · R⁻¹ by forward
+/// substitution per row (R is upper triangular, so column j of Q needs
+/// columns < j already solved).  Used to manufacture a Q for the *reduced*
+/// R that TSQR produces, since the reduction ships only R.
+inline std::vector<double> solve_q(std::size_t rows, std::size_t cols,
+                                   std::span<const double> a,
+                                   std::span<const double> r) {
+  if (a.size() != rows * cols || r.size() != cols * cols) {
+    throw ArgumentError("solve_q: shape mismatch");
+  }
+  std::vector<double> q(rows * cols, 0.0);
+  for (std::size_t i = 0; i < rows; ++i) {
+    for (std::size_t j = 0; j < cols; ++j) {
+      double sum = a[i * cols + j];
+      for (std::size_t t = 0; t < j; ++t) {
+        sum -= q[i * cols + t] * r[t * cols + j];
+      }
+      const double d = r[j * cols + j];
+      q[i * cols + j] = d == 0.0 ? 0.0 : sum / d;
+    }
+  }
+  return q;
+}
+
+}  // namespace rsmpi::util::qr

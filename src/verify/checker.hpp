@@ -1,29 +1,14 @@
-// The checker zoo and scenario matrix for the exhaustive model checker
-// (ISSUE 7).
-//
-// Two stress operators complement the production ops:
-//
-//   * OrderedWord (satellite 1) — a noncommutative ordered-concat whose
-//     tokens carry their originating rank.  Any schedule that folds ranks
-//     out of order scrambles the word, so the explorer flags a
-//     commutative-only schedule being selected for it the moment it
-//     happens: a correctly-routed OrderedWord collective presents *zero*
-//     choice points (the order-preserving schedules have no arrival-order
-//     freedom), and the planted mutation presents many, most failing.
-//
-//   * CanonSet — a *semantically* commutative set-union whose state bytes
-//     are insertion-ordered.  Its combine commutes as a set but not
-//     byte-wise, so the explorer's all-orders probe cannot prune and must
-//     genuinely branch; gen() sorts, so every interleaving must still
-//     produce the identical result.  This is the operator that proves the
-//     DFS explores real schedule freedom with zero violations.
-//
-// Scenario builders cover the five autotuned schedules (blocking path),
-// the planted mutation, the nonblocking paths (the commutative
-// combine-as-available tree driven directly, plus reduce_async), and the
-// persistent-plan replay from src/svc — each scenario a self-checking
-// Runner comparing every completed rank's result against the serial
-// oracle.
+// Scenario matrix for the exhaustive model checker (ISSUE 7), built over
+// the shared operator registry (src/verify/registry.hpp, ISSUE 9): the
+// zoo, per-rank inputs, and oracles live there so the sim / par suites
+// enumerate the same list.  Scenario builders cover the five autotuned
+// schedules (blocking path), the direct pipelined panel path for
+// partitionable operators, the planted mutation, the nonblocking paths
+// (the commutative combine-as-available tree driven directly, plus
+// reduce_async), and the persistent-plan replay from src/svc — each
+// scenario a self-checking Runner comparing every completed rank's result
+// against the registry's oracle (serial fold for exact operators, the
+// binomial-tree bracketing for TSQR).
 #pragma once
 
 #include <algorithm>
@@ -34,6 +19,7 @@
 #include <vector>
 
 #include "coll/nb/progress.hpp"
+#include "coll/pipeline.hpp"
 #include "mprt/runtime.hpp"
 #include "rs/async.hpp"
 #include "rs/ops/counts.hpp"
@@ -41,105 +27,9 @@
 #include "rs/state_exchange.hpp"
 #include "svc/persistent.hpp"
 #include "verify/explorer.hpp"
+#include "verify/registry.hpp"
 
 namespace rsmpi::verify {
-
-// -- Operator zoo -----------------------------------------------------------
-
-/// Noncommutative ordered concatenation of rank-tagged tokens.
-class OrderedWord {
- public:
-  static constexpr bool commutative = false;
-
-  void accum(const int& token) {
-    word_ += "<" + std::to_string(token) + ">";
-  }
-  void combine(const OrderedWord& other) { word_ += other.word_; }
-  [[nodiscard]] std::string gen() const { return word_; }
-
-  void save(bytes::Writer& w) const { w.put_string(word_); }
-  void load(bytes::Reader& r) { word_ = r.get_string(); }
-
- private:
-  std::string word_;
-};
-
-/// Set union with insertion-ordered state bytes and sorted output.
-/// Commutative by the operator trait (absent => true), but its serialized
-/// state depends on fold order — the probe cannot prune, the result check
-/// still must pass on every branch.
-class CanonSet {
- public:
-  void accum(const int& x) { insert(x); }
-  void combine(const CanonSet& other) {
-    for (const int x : other.elems_) insert(x);
-  }
-  [[nodiscard]] std::vector<int> gen() const {
-    std::vector<int> sorted = elems_;
-    std::sort(sorted.begin(), sorted.end());
-    return sorted;
-  }
-
-  void save(bytes::Writer& w) const { w.put_vector(elems_); }
-  void load(bytes::Reader& r) { elems_ = r.get_vector<int>(); }
-
- private:
-  void insert(int x) {
-    if (std::find(elems_.begin(), elems_.end(), x) == elems_.end()) {
-      elems_.push_back(x);
-    }
-  }
-
-  std::vector<int> elems_;
-};
-
-// -- Inputs and expectations ------------------------------------------------
-
-inline constexpr std::size_t kCheckerBuckets = 6;
-inline constexpr int kCheckerTokensPerRank = 3;
-
-/// Deterministic rank-tagged raw tokens: rank r contributes
-/// {10r, 10r+1, 10r+2}.  Each operator maps them into its own input
-/// domain below.
-inline std::vector<int> rank_tokens(int rank) {
-  std::vector<int> tokens;
-  tokens.reserve(kCheckerTokensPerRank);
-  for (int i = 0; i < kCheckerTokensPerRank; ++i) {
-    tokens.push_back(rank * 10 + i);
-  }
-  return tokens;
-}
-
-template <typename Op>
-std::vector<int> rank_inputs(int rank) {
-  std::vector<int> inputs = rank_tokens(rank);
-  if constexpr (std::is_same_v<Op, rs::ops::Counts>) {
-    for (int& x : inputs) x %= static_cast<int>(kCheckerBuckets);
-  } else if constexpr (std::is_same_v<Op, CanonSet>) {
-    // Overlap across ranks so the union actually deduplicates.
-    inputs.push_back(7);
-  }
-  return inputs;
-}
-
-template <typename Op>
-Op make_prototype() {
-  if constexpr (std::is_same_v<Op, rs::ops::Counts>) {
-    return rs::ops::Counts(kCheckerBuckets);
-  } else {
-    return Op{};
-  }
-}
-
-/// The serial oracle: every rank's inputs folded in rank order.
-template <typename Op>
-rs::reduce_result_t<Op> expected_result(int p) {
-  Op op = make_prototype<Op>();
-  for (int r = 0; r < p; ++r) {
-    for (const int x : rank_inputs<Op>(r)) op.accum(x);
-  }
-  return rs::red_result(op);
-}
 
 // -- Runner factory ---------------------------------------------------------
 
@@ -190,14 +80,6 @@ Runner make_runner(int p, Collective collective) {
   };
 }
 
-/// Accumulates this rank's inputs into a fresh identity state.
-template <typename Op>
-Op accumulated(int rank) {
-  Op op = make_prototype<Op>();
-  for (const int x : rank_inputs<Op>(rank)) op.accum(x);
-  return op;
-}
-
 }  // namespace detail
 
 // -- Scenario builders ------------------------------------------------------
@@ -234,7 +116,7 @@ Scenario blocking_scenario(const std::string& op_name, int p,
   s.name = op_name + "-" + schedule_name(schedule) + "-p" + std::to_string(p);
   s.num_ranks = p;
   s.runner = detail::make_runner<Op>(p, [schedule](mprt::Comm& comm) {
-    Op op = detail::accumulated<Op>(comm.rank());
+    Op op = accumulated<Op>(comm.rank());
     const Op prototype = make_prototype<Op>();
     rs::detail::state_allreduce_with_schedule(comm, op, prototype, schedule,
                                               kCheckerSegmentBytes,
@@ -253,7 +135,7 @@ Scenario mutation_scenario(const std::string& op_name, int p) {
   s.name = op_name + "-mutation-p" + std::to_string(p);
   s.num_ranks = p;
   s.runner = detail::make_runner<Op>(p, [](mprt::Comm& comm) {
-    Op op = detail::accumulated<Op>(comm.rank());
+    Op op = accumulated<Op>(comm.rank());
     const Op prototype = make_prototype<Op>();
     rs::detail::state_allreduce_mutation_unordered(comm, op, prototype);
     return rs::red_result(op);
@@ -275,7 +157,7 @@ Scenario nb_tree_scenario(const std::string& op_name, int p) {
   s.runner = detail::make_runner<Op>(p, [](mprt::Comm& comm) {
     const Op prototype = make_prototype<Op>();
     auto state = std::make_shared<rs::detail::AsyncOpState<Op>>(
-        detail::accumulated<Op>(comm.rank()), prototype);
+        accumulated<Op>(comm.rank()), prototype);
     const int tag = comm.reserve_collective_tags(2);
     auto request = coll::nb::ProgressEngine::current().launch(
         comm,
@@ -299,6 +181,26 @@ Scenario async_scenario(const std::string& op_name, int p) {
     auto future = rs::reduce_async(comm, rank_inputs<Op>(comm.rank()),
                                    make_prototype<Op>());
     return future.get();
+  });
+  return s;
+}
+
+/// The order-preserving pipelined binomial allreduce driven directly with
+/// the tiny checker segment size, so partitionable states genuinely
+/// stream as multiple panels — for TSQR, column panels through the
+/// streamed-session merge.  This is the path that proves the panel
+/// machinery presents zero schedule freedom under exhaustive exploration.
+template <typename Op>
+Scenario pipelined_panel_scenario(const std::string& op_name, int p) {
+  static_assert(rs::op_partitionable<Op>(),
+                "pipelined_panel_scenario needs partitionable state");
+  Scenario s;
+  s.name = op_name + "-pipelined-panels-p" + std::to_string(p);
+  s.num_ranks = p;
+  s.runner = detail::make_runner<Op>(p, [](mprt::Comm& comm) {
+    Op op = accumulated<Op>(comm.rank());
+    rs::detail::state_allreduce_pipelined(comm, op, kCheckerSegmentBytes);
+    return rs::red_result(op);
   });
   return s;
 }
@@ -383,28 +285,39 @@ class ScenarioSet {
   std::vector<Scenario> scenarios_;
 };
 
-/// The standard checker matrix at one machine size: all five schedules x
-/// {commutative (Counts), noncommutative (OrderedWord)} on the blocking
-/// path, CanonSet on the branching paths, the nonblocking tree and async
-/// dispatch, and the persistent-plan replay.  The planted mutation is NOT
-/// in the standard set — mutation_scenario builds it for the detection
-/// test only.
+/// The standard checker matrix at one machine size, enumerated from the
+/// shared registry (satellite 6): every zoo operator gets the blocking
+/// schedules its traits admit (all five for partitionable or
+/// noncommutative operators — noncommutative ones route every name to the
+/// order-preserving path — two for the rest), the commutative ones the
+/// nonblocking combine-as-available tree, the partitionable ones the
+/// direct pipelined panel path, plus the async and persistent tiers per
+/// the registry flags.  The planted mutation is NOT in the standard set —
+/// mutation_scenario builds it for the detection test only.
 inline ScenarioSet standard_scenarios(int p) {
   using S = rs::detail::Schedule;
   ScenarioSet set;
-  for (const S schedule : {S::kTwoMessage, S::kButterfly, S::kRabenseifner,
-                           S::kRing, S::kPipelined}) {
-    set.add(blocking_scenario<rs::ops::Counts>("counts", p, schedule));
-    set.add(blocking_scenario<OrderedWord>("word", p, schedule));
-  }
-  set.add(blocking_scenario<CanonSet>("canon", p, S::kTwoMessage));
-  set.add(blocking_scenario<CanonSet>("canon", p, S::kButterfly));
-  set.add(nb_tree_scenario<rs::ops::Counts>("counts", p));
-  set.add(nb_tree_scenario<CanonSet>("canon", p));
-  set.add(async_scenario<rs::ops::Counts>("counts", p));
-  set.add(async_scenario<OrderedWord>("word", p));
-  set.add(persistent_scenario<rs::ops::Counts>("counts", p));
-  set.add(persistent_scenario<OrderedWord>("word", p));
+  for_each_zoo_op([&](auto tag, const ZooOpInfo& info) {
+    using Op = typename decltype(tag)::type;
+    const std::string name = info.name;
+    const bool all_schedules = info.partitionable || !info.commutative;
+    for (const S schedule : {S::kTwoMessage, S::kButterfly, S::kRabenseifner,
+                             S::kRing, S::kPipelined}) {
+      if (!all_schedules && schedule != S::kTwoMessage &&
+          schedule != S::kButterfly) {
+        continue;
+      }
+      set.add(blocking_scenario<Op>(name, p, schedule));
+    }
+    if constexpr (rs::op_commutative<Op>()) {
+      set.add(nb_tree_scenario<Op>(name, p));
+    }
+    if constexpr (rs::op_partitionable<Op>()) {
+      set.add(pipelined_panel_scenario<Op>(name, p));
+    }
+    if (info.async_tier) set.add(async_scenario<Op>(name, p));
+    if (info.persistent_tier) set.add(persistent_scenario<Op>(name, p));
+  });
   return set;
 }
 
@@ -416,6 +329,7 @@ inline ScenarioSet replayable_scenarios(int max_p = 5) {
     const ScenarioSet base = standard_scenarios(p);
     for (const Scenario& s : base.all()) set.add(s);
     set.add(mutation_scenario<OrderedWord>("word", p));
+    set.add(mutation_scenario<rs::ops::TSQR>("tsqr", p));
   }
   return set;
 }

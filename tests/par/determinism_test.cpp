@@ -17,6 +17,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
@@ -189,6 +190,68 @@ TEST(ParDeterminism, OrderedWordNoncommutativeBitIdentical) {
     input.push_back(static_cast<int>(splitmix(s) % 997));
   }
   check_zoo_op("OrderedWord", verify::OrderedWord{}, input);
+}
+
+TEST(ParDeterminism, CanonSetBitIdenticalAcrossThreadsAndGrains) {
+  std::vector<int> input;
+  std::uint64_t s = 13;
+  for (int i = 0; i < 2000; ++i) {
+    input.push_back(static_cast<int>(splitmix(s) % 200));  // heavy dedup
+  }
+  check_zoo_op("CanonSet", verify::CanonSet{}, input);
+}
+
+TEST(ParDeterminism, TsqrCanonicalChunkedAcrossWidths) {
+  // TSQR's combine is bitwise nonassociative, so the pooled result equals
+  // the *canonical chunked fold* — identity clones per chunk, merged in
+  // ascending chunk order — not the plain serial accum loop.  That fold
+  // is a function of (extent, grain) only: every pool width >= 2 must
+  // reproduce its bits exactly, and width 1 joins them under
+  // RSMPI_LOCAL_CHUNKED=1 (ISSUE 9).
+  constexpr std::size_t kCols = 4;
+  constexpr std::size_t kGrain = 64;
+  std::vector<std::vector<double>> rows;
+  std::uint64_t s = 14;
+  for (int i = 0; i < 1000; ++i) {
+    std::vector<double> row(kCols);
+    for (auto& v : row) {
+      v = static_cast<double>(splitmix(s) % 4001) / 16.0 - 125.0;
+    }
+    rows.push_back(std::move(row));
+  }
+
+  ops::TSQR oracle(kCols);
+  for (std::size_t lo = 0; lo < rows.size(); lo += kGrain) {
+    ops::TSQR chunk(kCols);
+    for (std::size_t i = lo; i < std::min(rows.size(), lo + kGrain); ++i) {
+      chunk.accum(rows[i]);
+    }
+    oracle.combine(chunk);
+  }
+  const auto expected = save_op(oracle);
+
+  EnvGuard cg("RSMPI_LOCAL_CHUNKED", "1");
+  EnvGuard gg("RSMPI_LOCAL_GRAIN", std::to_string(kGrain));
+  for (const int threads : kThreadSweep) {
+    EnvGuard tg("RSMPI_LOCAL_THREADS", std::to_string(threads));
+    mprt::run(1, [&](mprt::Comm& comm) {
+      const ops::TSQR got = rs::reduce_state(
+          comm, std::span<const std::vector<double>>(rows), ops::TSQR(kCols));
+      EXPECT_EQ(save_op(got), expected) << "threads=" << threads;
+    });
+  }
+}
+
+// Satellite 6: the shared verify registry drives this tier too — a new
+// zoo operator without a ParDeterminism witness fails here.
+TEST(ParDeterminism, EveryRegistryOpIsCovered) {
+  const std::vector<std::string> covered = {"counts", "word", "canon", "tsqr"};
+  for (const std::string& name : verify::zoo_names()) {
+    EXPECT_TRUE(std::find(covered.begin(), covered.end(), name) !=
+                covered.end())
+        << "registry operator '" << name
+        << "' has no witness in the par determinism suite";
+  }
 }
 
 TEST(ParDeterminism, CrossRankReductionMatchesSerialWithPool) {

@@ -90,19 +90,50 @@ TEST(PartitionableContract, TraitDetection) {
   EXPECT_TRUE(rs::op_partitionable<ops::Sum<long>>());
   EXPECT_TRUE(rs::op_partitionable<ops::Min<int>>());
   EXPECT_TRUE(rs::op_partitionable<ops::Max<int>>());
+  // TSQR's streamed column-panel merge makes it partitionable despite the
+  // non-element-wise combine (ISSUE 9).
+  EXPECT_TRUE(rs::op_partitionable<ops::TSQR>());
   // Order- or structure-dependent states cannot combine range-by-range.
   EXPECT_FALSE(rs::op_partitionable<ops::Concat>());
   EXPECT_FALSE(rs::op_partitionable<ops::Sorted<int>>());
   EXPECT_FALSE(rs::op_partitionable<ops::MinK<int>>());
 }
 
+// Segment widths for the combine_via_parts oracle sweeps.  The original
+// sweep leaned on powers of two (plus the extent itself), which never
+// exercised split points landing mid-way through an odd remainder — the
+// production segmenter picks byte budgets, not element counts, so odd and
+// prime widths are the common case, not the corner (ISSUE 9 satellite).
+const std::size_t kPartWidths[] = {1, 2, 3, 5, 7, 11, 13, 31, 32,
+                                   61, 97, 128, 1000};
+
 TEST(PartitionableContract, CombineViaPartsMatchesWholeCombine) {
   const auto left = filled_counts(97, 0);
   const auto right = filled_counts(97, 1);
   const auto whole = rs::serial::combine(left, right);
-  for (const std::size_t width : {std::size_t{1}, std::size_t{3},
-                                  std::size_t{32}, std::size_t{97},
-                                  std::size_t{1000}}) {
+  for (const std::size_t width : kPartWidths) {
+    const auto parts = rs::serial::combine_via_parts(left, right, width);
+    EXPECT_EQ(save_op(parts), save_op(whole)) << "segment width " << width;
+  }
+}
+
+// Regression (ISSUE 9 satellite): TSQR panels weigh j+1 doubles at column
+// j, so every split width that is not a multiple of the extent lands on
+// uneven panels — the streamed-session merge must still be bitwise equal
+// to the whole-state combine at *every* width, odd and prime included.
+TEST(PartitionableContract, TsqrCombineViaPartsAtOddWidths) {
+  constexpr std::size_t kCols = 7;
+  ops::TSQR left(kCols), right(kCols);
+  for (int i = 0; i < 23; ++i) {
+    std::vector<double> row(kCols);
+    for (std::size_t c = 0; c < kCols; ++c) {
+      row[c] = static_cast<double>((i * 17 + static_cast<int>(c) * 29) % 37 -
+                                   18);
+    }
+    (i % 2 == 0 ? left : right).accum(row);
+  }
+  const auto whole = rs::serial::combine(left, right);
+  for (const std::size_t width : kPartWidths) {
     const auto parts = rs::serial::combine_via_parts(left, right, width);
     EXPECT_EQ(save_op(parts), save_op(whole)) << "segment width " << width;
   }
@@ -116,8 +147,7 @@ TEST(PartitionableContract, HistogramCombineViaParts) {
     right.accum(static_cast<double>((i * 7) % 13) - 1.0);
   }
   const auto whole = rs::serial::combine(left, right);
-  for (const std::size_t width : {std::size_t{1}, std::size_t{2},
-                                  std::size_t{100}}) {
+  for (const std::size_t width : kPartWidths) {
     EXPECT_EQ(rs::serial::combine_via_parts(left, right, width).red_gen(),
               whole.red_gen())
         << "segment width " << width;

@@ -46,6 +46,7 @@
 #include "rs/serial.hpp"
 #include "rs/state_exchange.hpp"
 #include "util/error.hpp"
+#include "verify/registry.hpp"
 
 namespace {
 
@@ -83,9 +84,13 @@ const char* schedule_name(int s) {
   }
 }
 
-// Exact (integer-state) operators only: the bit-identical-to-oracle claim
-// needs combine orders to be immaterial, which floating point would break
-// on the commutative (arrival-order) schedules.
+// Mostly exact (integer-state) operators: the bit-identical-to-oracle
+// claim needs combine orders to be immaterial, which floating point would
+// break on the commutative (arrival-order) schedules.  The two ordered
+// stress operators from the shared verify registry ride along (ISSUE 9):
+// OrderedWord is exact, and TSQR — floating point AND bit-level
+// noncommutative — runs only the ordered reduce schedules, compared
+// against the binomial-tree bracketing oracle the ordered paths share.
 enum OpKind : int {
   kSumLong = 0,
   kMinInt,
@@ -95,6 +100,9 @@ enum OpKind : int {
   kMinK,
   kHistogram,
   kMaxSubarray,  // non-commutative
+  kOrderedWord,  // non-commutative (verify registry)
+  kCanonSet,     // commutative, fold-order-dependent bytes (verify registry)
+  kTSQR,         // non-commutative floating point (verify registry)
   kNumOpKinds
 };
 
@@ -108,11 +116,40 @@ const char* op_name(int o) {
     case kMinK: return "MinK<int>(4)";
     case kHistogram: return "Histogram<int>";
     case kMaxSubarray: return "MaxSubarray<long>";
+    case kOrderedWord: return "OrderedWord";
+    case kCanonSet: return "CanonSet";
+    case kTSQR: return "TSQR(4)";
     default: return "?";
   }
 }
 
-bool kind_commutative(int o) { return o != kConcat && o != kMaxSubarray; }
+bool kind_commutative(int o) {
+  return o != kConcat && o != kMaxSubarray && o != kOrderedWord && o != kTSQR;
+}
+
+/// Deterministic schedule legality remap.  The butterfly requires
+/// commutativity, so noncommutative operators get the order-preserving
+/// allreduce instead.  TSQR is further restricted to the ordered *reduce*
+/// schedules: its combine is bit-level nonassociative, so the scan
+/// bracketings have no shared oracle — each scan schedule maps to a fixed
+/// reduce schedule instead.  Applied both when deriving a case and when
+/// running one, so hand-edited RSMPI_SIM_CASE replays normalize the same
+/// way on every platform.
+int remap_schedule(int op_kind, int schedule) {
+  if (!kind_commutative(op_kind) && schedule == kReduceButterfly) {
+    schedule = kReduceBcast;
+  }
+  if (op_kind == kTSQR) {
+    switch (schedule) {
+      case kScanIncl: return kReduceAuto;
+      case kScanExcl: return kReduceBcast;
+      case kXscanBoth: return kReduceBcast;
+      case kScanAsync: return kReduceAsync;
+      default: return schedule;
+    }
+  }
+  return schedule;
+}
 
 struct Case {
   std::uint64_t seed = 0;
@@ -144,12 +181,8 @@ Case derive_case(std::uint64_t seed) {
   static constexpr int kRanks[] = {2, 3, 5, 6, 7, 8, 12};
   c.p = kRanks[rng.below(sizeof(kRanks) / sizeof(kRanks[0]))];
   c.op_kind = static_cast<int>(rng.below(kNumOpKinds));
-  c.schedule = static_cast<int>(rng.below(kNumSchedules));
-  if (!kind_commutative(c.op_kind) && c.schedule == kReduceButterfly) {
-    // The butterfly requires commutativity; give the case the
-    // order-preserving allreduce instead.
-    c.schedule = kReduceBcast;
-  }
+  c.schedule = remap_schedule(c.op_kind,
+                              static_cast<int>(rng.below(kNumSchedules)));
   c.sim.seed = seed;
   if (rng.below(4) != 0) {  // 3/4 of cases run under a fault plan
     c.sim.delay_prob = 0.5 * rng.uniform();
@@ -298,7 +331,96 @@ std::string check_case(const Case& c, const Op& prototype, MapFn map) {
   return "";
 }
 
-std::string run_case(const Case& c) {
+/// TSQR cases are state-fed (ISSUE 9): each rank accumulates its rows
+/// serially, then the case drives the state exchange directly, so the
+/// expected bits are exactly verify::binomial_fold's bracketing — the
+/// local worker pool's chunking never enters the comparison (production
+/// rs::reduce coverage for TSQR under the pool lives in
+/// tests/rs/reproducibility_test.cpp).  The forced reduce+bcast case also
+/// runs the pipelined binomial tree with tiny segments, putting the
+/// streamed column-panel merge under the random fault plans at machine
+/// sizes the exhaustive checker (p <= 4) cannot reach.
+std::string check_case_tsqr(const Case& c) {
+  constexpr std::size_t kCols = 4;
+  const auto p = static_cast<std::size_t>(c.p);
+  std::vector<ops::TSQR> states;
+  states.reserve(p);
+  for (std::size_t r = 0; r < p; ++r) {
+    ops::TSQR s(kCols);
+    for (const int v : c.data[r]) {
+      s.accum(verify::tsqr_row_from_token(v, kCols));
+    }
+    states.push_back(std::move(s));
+  }
+  const ops::TsqrResult expected =
+      rs::red_result(verify::binomial_fold(states));  // folds a copy
+
+  std::vector<ops::TsqrResult> red(p);
+  std::vector<char> panel_mismatch(p, 0);
+  try {
+    mprt::run(
+        c.p,
+        [&](Comm& comm) {
+          const auto r = static_cast<std::size_t>(comm.rank());
+          const ops::TSQR prototype(kCols);
+          ops::TSQR op = states[r];
+          switch (c.schedule) {
+            case kReduceAuto:
+              rs::detail::state_allreduce(comm, op, prototype);
+              break;
+            case kReduceBcast: {
+              rs::detail::state_allreduce_with_schedule(
+                  comm, op, prototype, rs::detail::Schedule::kTwoMessage,
+                  rs::detail::kDefaultSegmentBytes, /*commutative=*/false);
+              ops::TSQR pipelined = states[r];
+              rs::detail::state_allreduce_pipelined(comm, pipelined,
+                                                    /*segment_bytes=*/8);
+              if (!(rs::red_result(pipelined) == rs::red_result(op))) {
+                panel_mismatch[r] = 1;
+              }
+              break;
+            }
+            case kReduceAsync: {
+              auto state = std::make_shared<rs::detail::AsyncOpState<ops::TSQR>>(
+                  states[r], prototype);
+              const int tag = comm.reserve_collective_tags(2);
+              auto request = coll::nb::ProgressEngine::current().launch(
+                  comm,
+                  std::make_unique<rs::detail::StateAllreduceOp<ops::TSQR>>(
+                      comm, state, /*commutative=*/false, tag, tag + 1),
+                  tag, 2);
+              request.wait();
+              op = state->op;
+              break;
+            }
+            default:
+              break;
+          }
+          red[r] = rs::red_result(op);
+        },
+        mprt::CostModel{}, c.sim);
+  } catch (const Error& e) {
+    return std::string("run threw ") + e.what();
+  }
+
+  for (std::size_t r = 0; r < p; ++r) {
+    if (panel_mismatch[r] != 0) {
+      return "rank " + std::to_string(r) +
+             " pipelined-panel merge differs from reduce+bcast";
+    }
+    if (!(red[r] == expected)) {
+      return "rank " + std::to_string(r) +
+             " TSQR R factor differs from the binomial-tree oracle";
+    }
+  }
+  return "";
+}
+
+std::string run_case(const Case& raw) {
+  // Normalize here as well as in derive_case, so hand-edited
+  // RSMPI_SIM_CASE replays land on the same legal schedule everywhere.
+  Case c = raw;
+  c.schedule = remap_schedule(c.op_kind, c.schedule);
   switch (c.op_kind) {
     case kSumLong:
       return check_case(c, ops::Sum<long>{},
@@ -321,6 +443,13 @@ std::string run_case(const Case& c) {
     case kMaxSubarray:
       return check_case(c, ops::MaxSubarray<long>{},
                         [](int v) { return static_cast<long>(v - 50); });
+    case kOrderedWord:
+      return check_case(c, verify::OrderedWord{}, [](int v) { return v; });
+    case kCanonSet:
+      // Fold into [0, 32) so rank slices overlap and the union dedups.
+      return check_case(c, verify::CanonSet{}, [](int v) { return v % 32; });
+    case kTSQR:
+      return check_case_tsqr(c);
     default:
       return "unknown operator kind";
   }
@@ -520,7 +649,7 @@ TEST(SimProperty, SeededSweep) {
 // (the sweep would eventually hit it, but with a randomized label).
 TEST(SimProperty, EverySchedulePinnedUnderFaults) {
   for (int schedule = 0; schedule < kNumSchedules; ++schedule) {
-    for (const int op_kind : {kSumLong, kConcat}) {
+    for (const int op_kind : {kSumLong, kConcat, kOrderedWord, kTSQR}) {
       Case c;
       c.seed = 9000 + static_cast<std::uint64_t>(schedule);
       c.p = 7;
@@ -574,14 +703,47 @@ TEST(SimProperty, CaseCodecRoundTrips) {
                ArgumentError);  // one data section for p=2
 }
 
+// Satellite 6: the shared verify registry is the source of truth for the
+// operator zoo — every registered operator must have an OpKind here, so a
+// new zoo entry cannot silently skip the property tier.
+TEST(SimProperty, EveryRegistryOpIsCovered) {
+  const std::vector<std::pair<std::string, int>> covered = {
+      {"counts", kCounts},
+      {"word", kOrderedWord},
+      {"canon", kCanonSet},
+      {"tsqr", kTSQR}};
+  for (const std::string& name : verify::zoo_names()) {
+    bool found = false;
+    for (const auto& [zoo_name, kind] : covered) {
+      if (zoo_name == name) {
+        EXPECT_LT(kind, kNumOpKinds);
+        found = true;
+      }
+    }
+    EXPECT_TRUE(found) << "registry operator '" << name
+                       << "' has no OpKind in the property suite";
+  }
+}
+
 // Shrinking the same case twice yields byte-identical encodings — the
 // candidate order is fixed and nothing consults an RNG (run_case itself
 // is deterministic per case, so the accept/reject sequence repeats).
 TEST(SimProperty, ShrinkIsDeterministic) {
-  const Case c = derive_case(4242);
-  const std::string a = encode_case(shrink_case(c));
-  const std::string b = encode_case(shrink_case(c));
-  EXPECT_EQ(a, b);
+  std::vector<Case> cases = {derive_case(4242)};
+  // The registry's ordered operators shrink through the same syntactic
+  // pipeline — pin one case each so the platform-identical claim covers
+  // them explicitly (ISSUE 9 satellite).
+  for (const int op_kind : {kOrderedWord, kTSQR}) {
+    Case c = derive_case(97);
+    c.op_kind = op_kind;
+    c.schedule = remap_schedule(op_kind, c.schedule);
+    cases.push_back(std::move(c));
+  }
+  for (const Case& c : cases) {
+    const std::string a = encode_case(shrink_case(c));
+    const std::string b = encode_case(shrink_case(c));
+    EXPECT_EQ(a, b) << op_name(c.op_kind);
+  }
 }
 
 }  // namespace

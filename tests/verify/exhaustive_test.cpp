@@ -75,10 +75,16 @@ void explore_all(int p, bool with_faults) {
         << scenario.name << ": pruning regressed (explored "
         << report.stats.interleavings << " interleavings)";
 
-    const bool word = scenario.name.rfind("word-", 0) == 0;
-    if (word) {
-      // Satellite 1: noncommutative operators must always take the
-      // order-preserving schedule — no arrival-order freedom at all.
+    const bool ordered = scenario.name.rfind("word-", 0) == 0 ||
+                         scenario.name.rfind("tsqr-", 0) == 0;
+    if (ordered) {
+      // Noncommutative operators must always take an order-preserving
+      // schedule — no arrival-order freedom at all.  This holds for the
+      // token-concat witness (OrderedWord) and for real linear algebra
+      // (TSQR, ISSUE 9): every schedule name, the pipelined column-panel
+      // path, the async state machine, and the persistent replay present
+      // exactly one interleaving with zero decisions and zero pruned
+      // orders.
       EXPECT_EQ(report.stats.interleavings, 1u) << scenario.name;
       EXPECT_EQ(report.stats.max_decisions, 0u) << scenario.name;
       EXPECT_EQ(report.stats.pruned_orders, 0u) << scenario.name;
@@ -116,6 +122,9 @@ TEST(Exhaustive, FaultPlacementsP2) {
            verify::blocking_scenario<verify::OrderedWord>(
                "word", 2, rs::detail::Schedule::kTwoMessage),
            verify::nb_tree_scenario<verify::CanonSet>("canon", 2),
+           verify::blocking_scenario<rs::ops::TSQR>(
+               "tsqr", 2, rs::detail::Schedule::kTwoMessage),
+           verify::pipelined_panel_scenario<rs::ops::TSQR>("tsqr", 2),
        }) {
     const Report report = verify::explore(scenario, ExploreLimits{});
     expect_clean(scenario, report);
@@ -132,6 +141,8 @@ TEST(Exhaustive, FaultPlacementsP3) {
                "word", 3, rs::detail::Schedule::kTwoMessage),
            verify::nb_tree_scenario<verify::CanonSet>("canon", 3),
            verify::async_scenario<rs::ops::Counts>("counts", 3),
+           verify::blocking_scenario<rs::ops::TSQR>(
+               "tsqr", 3, rs::detail::Schedule::kTwoMessage),
        }) {
     const Report report = verify::explore(scenario, ExploreLimits{});
     expect_clean(scenario, report);
@@ -172,6 +183,22 @@ TEST(Exhaustive, CanonSetForcesRealBranching) {
             << report.stats.interleavings
             << " pruned=" << report.stats.pruned_orders
             << " max_decisions=" << report.stats.max_decisions << "\n";
+}
+
+// Satellite 6: the scenario matrix is enumerated from the shared
+// registry, so every registered operator must surface in the standard set
+// — an operator added to verify/registry.hpp cannot silently skip the
+// exhaustive tier.
+TEST(Exhaustive, EveryRegistryOpHasScenarios) {
+  const verify::ScenarioSet set = verify::standard_scenarios(3);
+  for (const std::string& name : verify::zoo_names()) {
+    int found = 0;
+    for (const Scenario& s : set.all()) {
+      if (s.name.rfind(name + "-", 0) == 0) ++found;
+    }
+    EXPECT_GE(found, 3) << "registry operator '" << name
+                        << "' is missing from the exhaustive matrix";
+  }
 }
 
 }  // namespace

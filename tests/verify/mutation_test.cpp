@@ -57,6 +57,26 @@ TEST(Mutation, PlantedOrderingBugIsCaught) {
       << "minimal trace did not reproduce: " << encode_trace(v.trace);
 }
 
+// Same detection on real linear algebra (ISSUE 9): TSQR's R-factor merge
+// is commutative only up to rounding, so the mutated arrival-order tree
+// produces a bit-different R on some interleaving — the explorer must
+// catch the planted bug on a numerical operator, not just on the
+// token-concat witness.
+TEST(Mutation, PlantedOrderingBugIsCaughtOnTsqr) {
+  const Scenario scenario =
+      verify::mutation_scenario<rs::ops::TSQR>("tsqr", 3);
+  ExploreLimits limits;
+  limits.faults = false;
+  const Report report = verify::explore(scenario, limits);
+  ASSERT_FALSE(report.ok())
+      << "the planted ordering bug went undetected on TSQR across "
+      << report.stats.interleavings << " interleavings";
+  const verify::Violation& v = report.violations.front();
+  const verify::ExecutionResult replayed = verify::replay(scenario, v.trace);
+  EXPECT_TRUE(replayed.failed)
+      << "minimal trace did not reproduce: " << encode_trace(v.trace);
+}
+
 // The same mutated path is *correct* for a commutative operator — the
 // explorer must bless it, proving detection is about ordering semantics,
 // not about the unordered tree per se.
