@@ -26,7 +26,8 @@ inline const std::vector<int> kProcessorCounts = {1, 2, 4, 8, 16, 32, 64};
 inline double time_phase(
     int p, const mprt::CostModel& model,
     const std::function<void(mprt::Comm&)>& setup,
-    const std::function<void(mprt::Comm&)>& phase, int reps = 3) {
+    const std::function<void(mprt::Comm&)>& phase, int reps = 3,
+    const mprt::ExecPolicy& exec = {}) {
   double best = std::numeric_limits<double>::infinity();
   for (int r = 0; r < reps; ++r) {
     const auto result = mprt::run(
@@ -37,7 +38,7 @@ inline double time_phase(
           comm.clock().reset();
           phase(comm);
         },
-        model);
+        model, mprt::SimConfig{}, exec);
     if (result.makespan_s < best) best = result.makespan_s;
   }
   return best;

@@ -1,8 +1,19 @@
 #include "coll/nb/progress.hpp"
 
+#include "mprt/scheduler.hpp"
+
 namespace rsmpi::coll::nb {
 
 ProgressEngine& ProgressEngine::current() {
+  // A virtualized rank keeps its engine in its fiber slot: the worker's
+  // thread_local would interleave pending tables of every rank multiplexed
+  // onto it, and a fiber may migrate workers between launch and wait.
+  if (mprt::FiberSlot* slot = mprt::current_fiber_slot()) {
+    if (!slot->nb_engine) {
+      slot->nb_engine = std::make_shared<ProgressEngine>();
+    }
+    return *static_cast<ProgressEngine*>(slot->nb_engine.get());
+  }
   static thread_local ProgressEngine engine;
   return engine;
 }

@@ -31,6 +31,30 @@
 
 namespace rsmpi::rs::detail {
 
+/// Serializes `op` into a pooled buffer and move-sends it: after warm-up
+/// the whole send path performs zero heap allocations and zero payload
+/// copies (small states travel inline in the Message itself).  Lives here,
+/// beside its segmented analogue, so every schedule header (ring,
+/// hierarchical, state_exchange) sees one definition.
+template <Combinable Op>
+void send_state(mprt::Comm& comm, int dest, int tag, const Op& op) {
+  bytes::Writer w(comm.acquire_buffer(0));
+  save_op_into(op, w);
+  comm.send_bytes(dest, tag, std::move(w).take());
+}
+
+/// Folds a received serialized state into `op` (op = op (+) decode) and
+/// recycles the receive buffer into this rank's pool.
+template <Combinable Op>
+void combine_received_state(mprt::Comm& comm, Op& op, const Op& prototype,
+                            mprt::Message&& msg) {
+  {
+    auto timer = comm.compute_section();
+    combine_op_from_bytes(op, prototype, msg.payload());
+  }
+  comm.recycle_buffer(msg.release_storage());
+}
+
 /// Serializes the element range [lo, hi) of `op` into a pooled buffer and
 /// move-sends it: the segmented analogue of send_state, zero-copy after
 /// warm-up (and, with the size-class pool bins, reusing segment-sized

@@ -5,6 +5,7 @@
 #include <numeric>
 
 #include "mprt/runtime.hpp"
+#include "mprt/scheduler.hpp"
 
 namespace rsmpi::mprt {
 
@@ -94,11 +95,24 @@ void Comm::deliver(int dest, Message&& msg) {
   box.put(std::move(msg), fault.reorder_front);
 }
 
+void Comm::charge_send(int dest_global, std::size_t nbytes) {
+  const CostModel& m = cost_model();
+  state_->clock.advance(m.send_overhead_between(global_rank_, dest_global));
+  if (m.two_tier()) {
+    if (m.same_node(global_rank_, dest_global)) {
+      state_->intra_node_bytes += nbytes;
+    } else {
+      state_->inter_node_bytes += nbytes;
+    }
+  }
+}
+
 void Comm::send_bytes(int dest, int tag, std::span<const std::byte> payload) {
   check_dest(dest, size(), group_rank_);
   chaos_pre_send();
   const CostModel& m = cost_model();
-  state_->clock.advance(m.send_overhead_s);
+  const int dest_global = group_[static_cast<std::size_t>(dest)];
+  charge_send(dest_global, payload.size());
   if (payload.size() > Message::kInlineCapacity) {
     // The copy into a fresh heap buffer is the cost the move-based
     // overload exists to avoid; count it, and charge it *before* stamping
@@ -113,7 +127,9 @@ void Comm::send_bytes(int dest, int tag, std::span<const std::byte> payload) {
   msg.context = context_;
   msg.source = group_rank_;
   msg.tag = tag;
-  msg.arrival_vtime_s = state_->clock.now() + m.wire_time(payload.size());
+  msg.arrival_vtime_s =
+      state_->clock.now() +
+      m.wire_time_between(global_rank_, dest_global, payload.size());
   if (msg.assign_payload(payload)) {
     state_->sends_inline += 1;
   }
@@ -126,14 +142,17 @@ void Comm::send_bytes(int dest, int tag, std::span<const std::byte> payload) {
 void Comm::send_bytes(int dest, int tag, std::vector<std::byte>&& payload) {
   check_dest(dest, size(), group_rank_);
   chaos_pre_send();
-  const CostModel& m = cost_model();
-  state_->clock.advance(m.send_overhead_s);
+  const int dest_global = group_[static_cast<std::size_t>(dest)];
+  charge_send(dest_global, payload.size());
 
   Message msg;
   msg.context = context_;
   msg.source = group_rank_;
   msg.tag = tag;
-  msg.arrival_vtime_s = state_->clock.now() + m.wire_time(payload.size());
+  msg.arrival_vtime_s =
+      state_->clock.now() +
+      cost_model().wire_time_between(global_rank_, dest_global,
+                                     payload.size());
   const std::size_t nbytes = payload.size();
   std::vector<std::byte> leftover = msg.adopt_payload(std::move(payload));
   if (nbytes <= Message::kInlineCapacity) {
@@ -195,10 +214,20 @@ Message Comm::recv_message(int source, int tag) {
   }
   Message msg = take_blocking(source, tag);
   state_->clock.merge(msg.arrival_vtime_s);
-  state_->clock.advance(cost_model().recv_overhead_s);
+  state_->clock.advance(recv_overhead_from(msg.source));
   state_->recv_count += 1;
   state_->recv_bytes += msg.payload_size();
   return msg;
+}
+
+double Comm::recv_overhead_from(int source_group_rank) const {
+  // The message stamps its sender's group rank; resolve to a global rank so
+  // the tier decision matches the sender's (both key on global ranks).
+  if (source_group_rank < 0 || source_group_rank >= size()) {
+    return cost_model().recv_overhead_s;
+  }
+  return cost_model().recv_overhead_between(
+      global_rank_, group_[static_cast<std::size_t>(source_group_rank)]);
 }
 
 std::uint64_t Comm::duplicates_suppressed() const {
@@ -208,6 +237,27 @@ std::uint64_t Comm::duplicates_suppressed() const {
 SimStats Comm::sim_stats() const {
   if (ChaosController* chaos = runtime_.chaos()) return chaos->stats();
   return SimStats{};
+}
+
+std::uint64_t Comm::virtual_workers() const {
+  if (VirtualScheduler* sched = runtime_.scheduler()) {
+    return static_cast<std::uint64_t>(sched->workers());
+  }
+  return 0;
+}
+
+std::uint64_t Comm::parked_ranks() const {
+  if (VirtualScheduler* sched = runtime_.scheduler()) {
+    return static_cast<std::uint64_t>(sched->peak_parked());
+  }
+  return 0;
+}
+
+std::uint64_t Comm::park_events() const {
+  if (VirtualScheduler* sched = runtime_.scheduler()) {
+    return sched->park_events();
+  }
+  return 0;
 }
 
 ScheduleOracle* Comm::schedule_oracle() const {
@@ -244,7 +294,7 @@ std::optional<Message> Comm::try_recv_message(int source, int tag) {
   auto msg = runtime_.mailbox(global_rank_).try_take(context_, source, tag);
   if (msg.has_value()) {
     state_->clock.merge(msg->arrival_vtime_s);
-    state_->clock.advance(cost_model().recv_overhead_s);
+    state_->clock.advance(recv_overhead_from(msg->source));
     state_->recv_count += 1;
     state_->recv_bytes += msg->payload_size();
   }
@@ -263,7 +313,7 @@ std::optional<Message> Comm::try_recv_due(int source, int tag) {
     // receive overhead is charged — this is what makes polling between
     // compute chunks overlap communication with the compute.
     state_->clock.merge(msg->arrival_vtime_s);
-    state_->clock.advance(cost_model().recv_overhead_s);
+    state_->clock.advance(recv_overhead_from(msg->source));
     state_->recv_count += 1;
     state_->recv_bytes += msg->payload_size();
   }

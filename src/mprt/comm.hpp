@@ -97,6 +97,11 @@ struct RankState {
   std::uint64_t par_chunks = 0;
   std::uint64_t par_steals = 0;
   std::uint64_t par_threads = 0;  ///< max pool width over sections
+  // Two-level topology observability (ISSUE 10): payload bytes this rank
+  // sent to peers on the same modelled node vs across nodes.  Both stay 0
+  // when the cost model is flat (ranks_per_node <= 1).
+  std::uint64_t intra_node_bytes = 0;
+  std::uint64_t inter_node_bytes = 0;
 };
 
 /// Identity/status returned by receives that used wildcards.  `source` is
@@ -534,6 +539,24 @@ class Comm {
     return state_->par_threads;
   }
 
+  /// Payload bytes this rank sent to peers on the same modelled node /
+  /// across nodes (ISSUE 10).  Both stay 0 under a flat cost model.
+  [[nodiscard]] std::uint64_t intra_node_bytes() const {
+    return state_->intra_node_bytes;
+  }
+  [[nodiscard]] std::uint64_t inter_node_bytes() const {
+    return state_->inter_node_bytes;
+  }
+
+  /// Rank-virtualization snapshot (ISSUE 10): OS worker threads the ranks
+  /// are multiplexed onto, peak simultaneously-parked virtual ranks, and
+  /// total park transitions so far.  All 0 on the thread-per-rank path.
+  /// Engine-wide (not per-rank) counters, but readable mid-run without
+  /// communication, like the rest of the snapshot accessors.
+  [[nodiscard]] std::uint64_t virtual_workers() const;
+  [[nodiscard]] std::uint64_t parked_ranks() const;
+  [[nodiscard]] std::uint64_t park_events() const;
+
   /// Publishes a named metric from this rank; after the join, run() sums
   /// same-named entries across ranks into RunResult::user_stats.  Publish
   /// aggregates (e.g. once per run from a stat collector), not per-event
@@ -606,6 +629,13 @@ class Comm {
   /// Stamps the sequence number and enqueues `msg` at `dest`'s mailbox,
   /// applying the fault plan (drop/duplicate/delay/reorder) when active.
   void deliver(int dest, Message&& msg);
+
+  /// Charges the tier-resolved send overhead and counts the payload against
+  /// the intra-/inter-node byte counters (two-tier models only).
+  void charge_send(int dest_global, std::size_t nbytes);
+
+  /// Tier-resolved receive overhead for a message from `source_group_rank`.
+  [[nodiscard]] double recv_overhead_from(int source_group_rank) const;
 
   /// The blocking take behind recv_message: plain blocking wait, or
   /// retry/backoff slices under the rank's RecvDeadline.

@@ -69,6 +69,61 @@ struct CostModel {
     return latency_s + static_cast<double>(payload_bytes) * per_byte_s;
   }
 
+  // -- Two-level topology (ISSUE 10) ----------------------------------------
+  // Real clusters are nodes-of-cores: ranks sharing a node talk over shared
+  // memory, ranks on different nodes over the fabric.  Setting
+  // ranks_per_node > 1 maps rank r onto node r / ranks_per_node
+  // (contiguous blocks) and charges the intra_* parameters for same-node
+  // traffic; the flat parameters above become the *inter-node* tier.  The
+  // default of 1 keeps every existing experiment's timeline bit-identical.
+
+  /// Ranks per modelled node; <= 1 means a flat (single-tier) machine.
+  int ranks_per_node = 1;
+  /// Same-node (shared-memory class) parameters, used only when
+  /// ranks_per_node > 1.
+  double intra_send_overhead_s = 0.2e-6;
+  double intra_recv_overhead_s = 0.2e-6;
+  double intra_latency_s = 0.5e-6;
+  double intra_per_byte_s = 0.1e-9;
+  /// Per-message injection gap at a node's fabric port (LogGP g).  A node
+  /// has one port: when k ranks of the same node send inter-node in the
+  /// same schedule round, the port serializes them — each message pays the
+  /// shared wire k times over plus (k−1) gaps.  This is why leader-based
+  /// hierarchical schedules win at scale even though a contiguous rank map
+  /// makes the early rounds of flat power-of-two schedules intra-node.
+  /// Only the closed-form ScheduleCost predictions charge it (the per-rank
+  /// simulator clocks cannot observe sibling ranks' concurrent sends);
+  /// 0 disables the effect.
+  double inter_gap_s = 0.0;
+
+  [[nodiscard]] bool two_tier() const { return ranks_per_node > 1; }
+
+  /// Node housing global rank `rank` (identity when flat).
+  [[nodiscard]] int node_of(int rank) const {
+    return two_tier() ? rank / ranks_per_node : rank;
+  }
+
+  [[nodiscard]] bool same_node(int a, int b) const {
+    return two_tier() && node_of(a) == node_of(b);
+  }
+
+  /// Tier-resolved parameters for a message between two *global* ranks.
+  /// Bit-identical to the flat accessors when the model is single-tier.
+  [[nodiscard]] double wire_time_between(int a, int b,
+                                         std::size_t payload_bytes) const {
+    if (same_node(a, b)) {
+      return intra_latency_s +
+             static_cast<double>(payload_bytes) * intra_per_byte_s;
+    }
+    return wire_time(payload_bytes);
+  }
+  [[nodiscard]] double send_overhead_between(int a, int b) const {
+    return same_node(a, b) ? intra_send_overhead_s : send_overhead_s;
+  }
+  [[nodiscard]] double recv_overhead_between(int a, int b) const {
+    return same_node(a, b) ? intra_recv_overhead_s : recv_overhead_s;
+  }
+
   /// A model in which communication is free; virtual time then measures
   /// pure computation.  Used by unit tests that check clock plumbing.
   static CostModel free() {
@@ -116,6 +171,20 @@ struct CostModel {
     m.per_byte_s = 0.1e-9;
     return m;
   }
+
+  /// Cluster of SMP nodes: infiniband-class fabric between nodes,
+  /// shared-memory transport inside each `rpn`-rank node.  The asymmetry
+  /// (4x latency, 10x bandwidth between tiers) is what makes hierarchical
+  /// schedules win at scale.
+  static CostModel cluster_of_smp(int rpn) {
+    CostModel m = infiniband();
+    m.ranks_per_node = rpn < 1 ? 1 : rpn;
+    m.intra_send_overhead_s = m.intra_recv_overhead_s = 0.2e-6;
+    m.intra_latency_s = 0.5e-6;
+    m.intra_per_byte_s = 0.1e-9;
+    m.inter_gap_s = 0.3e-6;
+    return m;
+  }
 };
 
 /// Closed-form critical-path predictions for the state-allreduce schedules
@@ -131,54 +200,181 @@ struct CostModel {
 /// schedule-independent to first order) and model only the p > 1 case —
 /// callers short-circuit p == 1 before dispatching.
 struct ScheduleCost {
-  /// One message hop of b payload bytes under `m`.
+  /// One message hop of b payload bytes under `m`'s flat (inter-node)
+  /// parameters.
   [[nodiscard]] static double hop(const CostModel& m, std::size_t b) {
     return m.send_overhead_s + m.latency_s +
            static_cast<double>(b) * m.per_byte_s + m.recv_overhead_s;
   }
 
-  /// Reduce-to-zero + broadcast, whole state on every tree edge:
-  /// 2·ceil(log2 p) sequential full-state hops.
-  [[nodiscard]] static double two_message(const CostModel& m, int p,
-                                          std::size_t bytes) {
-    return 2.0 * ceil_log2(p) * hop(m, bytes);
+  /// One same-node hop under a two-tier model.
+  [[nodiscard]] static double hop_intra(const CostModel& m, std::size_t b) {
+    return m.intra_send_overhead_s + m.intra_latency_s +
+           static_cast<double>(b) * m.intra_per_byte_s +
+           m.intra_recv_overhead_s;
   }
 
-  /// Recursive-doubling butterfly: log2(p2) full-state exchange rounds,
-  /// plus a fold-in and a fold-out full-state hop when p is not a power of
-  /// two (p2 = largest power of two <= p).
+  /// One inter-node hop whose node port is shared by `senders` concurrent
+  /// same-node senders this round: the port serializes their wire time and
+  /// charges a LogGP gap between injections.  senders == 1 is exactly
+  /// hop().
+  [[nodiscard]] static double hop_inter_shared(const CostModel& m,
+                                               std::size_t b, int senders) {
+    const double k = senders < 1 ? 1.0 : static_cast<double>(senders);
+    return m.send_overhead_s + m.latency_s +
+           k * static_cast<double>(b) * m.per_byte_s +
+           (k - 1.0) * m.inter_gap_s + m.recv_overhead_s;
+  }
+
+  /// One hop between ranks `distance` apart in the contiguous node map:
+  /// intra-node when the exchange distance fits inside a node (exact for
+  /// power-of-two ranks_per_node, the case the presets use), inter-node
+  /// otherwise.  `senders` is how many ranks per node inject inter-node in
+  /// the same round (port contention; 1 = contention-free).  Collapses to
+  /// hop() on a flat model, keeping every single-tier prediction
+  /// bit-identical to the pre-tier formulas.
+  [[nodiscard]] static double hop_at(const CostModel& m, int distance,
+                                     std::size_t b, int senders = 1) {
+    if (m.two_tier() && distance < m.ranks_per_node) return hop_intra(m, b);
+    return hop_inter_shared(m, b, senders);
+  }
+
+  /// Reduce-to-zero + broadcast, whole state on every tree edge: one hop
+  /// per tree level each way, the level-k edges spanning distance 2^k.
+  /// Contention-free: by the time a binomial level spans nodes, at most
+  /// one rank per node is still live (power-of-two ranks_per_node).
+  [[nodiscard]] static double two_message(const CostModel& m, int p,
+                                          std::size_t bytes) {
+    if (!m.two_tier()) return 2.0 * ceil_log2(p) * hop(m, bytes);
+    double t = 0.0;
+    for (int k = 0; k < ceil_log2(p); ++k) {
+      t += 2.0 * hop_at(m, 1 << k, bytes);
+    }
+    return t;
+  }
+
+  /// Recursive-doubling butterfly: log2(p2) full-state exchange rounds at
+  /// distances 1, 2, ..., p2/2, plus a fold-in and a fold-out full-state
+  /// hop to an adjacent rank when p is not a power of two (p2 = largest
+  /// power of two <= p).
   [[nodiscard]] static double butterfly(const CostModel& m, int p,
                                         std::size_t bytes) {
     const int p2 = 1 << floor_log2_i(p);
-    double t = floor_log2_i(p2) * hop(m, bytes);
-    if (p != p2) t += 2.0 * hop(m, bytes);
+    if (!m.two_tier()) {
+      double t = floor_log2_i(p2) * hop(m, bytes);
+      if (p != p2) t += 2.0 * hop(m, bytes);
+      return t;
+    }
+    // Every rank is active in every butterfly round, so the inter-node
+    // rounds drive all ranks_per_node ranks through each node's one port.
+    double t = 0.0;
+    for (int d = 1; d < p2; d *= 2) {
+      t += hop_at(m, d, bytes, m.ranks_per_node);
+    }
+    if (p != p2) t += 2.0 * hop_at(m, 1, bytes);
     return t;
   }
 
   /// Chunked Rabenseifner (recursive halving + recursive doubling): each
   /// of the log2(p2) levels moves half, quarter, ... of the state twice
   /// (once per phase), plus two whole-state hops to fold non-power-of-two
-  /// remainders in and out.
+  /// remainders in and out.  The (distance, bytes) pairing mirrors the
+  /// implementation's reduce-scatter loop: the first exchange pairs the
+  /// widest distance p2/2 with half the state, halving both each level.
   [[nodiscard]] static double rabenseifner(const CostModel& m, int p,
                                            std::size_t bytes) {
     const int p2 = 1 << floor_log2_i(p);
+    double t = 0.0;
+    std::size_t b = bytes;
+    // Like the butterfly, every rank exchanges in every round, so the
+    // inter-node levels contend for each node's port.
+    for (int d = p2 / 2; d >= 1; d /= 2) {
+      b /= 2;
+      t += 2.0 * hop_at(m, d, b, m.ranks_per_node);
+    }
+    if (p != p2) t += 2.0 * hop_at(m, 1, bytes);
+    return t;
+  }
+
+  /// Ring reduce-scatter + allgather: 2·(p−1) hops of one chunk (~n/p
+  /// bytes) each — bandwidth-optimal volume, latency-heavy at large p.
+  /// Under a two-tier model the chain of neighbour hops crosses a node
+  /// boundary only where the contiguous blocks meet: at most
+  /// min(#nodes, p−1) of each phase's p−1 hops are inter-node.
+  [[nodiscard]] static double ring(const CostModel& m, int p,
+                                   std::size_t bytes) {
+    const std::size_t chunk =
+        (bytes + static_cast<std::size_t>(p) - 1) / static_cast<std::size_t>(p);
+    if (!m.two_tier()) return 2.0 * (p - 1) * hop(m, chunk);
+    const int rpn = m.ranks_per_node;
+    const int nnodes = (p + rpn - 1) / rpn;
+    const int inter = nnodes < p - 1 ? nnodes : p - 1;
+    const int intra = (p - 1) - inter;
+    return 2.0 * (intra * hop_intra(m, chunk) + inter * hop(m, chunk));
+  }
+
+  /// Leader-tier segmented ring over the node leaders (reduce-scatter +
+  /// allgather of one per-leader chunk), all hops inter-node.  Exposed so
+  /// the hierarchical implementation makes the same ring-vs-binomial
+  /// choice as this model.
+  [[nodiscard]] static double hierarchical_leader_ring(const CostModel& m,
+                                                       int nnodes,
+                                                       std::size_t bytes) {
+    if (nnodes <= 1) return 0.0;
+    const std::size_t chunk = (bytes + static_cast<std::size_t>(nnodes) - 1) /
+                              static_cast<std::size_t>(nnodes);
+    return 2.0 * (nnodes - 1) * hop(m, chunk);
+  }
+
+  /// Leader-tier chunked Rabenseifner over the node leaders: recursive
+  /// halving + doubling with halving segment sizes, all hops inter-node,
+  /// plus two whole-state hops folding non-power-of-two node counts in and
+  /// out.  Log-latency AND bandwidth-optimal — the usual winner once the
+  /// leader count itself is large.
+  [[nodiscard]] static double hierarchical_leader_rabenseifner(
+      const CostModel& m, int nnodes, std::size_t bytes) {
+    if (nnodes <= 1) return 0.0;
+    const int p2 = 1 << floor_log2_i(nnodes);
     double t = 0.0;
     std::size_t b = bytes;
     for (int d = p2 / 2; d >= 1; d /= 2) {
       b /= 2;
       t += 2.0 * hop(m, b);
     }
-    if (p != p2) t += 2.0 * hop(m, bytes);
+    if (nnodes != p2) t += 2.0 * hop(m, bytes);
     return t;
   }
 
-  /// Ring reduce-scatter + allgather: 2·(p−1) hops of one chunk (~n/p
-  /// bytes) each — bandwidth-optimal volume, latency-heavy at large p.
-  [[nodiscard]] static double ring(const CostModel& m, int p,
-                                   std::size_t bytes) {
-    const std::size_t chunk =
-        (bytes + static_cast<std::size_t>(p) - 1) / static_cast<std::size_t>(p);
-    return 2.0 * (p - 1) * hop(m, chunk);
+  /// Leader-tier whole-state binomial reduce + broadcast, all hops
+  /// inter-node.  The order-preserving option — the only one legal for
+  /// noncommutative operators.
+  [[nodiscard]] static double hierarchical_leader_binomial(
+      const CostModel& m, int nnodes, std::size_t bytes) {
+    if (nnodes <= 1) return 0.0;
+    return 2.0 * ceil_log2(nnodes) * hop(m, bytes);
+  }
+
+  /// Two-level allreduce: binomial reduce to the node leader (intra),
+  /// allreduce among leaders (inter; cheapest of segmented ring, chunked
+  /// Rabenseifner, and binomial reduce+bcast), binomial broadcast back
+  /// (intra).  `seg_ok` gates the segmented leader options — they
+  /// partition the state and fold chunks out of rank order, so they are
+  /// only available for partitionable commutative operators.
+  [[nodiscard]] static double hierarchical(const CostModel& m, int p,
+                                           std::size_t bytes,
+                                           bool seg_ok = true) {
+    const int rpn = m.two_tier() ? m.ranks_per_node : 1;
+    const int s = rpn < p ? rpn : p;
+    const int nnodes = (p + rpn - 1) / rpn;
+    double t = 2.0 * ceil_log2(s) * hop_intra(m, bytes);
+    double leader = hierarchical_leader_binomial(m, nnodes, bytes);
+    if (seg_ok) {
+      const double ring_t = hierarchical_leader_ring(m, nnodes, bytes);
+      const double rab_t = hierarchical_leader_rabenseifner(m, nnodes, bytes);
+      if (ring_t < leader) leader = ring_t;
+      if (rab_t < leader) leader = rab_t;
+    }
+    return t + leader;
   }
 
   /// Pipelined binomial reduce to rank 0, fill + drain.  Wire time (L +
@@ -214,14 +410,16 @@ struct ScheduleCost {
   }
 
  private:
+  // 1LL shifts: at n near INT_MAX an int shift would overflow to UB before
+  // the loop terminates (ISSUE 10 guards for p in the thousands and beyond).
   [[nodiscard]] static constexpr int floor_log2_i(int n) {
     int k = 0;
-    while ((1 << (k + 1)) <= n) ++k;
+    while ((1LL << (k + 1)) <= n) ++k;
     return k;
   }
   [[nodiscard]] static constexpr int ceil_log2(int n) {
     int k = 0;
-    while ((1 << k) < n) ++k;
+    while ((1LL << k) < n) ++k;
     return k;
   }
   [[nodiscard]] static constexpr std::size_t segment_count(

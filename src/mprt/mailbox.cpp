@@ -41,6 +41,7 @@ void Mailbox::put(Message msg, bool front) {
   // notify_all rather than notify_one: only the owner blocks in take(), but
   // it may be woken spuriously by non-matching messages and must re-check.
   cv_.notify_all();
+  if (waiter_ != nullptr) waiter_->wake();
 }
 
 std::size_t Mailbox::select_locked(std::int64_t context, int source, int tag,
@@ -178,22 +179,49 @@ Message Mailbox::take_monitored(std::int64_t context, int source, int tag,
   }
 }
 
+void Mailbox::wait_for_event_locked(
+    std::unique_lock<std::mutex>& lock,
+    const std::chrono::steady_clock::time_point* deadline, const char* what) {
+  if (waiter_ != nullptr) {
+    if (waiter_->deadlock_declared()) {
+      throw DeadlockError(
+          std::string("mailbox: every live rank is parked with no "
+                      "deliverable message (global deadlock detected by the "
+                      "virtualized scheduler while ") +
+          what + ")");
+    }
+    // The park may return spuriously (deadline, deadlock wake, stale
+    // notify); the caller's loop re-checks its predicate, and re-entering
+    // here converts a deadlock declaration into the throw above.
+    waiter_->park(lock, deadline);
+    return;
+  }
+  const std::uint64_t seen = events_;
+  const auto pred = [&] {
+    return aborted_ || events_ != seen || relevant_lost_locked() >= 0;
+  };
+  if (deadline != nullptr) {
+    cv_.wait_until(lock, *deadline, pred);
+  } else {
+    cv_.wait(lock, pred);
+  }
+}
+
 Message Mailbox::take(std::int64_t context, int source, int tag) {
   std::unique_lock lock(mutex_);
   if (monitor_ != nullptr) return take_monitored(context, source, tag, lock);
-  std::size_t idx = npos;
-  cv_.wait(lock, [&] {
-    if (aborted_ || relevant_lost_locked() >= 0) return true;
-    idx = select_locked(context, source, tag, nullptr);
-    return idx != npos;
-  });
-  if (aborted_ || relevant_lost_locked() >= 0) {
-    // One last look: a match that is already queued is still deliverable
-    // even when a (different) peer died.
-    idx = aborted_ ? npos : select_locked(context, source, tag, nullptr);
-    throw_if_dead_locked(idx != npos);
+  for (;;) {
+    const std::size_t idx =
+        aborted_ ? npos : select_locked(context, source, tag, nullptr);
+    if (aborted_ || relevant_lost_locked() >= 0) {
+      // A match that is already queued is still deliverable even when a
+      // (different) peer died; abort and matchless loss throw here.
+      throw_if_dead_locked(idx != npos);
+      return remove_locked(idx);
+    }
+    if (idx != npos) return remove_locked(idx);
+    wait_for_event_locked(lock, nullptr, "waiting for a message");
   }
-  return remove_locked(idx);
 }
 
 std::optional<Message> Mailbox::take_for(std::int64_t context, int source,
@@ -202,19 +230,17 @@ std::optional<Message> Mailbox::take_for(std::int64_t context, int source,
                         std::chrono::duration_cast<std::chrono::steady_clock::duration>(
                             std::chrono::duration<double>(timeout_s));
   std::unique_lock lock(mutex_);
-  std::size_t idx = npos;
-  const bool matched = cv_.wait_until(lock, deadline, [&] {
-    if (aborted_ || relevant_lost_locked() >= 0) return true;
-    idx = select_locked(context, source, tag, nullptr);
-    return idx != npos;
-  });
-  if (aborted_ || relevant_lost_locked() >= 0) {
-    idx = aborted_ ? npos : select_locked(context, source, tag, nullptr);
-    throw_if_dead_locked(idx != npos);
-    return remove_locked(idx);
+  for (;;) {
+    const std::size_t idx =
+        aborted_ ? npos : select_locked(context, source, tag, nullptr);
+    if (aborted_ || relevant_lost_locked() >= 0) {
+      throw_if_dead_locked(idx != npos);
+      return remove_locked(idx);
+    }
+    if (idx != npos) return remove_locked(idx);
+    if (std::chrono::steady_clock::now() >= deadline) return std::nullopt;
+    wait_for_event_locked(lock, &deadline, "waiting for a message");
   }
-  if (!matched) return std::nullopt;
-  return remove_locked(idx);
 }
 
 std::optional<Message> Mailbox::try_take(std::int64_t context, int source,
@@ -264,6 +290,7 @@ void Mailbox::abort() {
     ++events_;
   }
   cv_.notify_all();
+  if (waiter_ != nullptr) waiter_->wake();
 }
 
 void Mailbox::notify_peer_lost(int global_rank) {
@@ -275,6 +302,7 @@ void Mailbox::notify_peer_lost(int global_rank) {
     ++events_;
   }
   cv_.notify_all();
+  if (waiter_ != nullptr) waiter_->wake();
 }
 
 std::uint64_t Mailbox::event_count() const {
@@ -283,6 +311,21 @@ std::uint64_t Mailbox::event_count() const {
 }
 
 void Mailbox::idle_wait(std::uint64_t seen_events) {
+  if (waiter_ != nullptr) {
+    // Virtualized owner: a yield here would spin the worker (the sender it
+    // waits on may be queued behind it on the same worker) — park instead.
+    // `seen_events` predates the caller's fruitless blocking-mode progress
+    // pass, so a newer event means a message may have arrived mid-pass.
+    std::unique_lock lock(mutex_);
+    for (;;) {
+      if (aborted_) {
+        throw AbortError(
+            "mailbox: runtime aborted while waiting for progress");
+      }
+      if (events_ != seen_events) return;
+      wait_for_event_locked(lock, nullptr, "polling nonblocking operations");
+    }
+  }
   if (monitor_ == nullptr) {
     std::this_thread::yield();
     return;
@@ -329,6 +372,7 @@ void Mailbox::wake_for_starvation() {
     ++events_;
   }
   cv_.notify_all();
+  if (waiter_ != nullptr) waiter_->wake();
 }
 
 std::vector<int> Mailbox::lost_peers() const {
@@ -345,6 +389,7 @@ void Mailbox::set_peer_loss_scope(std::optional<std::vector<int>> global_ranks) 
   // blocked take (not the normal usage — the owner sets its own scope while
   // not blocked — but the wake keeps the primitive safe either way).
   cv_.notify_all();
+  if (waiter_ != nullptr) waiter_->wake();
 }
 
 }  // namespace rsmpi::mprt

@@ -2,6 +2,7 @@
 // (source, tag) matching, wildcard receives, and abort-aware blocking.
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -76,6 +77,37 @@ class StarvationMonitor {
   std::atomic<int> active_;
   std::atomic<std::uint64_t> version_{0};
   std::atomic<bool> starved_{false};
+};
+
+/// Park/resume endpoint of one virtual rank (ISSUE 10).  When the runtime
+/// multiplexes many ranks onto a worker pool, blocking a mailbox wait on
+/// the condition variable would stall a whole worker; instead the mailbox
+/// routes the wait through this hook, which suspends the owning fiber and
+/// hands the worker to another rank.  Implemented by the scheduler
+/// (mprt/scheduler.cpp); the mailbox stays ignorant of fibers.
+class RankWaiter {
+ public:
+  virtual ~RankWaiter() = default;
+
+  /// Suspends the owning rank until wake() (or the optional deadline, or a
+  /// scheduler-wide deadlock declaration).  Called by the owning rank with
+  /// its mailbox lock held via `lock`; the implementation releases the
+  /// lock across the suspension and reacquires it before returning.  May
+  /// return spuriously — callers re-check their predicate in a loop.
+  virtual void park(std::unique_lock<std::mutex>& lock,
+                    const std::chrono::steady_clock::time_point* deadline) = 0;
+
+  /// Makes the owning rank runnable (idempotent; callable from any thread;
+  /// the caller must not hold the mailbox lock).  A wake that races the
+  /// park is never lost: the gate protocol turns it into an immediate
+  /// re-run of the parking rank.
+  virtual void wake() = 0;
+
+  /// True once the scheduler has proven no parked rank can ever be woken
+  /// (every live rank parked, no timers pending).  Mailbox wait loops
+  /// convert this into DeadlockError — the virtualized runtime's exact
+  /// replacement for the verify tier's timing-based starvation monitor.
+  [[nodiscard]] virtual bool deadlock_declared() const = 0;
 };
 
 /// Thread-safe mailbox owned by one rank.  Any rank may `put`; only the
@@ -199,6 +231,16 @@ class Mailbox {
   /// caller must not hold this mailbox's lock.
   void wake_for_starvation();
 
+  // -- Rank virtualization hook (ISSUE 10) -----------------------------------
+
+  /// Installs the owner's park/resume endpoint: blocking waits then
+  /// suspend the owning fiber instead of sleeping on the condition
+  /// variable, and every event that notifies the condition variable also
+  /// wakes the fiber.  Set once before the run's workers start and cleared
+  /// after they join; mutually exclusive with the starvation monitor
+  /// (oracle-mode runs stay on dedicated threads).
+  void set_rank_waiter(RankWaiter* waiter) { waiter_ = waiter; }
+
  private:
   /// Sender-stream identity; the unit of ordering and deduplication.
   struct StreamKey {
@@ -242,12 +284,23 @@ class Mailbox {
   Message take_monitored(std::int64_t context, int source, int tag,
                          std::unique_lock<std::mutex>& lock);
 
+  /// Blocks (holding `lock`) until this mailbox sees any event newer than
+  /// the caller's last look: fiber park when a RankWaiter is installed,
+  /// condition-variable wait otherwise.  Returns with the lock held; the
+  /// caller re-checks its predicate.  Throws DeadlockError when the
+  /// scheduler has declared a global deadlock.
+  void wait_for_event_locked(
+      std::unique_lock<std::mutex>& lock,
+      const std::chrono::steady_clock::time_point* deadline,
+      const char* what);
+
   static constexpr std::size_t npos = static_cast<std::size_t>(-1);
 
   mutable std::mutex mutex_;
   std::condition_variable cv_;
   std::deque<Message> queue_;
   StarvationMonitor* monitor_ = nullptr;
+  RankWaiter* waiter_ = nullptr;  // virtualized-owner park/resume endpoint
   bool deterministic_wildcard_ = false;
   std::uint64_t events_ = 0;  // bumped on every put/abort/loss, for idle_wait
   std::unordered_map<StreamKey, std::uint64_t, StreamKeyHash> delivered_;

@@ -4,6 +4,7 @@
 #include <exception>
 #include <thread>
 
+#include "mprt/scheduler.hpp"
 #include "util/error.hpp"
 
 namespace rsmpi::mprt {
@@ -19,6 +20,11 @@ struct CurrentCommGuard {
 }  // namespace
 
 Comm& this_comm() {
+  // Virtualized ranks carry their communicator in the fiber slot — the
+  // worker's thread_local would be shared by every rank multiplexed onto it.
+  if (FiberSlot* slot = current_fiber_slot()) {
+    if (slot->comm != nullptr) return *slot->comm;
+  }
   if (t_current_comm == nullptr) {
     throw Error("this_comm: no rank is active on this thread (only valid "
                 "inside a run() body)");
@@ -86,7 +92,8 @@ void Runtime::note_rank_finished(int global_rank) {
 }
 
 RunResult run(int num_ranks, const std::function<void(Comm&)>& body,
-              const CostModel& model, const SimConfig& sim) {
+              const CostModel& model, const SimConfig& sim,
+              const ExecPolicy& exec) {
   Runtime runtime(num_ranks, model, sim);
 
   std::vector<std::unique_ptr<Comm>> comms;
@@ -96,35 +103,67 @@ RunResult run(int num_ranks, const std::function<void(Comm&)>& body,
   }
 
   std::vector<std::exception_ptr> errors(static_cast<std::size_t>(num_ranks));
-  std::vector<std::thread> threads;
-  threads.reserve(static_cast<std::size_t>(num_ranks));
 
-  for (int r = 0; r < num_ranks; ++r) {
-    threads.emplace_back([&, r] {
-      // Fires on every exit path (return, kill, abort): under the
-      // starvation monitor this rank's departure may leave the remainder
-      // all-blocked, and the finishing thread is the one that must notice.
-      struct FinishGuard {
-        Runtime& rt;
-        int rank;
-        ~FinishGuard() { rt.note_rank_finished(rank); }
-      } finish{runtime, r};
-      try {
-        CurrentCommGuard guard(*comms[static_cast<std::size_t>(r)]);
-        body(*comms[static_cast<std::size_t>(r)]);
-      } catch (const RankKilledError&) {
-        // A fault-plan kill is a modelled failure, not a teardown: peers
-        // get the typed PeerLostError (and may handle it and continue)
-        // rather than the indiscriminate abort.
-        errors[static_cast<std::size_t>(r)] = std::current_exception();
-        runtime.notify_peer_lost(r);
-      } catch (...) {
-        errors[static_cast<std::size_t>(r)] = std::current_exception();
-        runtime.abort_all();
+  // One rank's body plus its error discipline, shared by both execution
+  // modes.  Fires note_rank_finished on every exit path (return, kill,
+  // abort): under the starvation monitor this rank's departure may leave
+  // the remainder all-blocked, and the finishing context must notice.
+  const auto rank_main = [&](int r) {
+    struct FinishGuard {
+      Runtime& rt;
+      int rank;
+      ~FinishGuard() { rt.note_rank_finished(rank); }
+    } finish{runtime, r};
+    try {
+      Comm& comm = *comms[static_cast<std::size_t>(r)];
+      if (FiberSlot* slot = current_fiber_slot()) {
+        slot->comm = &comm;
+        body(comm);
+      } else {
+        CurrentCommGuard guard(comm);
+        body(comm);
       }
-    });
+    } catch (const RankKilledError&) {
+      // A fault-plan kill is a modelled failure, not a teardown: peers
+      // get the typed PeerLostError (and may handle it and continue)
+      // rather than the indiscriminate abort.
+      errors[static_cast<std::size_t>(r)] = std::current_exception();
+      runtime.notify_peer_lost(r);
+    } catch (...) {
+      errors[static_cast<std::size_t>(r)] = std::current_exception();
+      runtime.abort_all();
+    }
+  };
+
+  // Oracle-driven (model-checking) runs own rank scheduling through the
+  // starvation monitor; they always use thread-per-rank.
+  int workers = exec.workers < 0 ? VirtualScheduler::workers_from_env()
+                                 : exec.workers;
+  if (runtime.monitor() != nullptr) workers = 0;
+
+  RunResult result;
+  if (workers > 0) {
+    VirtualScheduler sched(num_ranks, workers, exec.stack_bytes);
+    for (int r = 0; r < num_ranks; ++r) {
+      runtime.mailbox(r).set_rank_waiter(&sched.waiter(r));
+    }
+    runtime.set_scheduler(&sched);
+    sched.run(rank_main);
+    runtime.set_scheduler(nullptr);
+    for (int r = 0; r < num_ranks; ++r) {
+      runtime.mailbox(r).set_rank_waiter(nullptr);
+    }
+    result.workers = static_cast<std::uint64_t>(sched.workers());
+    result.parked_ranks = static_cast<std::uint64_t>(sched.peak_parked());
+    result.park_events = sched.park_events();
+  } else {
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<std::size_t>(num_ranks));
+    for (int r = 0; r < num_ranks; ++r) {
+      threads.emplace_back([&rank_main, r] { rank_main(r); });
+    }
+    for (auto& t : threads) t.join();
   }
-  for (auto& t : threads) t.join();
 
   // Rethrow the first real (non-cascade) failure, preferring low ranks so
   // the reported error is deterministic.  AbortError/PeerLostError on a
@@ -145,7 +184,6 @@ RunResult run(int num_ranks, const std::function<void(Comm&)>& body,
   }
   if (symptom_only) std::rethrow_exception(symptom_only);
 
-  RunResult result;
   result.rank_times_s.reserve(static_cast<std::size_t>(num_ranks));
   for (int r = 0; r < num_ranks; ++r) {
     const RankState& s = runtime.rank_state(r);
@@ -161,6 +199,8 @@ RunResult run(int num_ranks, const std::function<void(Comm&)>& body,
     result.local_sections += s.par_sections;
     result.local_chunks += s.par_chunks;
     result.local_steals += s.par_steals;
+    result.intra_node_bytes += s.intra_node_bytes;
+    result.inter_node_bytes += s.inter_node_bytes;
     if (s.par_threads > result.local_threads) {
       result.local_threads = s.par_threads;
     }
@@ -175,6 +215,19 @@ RunResult run(int num_ranks, const std::function<void(Comm&)>& body,
     result.user_stats["par.steals"] += static_cast<double>(result.local_steals);
     result.user_stats["par.threads"] +=
         static_cast<double>(result.local_threads);
+  }
+  if (result.workers > 0) {
+    result.user_stats["rt.workers"] += static_cast<double>(result.workers);
+    result.user_stats["rt.parked_ranks"] +=
+        static_cast<double>(result.parked_ranks);
+    result.user_stats["rt.park_events"] +=
+        static_cast<double>(result.park_events);
+  }
+  if (model.two_tier()) {
+    result.user_stats["tier.intra_bytes"] +=
+        static_cast<double>(result.intra_node_bytes);
+    result.user_stats["tier.inter_bytes"] +=
+        static_cast<double>(result.inter_node_bytes);
   }
   if (ChaosController* chaos = runtime.chaos()) {
     result.sim = chaos->stats();

@@ -1,4 +1,6 @@
-// The virtual machine: spawns one thread per rank and wires their mailboxes.
+// The virtual machine: runs rank bodies against wired mailboxes — one OS
+// thread per rank by default, or many virtual ranks multiplexed onto a
+// small worker pool (ISSUE 10, RSMPI_WORKERS / ExecPolicy).
 #pragma once
 
 #include <functional>
@@ -13,6 +15,8 @@
 #include "mprt/sim.hpp"
 
 namespace rsmpi::mprt {
+
+class VirtualScheduler;
 
 /// Owns the shared state of one parallel execution: mailboxes, per-rank
 /// clocks/counters, the cost model, and (when a fault plan is active) the
@@ -45,6 +49,14 @@ class Runtime {
   /// (model-checking) runs.
   [[nodiscard]] StarvationMonitor* monitor() { return monitor_.get(); }
 
+  /// The virtualized run's fiber scheduler, or nullptr on the
+  /// thread-per-rank path.  Installed by run() for the duration of the
+  /// worker pool's execution so mid-run stat readers (Comm accessors,
+  /// RSMPI_GetStats) can snapshot the park counters; its counters are
+  /// safe to read from rank fibers while the pool is live.
+  void set_scheduler(VirtualScheduler* sched) { scheduler_ = sched; }
+  [[nodiscard]] VirtualScheduler* scheduler() const { return scheduler_; }
+
   /// Records that `global_rank`'s body returned or threw (any cause).
   /// Under the starvation monitor this may complete a global deadlock of
   /// the remaining ranks; the finishing thread confirms and wakes them so
@@ -57,6 +69,7 @@ class Runtime {
   CostModel model_;
   std::unique_ptr<ChaosController> chaos_;
   std::unique_ptr<StarvationMonitor> monitor_;
+  VirtualScheduler* scheduler_ = nullptr;
 };
 
 /// Result of one parallel execution.
@@ -97,6 +110,31 @@ struct RunResult {
   /// by name across ranks — how service-layer collectors (svc::
   /// StatCollector) surface their aggregates through the run result.
   std::map<std::string, double> user_stats;
+  /// Rank-virtualization counters (ISSUE 10; all 0 on the legacy
+  /// thread-per-rank path): OS worker threads the ranks were multiplexed
+  /// onto, peak simultaneously-parked virtual ranks, and total park
+  /// transitions through the scheduler gate.  Mirrored into user_stats as
+  /// "rt.workers" / "rt.parked_ranks" / "rt.park_events" when virtualized.
+  std::uint64_t workers = 0;
+  std::uint64_t parked_ranks = 0;
+  std::uint64_t park_events = 0;
+  /// Per-tier traffic split (two-level topology; both 0 unless the cost
+  /// model sets ranks_per_node > 1): payload bytes sent between ranks
+  /// sharing a modelled node vs crossing nodes.  Mirrored into user_stats
+  /// as "tier.intra_bytes" / "tier.inter_bytes" when the model is tiered.
+  std::uint64_t intra_node_bytes = 0;
+  std::uint64_t inter_node_bytes = 0;
+};
+
+/// How run() executes its ranks (ISSUE 10).
+struct ExecPolicy {
+  /// OS worker threads to multiplex the ranks onto: -1 reads RSMPI_WORKERS
+  /// (unset/0 keeps thread-per-rank), 0 forces thread-per-rank, >= 1
+  /// forces that many workers.  Oracle-driven (model-checking) runs always
+  /// use threads regardless — the verify explorer owns rank scheduling.
+  int workers = -1;
+  /// Per-fiber stack size; 0 reads RSMPI_STACK_BYTES (default 256 KiB).
+  std::size_t stack_bytes = 0;
 };
 
 /// Runs `body` on `num_ranks` ranks, each a thread with its own world
@@ -107,7 +145,8 @@ struct RunResult {
 /// from the config's seed, so failures replay exactly.
 RunResult run(int num_ranks, const std::function<void(Comm&)>& body,
               const CostModel& model = CostModel{},
-              const SimConfig& sim = SimConfig{});
+              const SimConfig& sim = SimConfig{},
+              const ExecPolicy& exec = ExecPolicy{});
 
 /// The calling thread's world communicator, set for the duration of its
 /// run() body — the analogue of MPI_COMM_WORLD being implicitly

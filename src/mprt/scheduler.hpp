@@ -1,0 +1,105 @@
+// Virtual-rank scheduler (ISSUE 10): multiplexes many rank fibers onto a
+// small pool of OS worker threads.
+//
+// Execution model.  Each virtual rank is a Fiber (mprt/fiber.hpp) that a
+// worker resumes off a shared FIFO ready queue.  A rank runs until its
+// blocking mailbox wait finds nothing deliverable, at which point the
+// mailbox's RankWaiter hook parks the fiber: the worker gets it back via
+// swapcontext and picks up the next ready rank.  A sender's Mailbox::put
+// wakes the parked receiver through the same hook, requeueing its fiber —
+// possibly onto a different worker; fibers migrate freely.
+//
+// The park/wake race is resolved by a three-state gate per fiber
+// (idle / notified / parked):
+//   * wake():   prev = gate.exchange(notified); if prev == parked, requeue.
+//   * scheduler, after the fiber switches out: CAS(idle -> parked); on
+//     failure a wake landed mid-switch — reset to idle and requeue at once.
+//   * the fiber, on resume: gate.store(idle), then re-check its predicate
+//     under the mailbox lock.
+// A wakeup is never lost because every waker publishes its event (message,
+// abort, peer loss) under the mailbox lock *before* calling wake(), and a
+// woken fiber always re-checks the predicate after resetting the gate.
+//
+// Deadlock detection is exact, not timing-based: under the scheduler mutex
+// every live fiber is in exactly one of three states — running (counted),
+// in the ready queue, or fully parked (the running-count decrement and the
+// park CAS happen under one mutex hold).  If live > 0, nothing is running,
+// nothing is ready and no timed park is pending, then no rank can ever be
+// woken (only rank fibers send; the caller's thread is joined on the pool;
+// the par/ worker pools never touch mailboxes) — the scheduler sets a
+// sticky deadlocked flag and wakes every parked fiber, whose mailbox wait
+// loops convert it into DeadlockError.
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+
+#include "mprt/mailbox.hpp"
+
+namespace rsmpi::mprt {
+
+class Comm;
+
+/// Per-fiber replacement for the runtime's per-thread context: the rank's
+/// world communicator (this_comm) and its nonblocking progress engine
+/// (coll/nb) live here when the rank is a fiber, because thread_locals
+/// would be shared by every rank multiplexed onto the worker.  The
+/// nb_engine slot is opaque to keep mprt independent of coll/.
+struct FiberSlot {
+  Comm* comm = nullptr;
+  std::shared_ptr<void> nb_engine;
+  int rank = -1;
+};
+
+/// The calling context's fiber slot, or nullptr when the caller is a plain
+/// rank thread (threaded execution, or code outside any run).
+[[nodiscard]] FiberSlot* current_fiber_slot();
+
+/// Worker pool + ready queue + park gates for one virtualized run.  Not
+/// reusable: construct, install waiters, run(), read counters, destroy.
+class VirtualScheduler {
+ public:
+  /// RSMPI_WORKERS: number of OS threads to multiplex ranks onto; 0 or
+  /// unset keeps the legacy thread-per-rank runtime.
+  [[nodiscard]] static int workers_from_env();
+
+  /// RSMPI_STACK_BYTES override for per-fiber stacks, else the 256 KiB
+  /// default.
+  [[nodiscard]] static std::size_t default_stack_bytes();
+
+  VirtualScheduler(int num_ranks, int workers, std::size_t stack_bytes);
+  ~VirtualScheduler();
+
+  VirtualScheduler(const VirtualScheduler&) = delete;
+  VirtualScheduler& operator=(const VirtualScheduler&) = delete;
+
+  [[nodiscard]] int workers() const;
+
+  /// Rank `rank`'s park/resume endpoint, for Mailbox::set_rank_waiter.
+  [[nodiscard]] RankWaiter& waiter(int rank);
+
+  /// Runs `rank_body(r)` for every rank on the worker pool; returns when
+  /// all fibers have finished.  The body must catch its own exceptions
+  /// (the runtime's rank wrapper does).
+  void run(const std::function<void(int)>& rank_body);
+
+  /// Total park transitions (a fiber fully suspended awaiting a wake).
+  [[nodiscard]] std::uint64_t park_events() const;
+
+  /// Peak number of simultaneously parked fibers.
+  [[nodiscard]] int peak_parked() const;
+
+  /// True once the exact deadlock detector fired during run().
+  [[nodiscard]] bool deadlock_declared() const;
+
+  struct Impl;  // public so scheduler.cpp's thread_local can name it
+
+ private:
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace rsmpi::mprt

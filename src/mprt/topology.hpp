@@ -7,15 +7,17 @@
 #pragma once
 
 #include <bit>
+#include <cstdint>
 #include <vector>
 
 namespace rsmpi::mprt::topology {
 
-/// Smallest power of two >= n (n >= 1).
+/// Smallest power of two >= n (n >= 1).  std::bit_ceil instead of a shift
+/// loop: for n above 2^30 the doubling `p <<= 1` would overflow int before
+/// the comparison terminates (UB), and virtualized runs push p into ranges
+/// where that ceiling is in sight.
 [[nodiscard]] constexpr int ceil_pow2(int n) {
-  int p = 1;
-  while (p < n) p <<= 1;
-  return p;
+  return static_cast<int>(std::bit_ceil(static_cast<unsigned>(n < 1 ? 1 : n)));
 }
 
 /// floor(log2(n)) for n >= 1.
@@ -24,10 +26,11 @@ namespace rsmpi::mprt::topology {
 }
 
 /// Number of rounds of a dissemination/recursive-doubling schedule over n
-/// ranks: ceil(log2(n)), and 0 for a single rank.
+/// ranks: ceil(log2(n)), and 0 for a single rank.  The stride is 64-bit so
+/// the final doubling cannot overflow for any int n.
 [[nodiscard]] constexpr int num_rounds(int n) {
   int rounds = 0;
-  for (int d = 1; d < n; d <<= 1) ++rounds;
+  for (std::int64_t d = 1; d < n; d <<= 1) ++rounds;
   return rounds;
 }
 
@@ -62,6 +65,36 @@ struct BinomialStep {
   }
   return steps;
 }
+
+/// Contiguous rank→node map for two-level (cluster-of-SMPs) schedules
+/// (ISSUE 10): node i holds ranks [i·rpn, min((i+1)·rpn, p)), its lowest
+/// rank acting as leader.  Contiguity is what keeps hierarchical reduction
+/// legal for noncommutative operators — each node's partial covers a
+/// contiguous rank interval, so the leader tier combines whole intervals
+/// in rank order, exactly like the binomial tree above.
+struct NodeMap {
+  int p = 1;    ///< total ranks
+  int rpn = 1;  ///< ranks per node (last node may be ragged)
+
+  constexpr NodeMap(int num_ranks, int ranks_per_node)
+      : p(num_ranks < 1 ? 1 : num_ranks),
+        rpn(ranks_per_node < 1 ? 1 : ranks_per_node) {}
+
+  [[nodiscard]] constexpr int num_nodes() const { return (p + rpn - 1) / rpn; }
+  [[nodiscard]] constexpr int node_of(int rank) const { return rank / rpn; }
+  [[nodiscard]] constexpr int leader_of(int node) const { return node * rpn; }
+  [[nodiscard]] constexpr bool is_leader(int rank) const {
+    return rank % rpn == 0;
+  }
+  /// Ranks on `node` (the last node may hold fewer than rpn).
+  [[nodiscard]] constexpr int node_size(int node) const {
+    const int lo = leader_of(node);
+    const int hi = lo + rpn;
+    return (hi < p ? hi : p) - lo;
+  }
+  /// Rank's index within its node, in [0, node_size).
+  [[nodiscard]] constexpr int local_rank(int rank) const { return rank % rpn; }
+};
 
 /// The mirror schedule for a binomial broadcast from rank 0: the reduce
 /// schedule reversed with roles flipped.

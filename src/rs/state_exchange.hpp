@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "coll/bcast.hpp"
+#include "coll/hierarchical.hpp"
 #include "coll/pipeline.hpp"
 #include "coll/ring.hpp"
 #include "mprt/comm.hpp"
@@ -51,6 +52,7 @@ enum class Schedule {
   kRabenseifner, // chunked recursive halving + doubling (partitionable)
   kRing,         // chunked reduce-scatter + allgather ring (partitionable)
   kPipelined,    // segmented binomial tree(s) (partitionable)
+  kHierarchical, // two-level node-leader schedule (two-tier cost models)
 };
 
 /// Reads RSMPI_SCHEDULE (unset or "auto" → kAuto; unknown values throw, so
@@ -65,6 +67,7 @@ inline Schedule schedule_from_env() {
   if (v == "rabenseifner") return Schedule::kRabenseifner;
   if (v == "ring") return Schedule::kRing;
   if (v == "pipelined") return Schedule::kPipelined;
+  if (v == "hierarchical") return Schedule::kHierarchical;
   throw ArgumentError("RSMPI_SCHEDULE: unknown schedule name");
 }
 
@@ -84,7 +87,7 @@ inline Schedule choose_allreduce_schedule(const mprt::CostModel& model, int p,
                                           std::size_t state_bytes,
                                           std::size_t segment_bytes) {
   using SC = mprt::ScheduleCost;
-  const std::pair<Schedule, double> candidates[] = {
+  std::vector<std::pair<Schedule, double>> candidates = {
       {Schedule::kButterfly, SC::butterfly(model, p, state_bytes)},
       {Schedule::kTwoMessage, SC::two_message(model, p, state_bytes)},
       {Schedule::kRabenseifner, SC::rabenseifner(model, p, state_bytes)},
@@ -92,6 +95,15 @@ inline Schedule choose_allreduce_schedule(const mprt::CostModel& model, int p,
       {Schedule::kPipelined,
        SC::pipelined_tree_allreduce(model, p, state_bytes, segment_bytes)},
   };
+  if (model.two_tier()) {
+    // Only meaningful on a two-tier machine, and listed last: flat
+    // schedules win ties, and this autotuner only runs for commutative
+    // partitionable operators, so the different-bracketing caveat of the
+    // hierarchical schedule (see coll/hierarchical.hpp) never applies.
+    candidates.emplace_back(
+        Schedule::kHierarchical,
+        SC::hierarchical(model, p, state_bytes, /*seg_ok=*/true));
+  }
   Schedule best = candidates[0].first;
   double best_cost = candidates[0].second;
   for (const auto& [s, cost] : candidates) {
@@ -103,27 +115,9 @@ inline Schedule choose_allreduce_schedule(const mprt::CostModel& model, int p,
   return best;
 }
 
-/// Serializes `op` into a pooled buffer and move-sends it: after warm-up
-/// the whole send path performs zero heap allocations and zero payload
-/// copies (small states travel inline in the Message itself).
-template <Combinable Op>
-void send_state(mprt::Comm& comm, int dest, int tag, const Op& op) {
-  bytes::Writer w(comm.acquire_buffer(0));
-  save_op_into(op, w);
-  comm.send_bytes(dest, tag, std::move(w).take());
-}
-
-/// Folds a received serialized state into `op` (op = op (+) decode) and
-/// recycles the receive buffer into this rank's pool.
-template <Combinable Op>
-void combine_received_state(mprt::Comm& comm, Op& op, const Op& prototype,
-                            mprt::Message&& msg) {
-  {
-    auto timer = comm.compute_section();
-    combine_op_from_bytes(op, prototype, msg.payload());
-  }
-  comm.recycle_buffer(msg.release_storage());
-}
+// send_state / combine_received_state — the whole-state transfer
+// primitives these schedules are built on — live in coll/ring.hpp beside
+// their segmented analogues, included above.
 
 // -- Model-checking instrumentation (ISSUE 7) -------------------------------
 
@@ -411,6 +405,15 @@ void state_allreduce_with_schedule(mprt::Comm& comm, Op& op,
                                    bool commutative) {
   if (comm.size() == 1) return;
   if (!commutative) {
+    // The hierarchical schedule is order-preserving when its leader tier
+    // is pinned to the ordered binomial, so a forced request is honoured
+    // on a two-tier model; everything else takes the flat reduce+bcast.
+    if (schedule == Schedule::kHierarchical &&
+        comm.cost_model().two_tier()) {
+      state_allreduce_hierarchical(comm, op, prototype,
+                                   /*commutative=*/false);
+      return;
+    }
     state_allreduce_reduce_bcast(comm, op, prototype, /*commutative=*/false);
     return;
   }
@@ -428,6 +431,10 @@ void state_allreduce_with_schedule(mprt::Comm& comm, Op& op,
       case Schedule::kPipelined:
         state_allreduce_pipelined(comm, op, segment_bytes);
         return;
+      case Schedule::kHierarchical:
+        state_allreduce_hierarchical(comm, op, prototype,
+                                     /*commutative=*/true);
+        return;
       case Schedule::kAuto:
       case Schedule::kButterfly:
         state_allreduce_butterfly(comm, op, prototype);
@@ -436,6 +443,8 @@ void state_allreduce_with_schedule(mprt::Comm& comm, Op& op,
   } else {
     if (schedule == Schedule::kTwoMessage) {
       state_allreduce_reduce_bcast(comm, op, prototype, /*commutative=*/true);
+    } else if (schedule == Schedule::kHierarchical) {
+      state_allreduce_hierarchical(comm, op, prototype, /*commutative=*/true);
     } else {
       state_allreduce_butterfly(comm, op, prototype);
     }
@@ -456,6 +465,16 @@ void state_allreduce(mprt::Comm& comm, Op& op, const Op& prototype,
                      bool commutative = op_commutative<Op>()) {
   if (comm.size() == 1) return;
   if (!commutative) {
+    // Never autotuned for noncommutative operators (the hierarchical
+    // bracketing differs from the flat reduce tree's), but an explicit
+    // RSMPI_SCHEDULE=hierarchical is honoured on a two-tier model — the
+    // ordered leader tier keeps it legal.
+    if (schedule_from_env() == Schedule::kHierarchical &&
+        comm.cost_model().two_tier()) {
+      state_allreduce_hierarchical(comm, op, prototype,
+                                   /*commutative=*/false);
+      return;
+    }
     state_allreduce_reduce_bcast(comm, op, prototype, /*commutative=*/false);
     return;
   }

@@ -187,6 +187,16 @@ struct RSMPI_Stats {
   // Planning and collectives.
   std::uint64_t autotune_invocations = 0;
   std::int64_t collective_tags_consumed = 0;
+  // Two-level topology traffic split (both 0 under a flat cost model).
+  std::uint64_t intra_node_bytes = 0;
+  std::uint64_t inter_node_bytes = 0;
+  // Rank virtualization (all 0 on the thread-per-rank path): OS workers
+  // the virtual ranks are multiplexed onto, peak simultaneously-parked
+  // ranks, and park transitions so far.  Engine-wide counters snapshotted
+  // through this rank, still gathered without communication.
+  std::uint64_t workers = 0;
+  std::uint64_t parked_ranks = 0;
+  std::uint64_t park_events = 0;
   // Fault handling.
   std::uint64_t recv_retries = 0;
   std::uint64_t duplicates_suppressed = 0;
@@ -216,6 +226,11 @@ inline void RSMPI_GetStats(RSMPI_Stats* stats,
   out.pool_segments_reused = pool.segments_reused;
   out.autotune_invocations = comm.autotune_invocations();
   out.collective_tags_consumed = comm.collective_tags_consumed();
+  out.intra_node_bytes = comm.intra_node_bytes();
+  out.inter_node_bytes = comm.inter_node_bytes();
+  out.workers = comm.virtual_workers();
+  out.parked_ranks = comm.parked_ranks();
+  out.park_events = comm.park_events();
   out.recv_retries = comm.recv_retries();
   out.duplicates_suppressed = comm.duplicates_suppressed();
   const mprt::SimStats sim = comm.sim_stats();

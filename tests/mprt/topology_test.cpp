@@ -108,4 +108,93 @@ INSTANTIATE_TEST_SUITE_P(RankCounts, BinomialScheduleProperty,
                          ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 13, 16,
                                            17, 31, 32, 33, 64, 100));
 
+// -- Large-p boundaries (ISSUE 10) -------------------------------------------
+//
+// Rank virtualization pushes p into the thousands, where off-by-one bugs
+// in the power-of-two arithmetic live at 2^k ± 1.  Sweep every such
+// boundary up to k = 12 (p = 4097).
+
+TEST(Topology, Pow2BoundariesUpToFourThousand) {
+  for (int k = 1; k <= 12; ++k) {
+    const int pow2 = 1 << k;
+    EXPECT_EQ(ceil_pow2(pow2 - 1), pow2 == 2 ? 1 : pow2) << "k=" << k;
+    EXPECT_EQ(ceil_pow2(pow2), pow2) << "k=" << k;
+    EXPECT_EQ(ceil_pow2(pow2 + 1), 2 * pow2) << "k=" << k;
+
+    EXPECT_EQ(floor_log2(pow2 - 1), k - 1) << "k=" << k;
+    EXPECT_EQ(floor_log2(pow2), k) << "k=" << k;
+    EXPECT_EQ(floor_log2(pow2 + 1), k) << "k=" << k;
+
+    EXPECT_EQ(num_rounds(pow2 - 1), pow2 == 2 ? 0 : k) << "k=" << k;
+    EXPECT_EQ(num_rounds(pow2), k) << "k=" << k;
+    EXPECT_EQ(num_rounds(pow2 + 1), k + 1) << "k=" << k;
+  }
+}
+
+// The binomial tree invariants (every non-root sends exactly once, edges
+// pair up, send targets are lower) checked exhaustively above for small p
+// must also hold at the virtualized boundary widths — spot-check the
+// aggregate edge count and the lowest-set-bit partner rule, which together
+// imply a well-formed tree without enumerating all O(p log p) steps twice.
+TEST(Topology, BinomialTreeAtLargeBoundaries) {
+  for (const int p : {1023, 1024, 1025, 2047, 2048, 2049, 4095, 4096, 4097}) {
+    std::size_t total_sends = 0;
+    for (int r = 0; r < p; ++r) {
+      const auto steps = binomial_reduce_schedule(r, p);
+      for (const auto& s : steps) {
+        ASSERT_GE(s.partner, 0) << "p=" << p << " rank " << r;
+        ASSERT_LT(s.partner, p) << "p=" << p << " rank " << r;
+        if (s.role == BinomialStep::Role::kSend) ++total_sends;
+      }
+      if (r != 0) {
+        ASSERT_EQ(steps.back().role, BinomialStep::Role::kSend);
+        ASSERT_EQ(r - steps.back().partner, r & -r) << "p=" << p;
+      }
+      ASSERT_EQ(binomial_bcast_schedule(r, p).size(), steps.size());
+    }
+    EXPECT_EQ(total_sends, static_cast<std::size_t>(p - 1)) << "p=" << p;
+  }
+}
+
+// -- NodeMap (ISSUE 10) ------------------------------------------------------
+//
+// The contiguous node map behind the hierarchical schedule: node sizes
+// must partition p, leaders must be the first rank of each block, and the
+// local/global coordinates must round-trip — including ragged last nodes
+// and the degenerate flat (rpn = 1) and single-node (rpn >= p) shapes.
+
+TEST(Topology, NodeMapPartitionsRanks) {
+  for (const int p : {1, 2, 7, 8, 16, 33, 100, 257, 1024, 4095, 4096, 4097}) {
+    for (const int rpn : {1, 2, 3, 8, 16, 5000}) {
+      const NodeMap map(p, rpn);
+      int covered = 0;
+      for (int n = 0; n < map.num_nodes(); ++n) {
+        const int sz = map.node_size(n);
+        ASSERT_GE(sz, 1) << "p=" << p << " rpn=" << rpn << " node " << n;
+        ASSERT_LE(sz, rpn) << "p=" << p << " rpn=" << rpn << " node " << n;
+        ASSERT_EQ(map.leader_of(n), covered);
+        covered += sz;
+      }
+      ASSERT_EQ(covered, p) << "p=" << p << " rpn=" << rpn;
+      for (int r = 0; r < p; ++r) {
+        const int n = map.node_of(r);
+        ASSERT_EQ(map.leader_of(n) + map.local_rank(r), r);
+        ASSERT_EQ(map.is_leader(r), map.local_rank(r) == 0);
+        ASSERT_LT(map.local_rank(r), map.node_size(n));
+      }
+    }
+  }
+}
+
+TEST(Topology, NodeMapRaggedLastNode) {
+  const NodeMap map(/*p=*/10, /*ranks_per_node=*/4);
+  EXPECT_EQ(map.num_nodes(), 3);
+  EXPECT_EQ(map.node_size(0), 4);
+  EXPECT_EQ(map.node_size(1), 4);
+  EXPECT_EQ(map.node_size(2), 2);
+  EXPECT_EQ(map.leader_of(2), 8);
+  EXPECT_TRUE(map.is_leader(8));
+  EXPECT_FALSE(map.is_leader(9));
+}
+
 }  // namespace

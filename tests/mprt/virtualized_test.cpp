@@ -1,0 +1,140 @@
+// Rank virtualization (ISSUE 10): many virtual ranks multiplexed onto a
+// small OS-thread worker pool via ucontext fibers.
+//
+// The headline acceptance test runs a p=4096 zoo allreduce on 8 workers —
+// three orders of magnitude more ranks than threads — and checks every
+// rank's result against the serial oracle, plus the scheduler counters
+// surfaced through RunResult.  The remaining tests pin down the failure
+// modes unique to virtualization: exact structural deadlock detection
+// (every fiber parked, no timers pending) and the timed-receive path,
+// whose deadline slices must ride the scheduler's timer heap rather than
+// a condition-variable wait.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "mprt/runtime.hpp"
+#include "rs/state_exchange.hpp"
+#include "util/error.hpp"
+#include "verify/registry.hpp"
+
+namespace {
+
+using namespace rsmpi;
+using mprt::Comm;
+
+// p = 4096 virtual ranks on 8 OS threads: the production state_allreduce
+// dispatch (the flat cost model picks a logarithmic schedule for the
+// small Counts state — never the 2(p−1)-step ring) must deliver the
+// serial-oracle result on every rank, well inside the default ctest
+// timeout.
+TEST(Virtualized, P4096CountsAllreduceOnEightWorkers) {
+  constexpr int kRanks = 4096;
+  const mprt::ExecPolicy exec{/*workers=*/8, /*stack_bytes=*/0};
+  std::vector<rs::reduce_result_t<rs::ops::Counts>> results(kRanks);
+  const mprt::RunResult run = mprt::run(
+      kRanks,
+      [&](Comm& comm) {
+        auto op = verify::accumulated<rs::ops::Counts>(comm.rank());
+        rs::detail::state_allreduce(comm, op,
+                                    verify::make_prototype<rs::ops::Counts>());
+        results[static_cast<std::size_t>(comm.rank())] = rs::red_result(op);
+      },
+      mprt::CostModel{}, mprt::SimConfig{}, exec);
+
+  const auto want = verify::expected_result<rs::ops::Counts>(kRanks);
+  for (int r = 0; r < kRanks; ++r) {
+    ASSERT_TRUE(results[static_cast<std::size_t>(r)] == want) << "rank " << r;
+  }
+
+  // Scheduler observability: the pool really was 8 workers wide, ranks
+  // really parked (4096 fibers cannot all run at once on 8 threads), and
+  // the park/resume protocol fired.
+  EXPECT_EQ(run.workers, 8u);
+  EXPECT_GT(run.parked_ranks, 0u);
+  EXPECT_LE(run.parked_ranks, static_cast<std::uint64_t>(kRanks));
+  EXPECT_GT(run.park_events, 0u);
+}
+
+// workers = 0 forces the classic thread-per-rank runtime: the virtualized
+// counters must read zero so dashboards can tell the modes apart.
+TEST(Virtualized, ThreadedModeReportsNoWorkers) {
+  const mprt::ExecPolicy threaded{/*workers=*/0, /*stack_bytes=*/0};
+  const mprt::RunResult run = mprt::run(
+      4,
+      [](Comm& comm) {
+        auto op = verify::accumulated<rs::ops::Counts>(comm.rank());
+        rs::detail::state_allreduce(comm, op,
+                                    verify::make_prototype<rs::ops::Counts>());
+      },
+      mprt::CostModel{}, mprt::SimConfig{}, threaded);
+  EXPECT_EQ(run.workers, 0u);
+  EXPECT_EQ(run.parked_ranks, 0u);
+  EXPECT_EQ(run.park_events, 0u);
+}
+
+// A custom fiber stack size flows through ExecPolicy (the RSMPI_STACK_BYTES
+// env var takes the same path); the run must still complete correctly.
+TEST(Virtualized, CustomStackSize) {
+  const mprt::ExecPolicy exec{/*workers=*/2, /*stack_bytes=*/512 * 1024};
+  std::vector<rs::reduce_result_t<rs::ops::Counts>> results(16);
+  mprt::run(
+      16,
+      [&](Comm& comm) {
+        auto op = verify::accumulated<rs::ops::Counts>(comm.rank());
+        rs::detail::state_allreduce(comm, op,
+                                    verify::make_prototype<rs::ops::Counts>());
+        results[static_cast<std::size_t>(comm.rank())] = rs::red_result(op);
+      },
+      mprt::CostModel{}, mprt::SimConfig{}, exec);
+  const auto want = verify::expected_result<rs::ops::Counts>(16);
+  for (int r = 0; r < 16; ++r) {
+    EXPECT_TRUE(results[static_cast<std::size_t>(r)] == want) << "rank " << r;
+  }
+}
+
+// Two ranks each blocking on a receive the other never sends: with every
+// fiber parked and no timers pending, the virtualized scheduler has exact
+// knowledge that no progress is possible and must convert the hang into
+// DeadlockError instead of stalling until the ctest timeout.
+TEST(Virtualized, StructuralDeadlockDetected) {
+  const mprt::ExecPolicy exec{/*workers=*/2, /*stack_bytes=*/0};
+  EXPECT_THROW(
+      mprt::run(
+          2,
+          [](Comm& comm) {
+            const int peer = 1 - comm.rank();
+            (void)comm.recv_message(peer, /*tag=*/7);
+          },
+          mprt::CostModel{}, mprt::SimConfig{}, exec),
+      rsmpi::DeadlockError);
+}
+
+// Receive deadlines under virtualization: the deadline slices must arm
+// timers on the scheduler's heap (a parked fiber cannot sit in a timed
+// condition-variable wait), fire after the budget, and surface the usual
+// TimeoutError.  Rank 0 exits immediately, so rank 1 is the sole parked
+// fiber — the pending timer is the only thing distinguishing this state
+// from a structural deadlock.
+TEST(Virtualized, RecvDeadlineFiresOnTimerHeap) {
+  const mprt::ExecPolicy exec{/*workers=*/2, /*stack_bytes=*/0};
+  bool timed_out = false;
+  mprt::run(
+      2,
+      [&](Comm& comm) {
+        if (comm.rank() != 1) return;
+        comm.set_recv_deadline(
+            mprt::RecvDeadline{/*timeout_s=*/0.05, /*retries=*/2,
+                               /*backoff=*/2.0});
+        try {
+          (void)comm.recv_message(0, /*tag=*/7);
+        } catch (const rsmpi::TimeoutError&) {
+          timed_out = true;
+        }
+      },
+      mprt::CostModel{}, mprt::SimConfig{}, exec);
+  EXPECT_TRUE(timed_out);
+}
+
+}  // namespace

@@ -179,6 +179,40 @@ TEST(CApi, GetStatsSnapshotsRankCounters) {
   });
 }
 
+// Virtualization and topology counters through the C stats surface
+// (ISSUE 10): a virtualized run on a two-tier model reports its worker
+// pool and the per-tier traffic split; a plain threaded flat run keeps
+// all five new fields at zero.
+TEST(CApi, GetStatsSurfacesVirtualizationAndTiers) {
+  mprt::run(8, [](mprt::Comm& comm) {
+    std::vector<int> mine = {comm.rank() % 8};
+    std::vector<long> counts;
+    c_api::RSMPI_Reduceall<CCounts>(&counts, mine, comm);
+    c_api::RSMPI_Stats stats;
+    c_api::RSMPI_GetStats(&stats, comm);
+    EXPECT_EQ(stats.workers, 4u);
+    EXPECT_GT(stats.park_events, 0u);
+    EXPECT_GT(stats.intra_node_bytes + stats.inter_node_bytes, 0u);
+    EXPECT_EQ(stats.intra_node_bytes + stats.inter_node_bytes,
+              stats.bytes_sent);
+  }, mprt::CostModel::cluster_of_smp(4), mprt::SimConfig{},
+  mprt::ExecPolicy{/*workers=*/4, /*stack_bytes=*/0});
+
+  mprt::run(2, [](mprt::Comm& comm) {
+    std::vector<int> mine = {comm.rank() % 8};
+    std::vector<long> counts;
+    c_api::RSMPI_Reduceall<CCounts>(&counts, mine, comm);
+    c_api::RSMPI_Stats stats;
+    c_api::RSMPI_GetStats(&stats, comm);
+    EXPECT_EQ(stats.workers, 0u);
+    EXPECT_EQ(stats.parked_ranks, 0u);
+    EXPECT_EQ(stats.park_events, 0u);
+    EXPECT_EQ(stats.intra_node_bytes, 0u);
+    EXPECT_EQ(stats.inter_node_bytes, 0u);
+  }, mprt::CostModel{}, mprt::SimConfig{},
+  mprt::ExecPolicy{/*workers=*/0, /*stack_bytes=*/0});
+}
+
 TEST(CApi, GetStatsDefaultsToThisComm) {
   mprt::run(2, [](mprt::Comm& comm) {
     std::vector<int> mine = {comm.rank() % 8};
